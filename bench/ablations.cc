@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Ablation benches for the design choices the paper calls out but does
+ * not sweep:
+ *   - CTX tag width (max in-flight branches / checkpoint budget);
+ *   - fetch-bandwidth arbitration policy (§3.2.6 "future work");
+ *   - JRS counter width and the enhanced confidence indexing (§4.2);
+ *   - speculative vs committed global-history update (§4.2);
+ *   - predictor training at resolution vs commit;
+ *   - eager-always execution (confidence estimator ablated entirely).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/stats_util.hh"
+
+using namespace polypath;
+
+namespace
+{
+
+void
+runSet(const WorkloadSet &suite, const char *title,
+       const std::vector<std::pair<std::string, SimConfig>> &variants)
+{
+    std::printf("--- %s ---\n", title);
+    std::vector<SimConfig> configs;
+    for (const auto &[name, cfg] : variants)
+        configs.push_back(cfg);
+    auto matrix = runMatrix(suite, configs);
+    for (size_t i = 0; i < variants.size(); ++i)
+        std::printf("  %-34s h-mean IPC %.3f\n",
+                    variants[i].first.c_str(), meanIpc(matrix[i]));
+    std::printf("\n");
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    WorkloadSet suite = loadWorkloads(benchScale(0.5));
+
+    {
+        std::vector<std::pair<std::string, SimConfig>> variants;
+        for (unsigned width : {4u, 8u, 16u, 32u}) {
+            SimConfig cfg = SimConfig::seeJrs();
+            cfg.tagWidth = width;
+            variants.emplace_back(
+                "SEE, tag width " + std::to_string(width), cfg);
+        }
+        runSet(suite, "CTX tag width (max in-flight branches)",
+               variants);
+    }
+
+    {
+        std::vector<std::pair<std::string, SimConfig>> variants;
+        const std::pair<FetchPolicy, const char *> policies[] = {
+            {FetchPolicy::ExponentialPriority, "exponential priority"},
+            {FetchPolicy::RoundRobin, "round robin"},
+            {FetchPolicy::OldestFirst, "oldest first"},
+            {FetchPolicy::PredictedFirst,
+             "predicted-first (§3.2.7 future work)"},
+        };
+        for (const auto &[policy, name] : policies) {
+            SimConfig cfg = SimConfig::seeJrs();
+            cfg.fetchPolicy = policy;
+            variants.emplace_back(std::string("SEE, ") + name, cfg);
+        }
+        runSet(suite, "fetch arbitration policy", variants);
+    }
+
+    {
+        std::vector<std::pair<std::string, SimConfig>> variants;
+        SimConfig jrs1 = SimConfig::seeJrs();
+        variants.emplace_back("JRS 1-bit (paper's choice)", jrs1);
+        SimConfig jrs2 = SimConfig::seeJrs();
+        jrs2.jrsCounterBits = 2;
+        jrs2.jrsThreshold = 3;
+        variants.emplace_back("JRS 2-bit, threshold 3", jrs2);
+        SimConfig jrs4 = SimConfig::seeJrs();
+        jrs4.jrsCounterBits = 4;
+        jrs4.jrsThreshold = 15;
+        variants.emplace_back("JRS 4-bit, threshold 15", jrs4);
+        SimConfig orig = SimConfig::seeJrs();
+        orig.enhancedConfidenceIndex = false;
+        variants.emplace_back("JRS 1-bit, original indexing", orig);
+        runSet(suite, "confidence estimator variants (§4.2)", variants);
+    }
+
+    {
+        std::vector<std::pair<std::string, SimConfig>> variants;
+        SimConfig spec = SimConfig::monopath();
+        variants.emplace_back("monopath, speculative history", spec);
+        SimConfig nonspec = SimConfig::monopath();
+        nonspec.speculativeHistoryUpdate = false;
+        variants.emplace_back("monopath, committed history", nonspec);
+        runSet(suite,
+               "speculative global-history update "
+               "(paper: ~1% prediction accuracy)",
+               variants);
+    }
+
+    {
+        std::vector<std::pair<std::string, SimConfig>> variants;
+        SimConfig commit = SimConfig::seeJrs();
+        variants.emplace_back("SEE, train at commit", commit);
+        SimConfig resolve = SimConfig::seeJrs();
+        resolve.trainAtResolution = true;
+        variants.emplace_back("SEE, train at resolution", resolve);
+        runSet(suite, "predictor training point", variants);
+    }
+
+    {
+        // Predictor families (McFarling TN 36) under monopath and SEE:
+        // does SEE's benefit survive a stronger baseline predictor?
+        std::vector<std::pair<std::string, SimConfig>> variants;
+        for (auto [kind, name] :
+             {std::pair{PredictorKind::Bimodal, "bimodal"},
+              std::pair{PredictorKind::Gshare, "gshare"},
+              std::pair{PredictorKind::Combining, "combining"}}) {
+            SimConfig mono = SimConfig::monopath();
+            mono.predictor = kind;
+            variants.emplace_back(std::string(name) + " / monopath",
+                                  mono);
+            SimConfig see = SimConfig::seeJrs();
+            see.predictor = kind;
+            variants.emplace_back(std::string(name) + " / SEE(JRS)",
+                                  see);
+        }
+        runSet(suite, "predictor family (McFarling TN 36)", variants);
+    }
+
+    {
+        std::vector<std::pair<std::string, SimConfig>> variants;
+        variants.emplace_back("monopath", SimConfig::monopath());
+        variants.emplace_back("SEE (JRS confidence)", SimConfig::seeJrs());
+        SimConfig eager = SimConfig::seeJrs();
+        eager.confidence = ConfidenceKind::AlwaysLow;
+        variants.emplace_back("eager-always (no confidence)", eager);
+        runSet(suite,
+               "selectivity ablation: why SEE needs a confidence "
+               "estimator",
+               variants);
+    }
+
+    {
+        // Beyond the paper: does SEE survive a non-perfect D-cache?
+        // Eager paths both pollute the cache and prefetch for the
+        // correct path; the net effect is the interesting number.
+        std::vector<std::pair<std::string, SimConfig>> variants;
+        for (bool see : {false, true}) {
+            SimConfig cfg =
+                see ? SimConfig::seeJrs() : SimConfig::monopath();
+            std::string name = see ? "SEE(JRS)" : "monopath";
+            variants.emplace_back(name + ", perfect D$", cfg);
+            SimConfig miss = cfg;
+            miss.dcache.perfect = false;
+            miss.dcache.sizeBytes = 16384;
+            miss.dcache.ways = 2;
+            miss.dcache.missLatency = 20;
+            variants.emplace_back(name + ", 16KB 2-way D$ (20cy miss)",
+                                  miss);
+        }
+        runSet(suite, "D-cache model (extension; paper assumes perfect)",
+               variants);
+    }
+
+    {
+        // The §5.1 "lesson learned": an estimator that monitors its own
+        // PVN and reverts to monopath should cap SEE's worst-case loss
+        // on low-PVN benchmarks without hurting the winners. Report
+        // per-benchmark results, since the interesting effect is the
+        // minimum, not the mean.
+        std::vector<SimConfig> configs = {SimConfig::monopath(),
+                                          SimConfig::seeJrs(),
+                                          SimConfig::seeAdaptiveJrs()};
+        auto matrix = runMatrix(suite, configs);
+        std::printf("--- adaptive confidence (the paper's §5.1 "
+                    "future-work suggestion) ---\n");
+        std::printf("  %-10s %12s %12s %16s\n", "benchmark", "SEE/JRS",
+                    "SEE/adaptive", "(vs monopath)");
+        for (size_t w = 0; w < suite.size(); ++w) {
+            double mono = matrix[0][w].ipc();
+            std::printf("  %-10s %11.3f %12.3f   %+6.1f%% -> %+6.1f%%\n",
+                        suite.infos[w].name.c_str(), matrix[1][w].ipc(),
+                        matrix[2][w].ipc(),
+                        percentChange(mono, matrix[1][w].ipc()),
+                        percentChange(mono, matrix[2][w].ipc()));
+        }
+        std::printf("  %-10s %11.3f %12.3f\n\n", "h-mean",
+                    meanIpc(matrix[1]), meanIpc(matrix[2]));
+    }
+    return 0;
+}

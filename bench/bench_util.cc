@@ -1,0 +1,108 @@
+#include "bench_util.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+#include "common/stats_util.hh"
+
+namespace polypath
+{
+
+double
+benchScale(double dflt)
+{
+    const char *env = std::getenv("PP_BENCH_SCALE");
+    if (!env)
+        return dflt;
+    double scale = std::atof(env);
+    return scale > 0 ? scale : dflt;
+}
+
+WorkloadSet
+loadWorkloads(double scale)
+{
+    WorkloadSet suite;
+    WorkloadParams params;
+    params.scale = scale;
+    for (const WorkloadInfo &info : workloadRegistry()) {
+        suite.infos.push_back(info);
+        suite.programs.push_back(info.build(params));
+    }
+    // Golden runs in parallel (they are independent).
+    suite.goldens.resize(suite.programs.size());
+    std::vector<std::thread> threads;
+    std::atomic<size_t> next{0};
+    unsigned workers = std::max(2u, std::thread::hardware_concurrency());
+    for (unsigned t = 0; t < workers; ++t) {
+        threads.emplace_back([&] {
+            while (true) {
+                size_t i = next.fetch_add(1);
+                if (i >= suite.programs.size())
+                    break;
+                suite.goldens[i] = runGolden(suite.programs[i]);
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    return suite;
+}
+
+std::vector<std::vector<SimResult>>
+runMatrix(const WorkloadSet &suite, const std::vector<SimConfig> &configs)
+{
+    std::vector<std::function<SimResult()>> jobs;
+    for (const SimConfig &cfg : configs) {
+        for (size_t w = 0; w < suite.size(); ++w) {
+            jobs.push_back([&suite, cfg, w] {
+                return simulate(suite.programs[w], cfg,
+                                suite.goldens[w]);
+            });
+        }
+    }
+    std::vector<SimResult> flat = runParallel(jobs);
+    std::vector<std::vector<SimResult>> matrix;
+    size_t idx = 0;
+    for (size_t c = 0; c < configs.size(); ++c) {
+        std::vector<SimResult> row;
+        for (size_t w = 0; w < suite.size(); ++w)
+            row.push_back(flat[idx++]);
+        matrix.push_back(std::move(row));
+    }
+    return matrix;
+}
+
+double
+meanIpc(const std::vector<SimResult> &row)
+{
+    std::vector<double> ipcs;
+    for (const SimResult &r : row)
+        ipcs.push_back(r.ipc());
+    return harmonicMean(ipcs);
+}
+
+void
+printIpcTable(const WorkloadSet &suite,
+              const std::vector<std::string> &category_names,
+              const std::vector<std::vector<SimResult>> &matrix)
+{
+    std::printf("%-10s", "benchmark");
+    for (const std::string &name : category_names)
+        std::printf(" %22s", name.c_str());
+    std::printf("\n");
+    for (size_t w = 0; w < suite.size(); ++w) {
+        std::printf("%-10s", suite.infos[w].name.c_str());
+        for (size_t c = 0; c < matrix.size(); ++c)
+            std::printf(" %22.3f", matrix[c][w].ipc());
+        std::printf("\n");
+    }
+    std::printf("%-10s", "h-mean");
+    for (size_t c = 0; c < matrix.size(); ++c)
+        std::printf(" %22.3f", meanIpc(matrix[c]));
+    std::printf("\n");
+}
+
+} // namespace polypath

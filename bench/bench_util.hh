@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared harness for the experiment benches: loads the workload suite,
+ * runs configuration matrices on a small worker pool, and prints the
+ * per-benchmark / mean tables the paper's figures plot.
+ *
+ * Environment:
+ *   PP_BENCH_SCALE   work multiplier for every benchmark (default 1.0;
+ *                    use e.g. 0.1 for a quick smoke run)
+ */
+
+#ifndef POLYPATH_BENCH_BENCH_UTIL_HH
+#define POLYPATH_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+namespace polypath
+{
+
+/** The eight benchmarks with their golden reference runs. */
+struct WorkloadSet
+{
+    std::vector<WorkloadInfo> infos;
+    std::vector<Program> programs;
+    std::vector<InterpResult> goldens;
+
+    size_t size() const { return programs.size(); }
+};
+
+/** Scale factor from PP_BENCH_SCALE (default @p dflt). */
+double benchScale(double dflt = 1.0);
+
+/** Build all eight workloads (golden runs execute in parallel). */
+WorkloadSet loadWorkloads(double scale);
+
+/**
+ * Run every (config, workload) pair on the worker pool.
+ * @return results[config][workload]
+ */
+std::vector<std::vector<SimResult>>
+runMatrix(const WorkloadSet &suite, const std::vector<SimConfig> &configs);
+
+/** Harmonic-mean IPC across one config's results. */
+double meanIpc(const std::vector<SimResult> &row);
+
+/**
+ * Print the classic figure table: one row per benchmark plus the
+ * harmonic-mean row, one column per category.
+ */
+void printIpcTable(const WorkloadSet &suite,
+                   const std::vector<std::string> &category_names,
+                   const std::vector<std::vector<SimResult>> &matrix);
+
+} // namespace polypath
+
+#endif // POLYPATH_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Regenerates Figure 11: harmonic-mean IPC vs functional-unit count
+ * (1..4 units of each type + memory ports, scaled uniformly as in the
+ * paper) for the four machine categories, plus the FU-utilisation
+ * observation of §5.3.3.
+ *
+ * Paper reference: SEE improves monopath by ~14% at >=3 FUs/type and
+ * still ~6% at 1 FU/type, by harvesting spare FU capacity (IntType0
+ * utilisation 81% -> 85% at 1 FU).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/stats_util.hh"
+
+using namespace polypath;
+
+int
+main()
+{
+    WorkloadSet suite = loadWorkloads(benchScale());
+
+    const unsigned counts[] = {1, 2, 3, 4};
+    struct Category
+    {
+        const char *name;
+        SimConfig base;
+    };
+    const Category categories[] = {
+        {"gshare/monopath", SimConfig::monopath()},
+        {"gshare/JRS", SimConfig::seeJrs()},
+        {"gshare/oracle", SimConfig::seeOracleConfidence()},
+        {"oracle", SimConfig::oraclePrediction()},
+    };
+
+    auto with_units = [](SimConfig cfg, unsigned n) {
+        cfg.numIntAlu0 = n;
+        cfg.numIntAlu1 = n;
+        cfg.numFpAdd = n;
+        cfg.numFpMul = n;
+        cfg.numMemPorts = n;
+        return cfg;
+    };
+
+    std::printf("Figure 11: IPC vs functional units per type "
+                "(h-mean over all benchmarks)\n\n");
+    std::printf("%-18s", "category");
+    for (unsigned n : counts)
+        std::printf(" %9u", n);
+    std::printf("\n");
+
+    std::vector<double> mono_ipc, see_ipc;
+    std::vector<std::vector<SimResult>> mono_runs, see_runs;
+    for (const Category &cat : categories) {
+        std::vector<SimConfig> configs;
+        for (unsigned n : counts)
+            configs.push_back(with_units(cat.base, n));
+        auto matrix = runMatrix(suite, configs);
+        std::printf("%-18s", cat.name);
+        for (size_t i = 0; i < configs.size(); ++i) {
+            double ipc = meanIpc(matrix[i]);
+            std::printf(" %9.3f", ipc);
+            if (std::string(cat.name) == "gshare/monopath") {
+                mono_ipc.push_back(ipc);
+                mono_runs.push_back(matrix[i]);
+            }
+            if (std::string(cat.name) == "gshare/JRS") {
+                see_ipc.push_back(ipc);
+                see_runs.push_back(matrix[i]);
+            }
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nSEE(JRS) improvement over monopath per FU count "
+                "(paper: 6%% at 1, ~14%% at >=3):\n");
+    for (size_t i = 0; i < mono_ipc.size(); ++i)
+        std::printf("  %u FU/type: %+6.1f%%\n", counts[i],
+                    percentChange(mono_ipc[i], see_ipc[i]));
+
+    // §5.3.3 utilisation observation at 1 FU/type.
+    auto mean_util = [&](const std::vector<SimResult> &runs,
+                         ExecClass cls, unsigned units) {
+        std::vector<double> vals;
+        for (const SimResult &r : runs)
+            vals.push_back(100 * r.stats.fuUtilization(cls, units));
+        return arithmeticMean(vals);
+    };
+    std::printf("\nFU utilisation at 1 FU/type "
+                "(paper: IntType0 81%%->85%%, IntType1 75%%->80%%, "
+                "Dcache 75%%->80%%):\n");
+    std::printf("  %-10s %10s %10s\n", "class", "monopath", "SEE");
+    std::printf("  %-10s %9.1f%% %9.1f%%\n", "IntType0",
+                mean_util(mono_runs[0], ExecClass::IntAlu0, 1),
+                mean_util(see_runs[0], ExecClass::IntAlu0, 1));
+    std::printf("  %-10s %9.1f%% %9.1f%%\n", "IntType1",
+                mean_util(mono_runs[0], ExecClass::IntAlu1, 1),
+                mean_util(see_runs[0], ExecClass::IntAlu1, 1));
+    std::printf("  %-10s %9.1f%% %9.1f%%\n", "Dcache",
+                mean_util(mono_runs[0], ExecClass::Mem, 1),
+                mean_util(see_runs[0], ExecClass::Mem, 1));
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Regenerates Figure 12: harmonic-mean IPC vs total pipeline depth
+ * (6..10 stages, varied through the in-order front end) for the four
+ * machine categories, plus the §5.3.4 "extended SEE pipeline"
+ * comparison.
+ *
+ * Paper reference: SEE's absolute gain grows with depth (0.49 IPC at 6
+ * stages to 0.56 at 10); an 8/9/10-stage SEE pipeline still beats the
+ * 8-stage monopath by 14%/11%/7%.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/stats_util.hh"
+
+using namespace polypath;
+
+int
+main()
+{
+    WorkloadSet suite = loadWorkloads(benchScale());
+
+    const unsigned depths[] = {6, 7, 8, 9, 10};
+    struct Category
+    {
+        const char *name;
+        SimConfig base;
+    };
+    const Category categories[] = {
+        {"gshare/monopath", SimConfig::monopath()},
+        {"gshare/JRS", SimConfig::seeJrs()},
+        {"gshare/oracle", SimConfig::seeOracleConfidence()},
+        {"oracle", SimConfig::oraclePrediction()},
+    };
+
+    std::printf("Figure 12: IPC vs total pipeline depth "
+                "(h-mean over all benchmarks)\n\n");
+    std::printf("%-18s", "category");
+    for (unsigned d : depths)
+        std::printf(" %9u", d);
+    std::printf("\n");
+
+    std::vector<double> mono_ipc, see_ipc;
+    for (const Category &cat : categories) {
+        std::vector<SimConfig> configs;
+        for (unsigned d : depths) {
+            SimConfig cfg = cat.base;
+            cfg.frontendStages = d - 3;
+            configs.push_back(cfg);
+        }
+        auto matrix = runMatrix(suite, configs);
+        std::printf("%-18s", cat.name);
+        for (size_t i = 0; i < configs.size(); ++i) {
+            double ipc = meanIpc(matrix[i]);
+            std::printf(" %9.3f", ipc);
+            if (std::string(cat.name) == "gshare/monopath")
+                mono_ipc.push_back(ipc);
+            if (std::string(cat.name) == "gshare/JRS")
+                see_ipc.push_back(ipc);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nabsolute SEE gain per depth "
+                "(paper: 0.49 IPC at 6 stages -> 0.56 at 10):\n");
+    for (size_t i = 0; i < mono_ipc.size(); ++i)
+        std::printf("  %2u stages: %+.3f IPC (%+5.1f%%)\n", depths[i],
+                    see_ipc[i] - mono_ipc[i],
+                    percentChange(mono_ipc[i], see_ipc[i]));
+
+    // §5.3.4: SEE with an extended pipeline vs the 8-stage monopath.
+    double mono8 = mono_ipc[2];
+    std::printf("\nSEE with extended pipeline vs 8-stage monopath "
+                "(paper: +14%%/+11%%/+7%%):\n");
+    for (size_t i = 2; i < 5; ++i)
+        std::printf("  %2u-stage SEE: %+6.1f%%\n", depths[i],
+                    percentChange(mono8, see_ipc[i]));
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regenerates Figure 8: baseline performance of all six machine
+ * categories on every benchmark, plus the harmonic mean —
+ *   gshare/monopath, gshare/JRS (SEE), gshare/oracle (SEE w/ perfect
+ *   confidence), oracle (perfect prediction), and the two dual-path
+ *   restrictions of §5.2.
+ *
+ * Paper reference points: SEE(JRS) ~ +14% mean over monopath (+36% go,
+ * -8.5% m88ksim); SEE(oracle) recovers ~half of the oracle-prediction
+ * headroom (+48%); oracle ~ +94%.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/stats_util.hh"
+
+using namespace polypath;
+
+int
+main()
+{
+    WorkloadSet suite = loadWorkloads(benchScale());
+
+    std::vector<SimConfig> configs = {
+        SimConfig::monopath(),          SimConfig::seeJrs(),
+        SimConfig::seeOracleConfidence(), SimConfig::oraclePrediction(),
+        SimConfig::dualPathJrs(),
+        SimConfig::dualPathOracleConfidence(),
+    };
+    std::vector<std::string> names;
+    for (const SimConfig &cfg : configs)
+        names.push_back(cfg.categoryName());
+
+    auto matrix = runMatrix(suite, configs);
+
+    std::printf("Figure 8: baseline performance (IPC)\n\n");
+    printIpcTable(suite, names, matrix);
+
+    // Headline speedups vs monopath.
+    double mono = meanIpc(matrix[0]);
+    std::printf("\nmean speedup over monopath:\n");
+    for (size_t c = 1; c < configs.size(); ++c) {
+        std::printf("  %-26s %+7.1f%%\n", names[c].c_str(),
+                    percentChange(mono, meanIpc(matrix[c])));
+    }
+
+    std::printf("\nper-benchmark SEE(JRS) speedup over monopath "
+                "(paper: go +36%%, m88ksim -8.5%%, mean +14%%):\n");
+    for (size_t w = 0; w < suite.size(); ++w) {
+        std::printf("  %-10s %+7.1f%%\n", suite.infos[w].name.c_str(),
+                    percentChange(matrix[0][w].ipc(),
+                                  matrix[1][w].ipc()));
+    }
+
+    // §5.2 dual-path fractions of the SEE improvement.
+    double see_jrs = meanIpc(matrix[1]);
+    double see_oracle = meanIpc(matrix[2]);
+    double dual_jrs = meanIpc(matrix[4]);
+    double dual_oracle = meanIpc(matrix[5]);
+    auto fraction = [&](double dual, double see) {
+        return see > mono ? 100.0 * (dual - mono) / (see - mono) : 0.0;
+    };
+    std::printf("\ndual-path fraction of SEE improvement "
+                "(paper: oracle 58%%, JRS 66%%):\n");
+    std::printf("  oracle confidence: %5.1f%%\n",
+                fraction(dual_oracle, see_oracle));
+    std::printf("  JRS confidence:    %5.1f%%\n",
+                fraction(dual_jrs, see_jrs));
+    return 0;
+}

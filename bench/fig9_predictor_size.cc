@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates Figure 9: harmonic-mean IPC as a function of branch
+ * predictor size (1k..64k two-bit counters, i.e. 10..16 history bits)
+ * for monopath, SEE(JRS), SEE(oracle confidence) and oracle prediction.
+ * The x-axis is total predictor state in bytes (equal-area: the SEE
+ * configurations add the JRS counter table).
+ *
+ * Paper reference: SEE holds a roughly constant ~0.5 IPC absolute gain
+ * across the whole range (15% -> 10% relative), and monopath needs
+ * ~5.3x the state to match SEE along an iso-performance line.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "bpred/confidence.hh"
+#include "bpred/gshare.hh"
+
+using namespace polypath;
+
+int
+main()
+{
+    WorkloadSet suite = loadWorkloads(benchScale());
+
+    const unsigned history_bits[] = {10, 11, 12, 13, 14, 15, 16};
+    struct Category
+    {
+        const char *name;
+        SimConfig base;
+        bool addsConfidence;
+    };
+    const Category categories[] = {
+        {"gshare/monopath", SimConfig::monopath(), false},
+        {"gshare/JRS", SimConfig::seeJrs(), true},
+        {"gshare/oracle", SimConfig::seeOracleConfidence(), false},
+        {"oracle", SimConfig::oraclePrediction(), false},
+    };
+
+    std::printf("Figure 9: IPC vs branch predictor size "
+                "(h-mean over all benchmarks)\n\n");
+    std::printf("%-18s %10s %12s %12s %10s\n", "category", "hist bits",
+                "counters", "state bytes", "IPC");
+
+    for (const Category &cat : categories) {
+        std::vector<SimConfig> configs;
+        for (unsigned bits : history_bits) {
+            SimConfig cfg = cat.base;
+            cfg.historyBits = bits;
+            configs.push_back(cfg);
+        }
+        auto matrix = runMatrix(suite, configs);
+        for (size_t i = 0; i < configs.size(); ++i) {
+            unsigned bits = history_bits[i];
+            size_t state = GsharePredictor(bits).stateBytes();
+            if (cat.addsConfidence)
+                state += JrsConfidence(bits, 1, 1).stateBytes();
+            std::printf("%-18s %10u %12u %12zu %10.3f\n", cat.name,
+                        bits, 1u << bits, state, meanIpc(matrix[i]));
+        }
+        std::printf("\n");
+    }
+    std::printf("(plot IPC against 'state bytes' to recover the "
+                "figure's equal-area x-axis)\n");
+    return 0;
+}

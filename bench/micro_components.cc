@@ -1,0 +1,143 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the PolyPath building blocks:
+ * the CTX hierarchy comparator, history allocation churn, predictor and
+ * confidence table accesses, RegMap checkpointing, store-queue load
+ * resolution, and the full core's cycles/second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "asmkit/assembler.hh"
+#include "bpred/confidence.hh"
+#include "bpred/gshare.hh"
+#include "ctx/hist_alloc.hh"
+#include "memsys/store_queue.hh"
+#include "rename/regmap.hh"
+#include "sim/machine.hh"
+
+namespace polypath
+{
+namespace
+{
+
+void
+BM_CtxTagComparator(benchmark::State &state)
+{
+    CtxTag ancestor;
+    ancestor.setPosition(3, true);
+    ancestor.setPosition(9, false);
+    CtxTag descendant = ancestor.child(12, true).child(1, false);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ancestor.isAncestorOrSelf(descendant));
+        benchmark::DoNotOptimize(descendant.onWrongSide(12, false));
+    }
+}
+BENCHMARK(BM_CtxTagComparator);
+
+void
+BM_HistAllocChurn(benchmark::State &state)
+{
+    HistAlloc alloc(16);
+    for (auto _ : state) {
+        u8 a = alloc.alloc();
+        u8 b = alloc.alloc();
+        alloc.release(a);
+        alloc.release(b);
+    }
+}
+BENCHMARK(BM_HistAllocChurn);
+
+void
+BM_GsharePredictUpdate(benchmark::State &state)
+{
+    GsharePredictor pred(static_cast<unsigned>(state.range(0)));
+    PredictionQuery q;
+    u64 pc = 0x1000;
+    for (auto _ : state) {
+        q.pc = pc;
+        q.ghr = pc * 31;
+        bool taken = pred.predict(q);
+        pred.update(q.pc, q.ghr, !taken);
+        pc += 4;
+    }
+}
+BENCHMARK(BM_GsharePredictUpdate)->Arg(10)->Arg(14)->Arg(16);
+
+void
+BM_JrsEstimate(benchmark::State &state)
+{
+    JrsConfidence conf(14, 1, 1, true);
+    PredictionQuery q;
+    u64 pc = 0x1000;
+    for (auto _ : state) {
+        q.pc = pc;
+        q.ghr = pc * 17;
+        benchmark::DoNotOptimize(conf.estimate(q, true));
+        conf.update(q.pc, q.ghr, true, (pc & 8) != 0);
+        pc += 4;
+    }
+}
+BENCHMARK(BM_JrsEstimate);
+
+void
+BM_RegMapCheckpoint(benchmark::State &state)
+{
+    RegMap map;
+    for (LogReg r = 0; r < 30; ++r)
+        map.rename(r, static_cast<PhysReg>(r + 10));
+    for (auto _ : state) {
+        RegMap checkpoint = map;    // the per-branch checkpoint copy
+        benchmark::DoNotOptimize(checkpoint.lookup(7));
+    }
+}
+BENCHMARK(BM_RegMapCheckpoint);
+
+void
+BM_StoreQueueLoadQuery(benchmark::State &state)
+{
+    StoreQueue sq;
+    SparseMemory mem;
+    CtxTag tag;
+    unsigned stores = static_cast<unsigned>(state.range(0));
+    for (unsigned i = 0; i < stores; ++i) {
+        sq.insert(i + 1, tag, 8);
+        sq.setAddress(i + 1, 0x1000 + 8 * i);
+        sq.setData(i + 1, i);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sq.queryLoad(stores + 5, tag, 0x1000, 8, mem));
+    }
+}
+BENCHMARK(BM_StoreQueueLoadQuery)->Arg(4)->Arg(16)->Arg(64);
+
+/** Full-core throughput: simulated cycles per second on a small loop. */
+void
+BM_CoreCyclesPerSecond(benchmark::State &state)
+{
+    Assembler a;
+    a.li(1, 1000000);
+    a.li(2, 0);
+    Label loop = a.here();
+    a.add(2, 1, 2);
+    a.xor_(2, 1, 3);
+    a.addi(1, -1, 1);
+    a.bgt(1, loop);
+    a.halt();
+    Program p = a.assemble("bench_loop");
+    InterpResult golden = runGolden(p);
+
+    for (auto _ : state) {
+        PolyPathCore core(SimConfig::seeJrs(), p, golden);
+        u64 budget = 20000;
+        while (!core.halted() && core.cycle() < budget)
+            core.tick();
+        state.counters["cycles"] = static_cast<double>(core.cycle());
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_CoreCyclesPerSecond)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Regenerates the §5.1 detail statistics:
+ *   - monopath fetched/committed ratio (paper: 1.86x on average, i.e.
+ *     46% of fetch cycles wasted);
+ *   - JRS PVN per benchmark (paper: ~16% on m88ksim, >40% elsewhere);
+ *   - SEE's effect on useless (never-committing) fetched instructions
+ *     (paper: -15% on average, +29% on m88ksim).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/stats_util.hh"
+
+using namespace polypath;
+
+int
+main()
+{
+    WorkloadSet suite = loadWorkloads(benchScale());
+    auto matrix =
+        runMatrix(suite, {SimConfig::monopath(), SimConfig::seeJrs()});
+    const std::vector<SimResult> &mono = matrix[0];
+    const std::vector<SimResult> &see = matrix[1];
+
+    std::printf("Section 5.1 statistics\n\n");
+    std::printf("%-10s %12s %10s %10s %14s %14s\n", "benchmark",
+                "fetch/commit", "PVN %", "diverge%",
+                "useless(mono)", "useless(SEE)");
+
+    std::vector<double> ratios, pvns, useless_delta;
+    for (size_t w = 0; w < suite.size(); ++w) {
+        const SimStats &m = mono[w].stats;
+        const SimStats &s = see[w].stats;
+        double diverge_pct =
+            s.committedBranches
+                ? 100.0 * static_cast<double>(s.lowConfidenceBranches) /
+                      static_cast<double>(s.committedBranches)
+                : 0.0;
+        ratios.push_back(m.fetchToCommitRatio());
+        pvns.push_back(100 * s.pvn());
+        double delta = percentChange(
+            static_cast<double>(m.uselessInstrs()),
+            static_cast<double>(s.uselessInstrs()));
+        useless_delta.push_back(delta);
+        std::printf("%-10s %12.2f %10.1f %10.1f %14llu %14llu\n",
+                    suite.infos[w].name.c_str(), m.fetchToCommitRatio(),
+                    100 * s.pvn(), diverge_pct,
+                    static_cast<unsigned long long>(m.uselessInstrs()),
+                    static_cast<unsigned long long>(s.uselessInstrs()));
+    }
+
+    std::printf("\nmean monopath fetch/commit ratio: %.2f "
+                "(paper: 1.86)\n",
+                arithmeticMean(ratios));
+    std::printf("mean JRS PVN: %.1f%% (paper: >40%% for all but "
+                "m88ksim at 16%%)\n",
+                arithmeticMean(pvns));
+    std::printf("\nuseless-instruction change, SEE vs monopath "
+                "(paper: -15%% avg, +29%% m88ksim):\n");
+    for (size_t w = 0; w < suite.size(); ++w)
+        std::printf("  %-10s %+7.1f%%\n", suite.infos[w].name.c_str(),
+                    useless_delta[w]);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates the §5.2 path-utilisation analysis: how many paths SEE
+ * actually keeps alive, and how much of its improvement a dual-path
+ * machine (one divergence point, 3 paths) captures.
+ *
+ * Paper reference: SEE averages 2.9 active paths, uses <= 3 paths ~75%
+ * of the time; oracle dual-path gets 58% and real dual-path 66% of the
+ * corresponding SEE improvement.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/stats_util.hh"
+
+using namespace polypath;
+
+int
+main()
+{
+    WorkloadSet suite = loadWorkloads(benchScale());
+    std::vector<SimConfig> configs = {
+        SimConfig::monopath(),
+        SimConfig::seeJrs(),
+        SimConfig::seeOracleConfidence(),
+        SimConfig::dualPathJrs(),
+        SimConfig::dualPathOracleConfidence(),
+    };
+    auto matrix = runMatrix(suite, configs);
+
+    std::printf("Section 5.2: path utilisation of SEE (gshare/JRS)\n\n");
+    std::printf("%-10s %12s %16s %16s\n", "benchmark", "avg paths",
+                "cycles <=3 paths", "cycles ==1 path");
+    std::vector<double> avg_paths, le3;
+    for (size_t w = 0; w < suite.size(); ++w) {
+        const SimStats &s = matrix[1][w].stats;
+        avg_paths.push_back(s.avgLivePaths());
+        le3.push_back(100 * s.fractionCyclesWithPathsAtMost(3));
+        std::printf("%-10s %12.2f %15.1f%% %15.1f%%\n",
+                    suite.infos[w].name.c_str(), s.avgLivePaths(),
+                    100 * s.fractionCyclesWithPathsAtMost(3),
+                    100 * s.fractionCyclesWithPathsAtMost(1));
+    }
+    std::printf("%-10s %12.2f %15.1f%%\n", "average",
+                arithmeticMean(avg_paths), arithmeticMean(le3));
+    std::printf("(paper: average 2.9 active paths, <=3 paths ~75%% of "
+                "cycles)\n\n");
+
+    double mono = meanIpc(matrix[0]);
+    double see_jrs = meanIpc(matrix[1]);
+    double see_orc = meanIpc(matrix[2]);
+    double dual_jrs = meanIpc(matrix[3]);
+    double dual_orc = meanIpc(matrix[4]);
+
+    std::printf("mean IPC: monopath %.3f | SEE(JRS) %.3f | "
+                "dual(JRS) %.3f | SEE(orc) %.3f | dual(orc) %.3f\n",
+                mono, see_jrs, dual_jrs, see_orc, dual_orc);
+    auto fraction = [&](double dual, double see) {
+        return see > mono ? 100.0 * (dual - mono) / (see - mono) : 0.0;
+    };
+    std::printf("\ndual-path fraction of SEE improvement:\n");
+    std::printf("  JRS confidence:    %5.1f%%   (paper: 66%%)\n",
+                fraction(dual_jrs, see_jrs));
+    std::printf("  oracle confidence: %5.1f%%   (paper: 58%%)\n",
+                fraction(dual_orc, see_orc));
+    return 0;
+}

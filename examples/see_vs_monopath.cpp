@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Compare SEE against monopath execution on one of the bundled
+ * SPECint95-like workloads, reporting the headline statistics the paper
+ * discusses in §5.1 (IPC, useless fetches, PVN, path utilisation).
+ *
+ * Usage: see_vs_monopath [workload] [scale]
+ *        (default: go 0.25 — the paper's best case)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stats_util.hh"
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+using namespace polypath;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "go";
+    WorkloadParams params;
+    params.scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+
+    Program program = buildWorkload(name, params);
+    InterpResult golden = runGolden(program);
+    std::printf("workload '%s': %llu dynamic instructions\n\n",
+                name.c_str(),
+                static_cast<unsigned long long>(golden.instructions));
+
+    SimResult mono = simulate(program, SimConfig::monopath(), golden);
+    SimResult see = simulate(program, SimConfig::seeJrs(), golden);
+
+    auto row = [](const char *label, double a, double b,
+                  const char *fmt) {
+        std::printf("  %-28s", label);
+        std::printf(fmt, a);
+        std::printf("  ");
+        std::printf(fmt, b);
+        std::printf("\n");
+    };
+
+    std::printf("  %-28s%12s  %12s\n", "", "monopath", "SEE(JRS)");
+    row("IPC", mono.ipc(), see.ipc(), "%12.3f");
+    row("cycles", double(mono.stats.cycles), double(see.stats.cycles),
+        "%12.0f");
+    row("misprediction rate (%)", 100 * mono.stats.mispredictRate(),
+        100 * see.stats.mispredictRate(), "%12.2f");
+    row("fetched / committed", mono.stats.fetchToCommitRatio(),
+        see.stats.fetchToCommitRatio(), "%12.2f");
+    row("useless instructions", double(mono.stats.uselessInstrs()),
+        double(see.stats.uselessInstrs()), "%12.0f");
+    row("avg live paths", mono.stats.avgLivePaths(),
+        see.stats.avgLivePaths(), "%12.2f");
+    row("divergences", double(mono.stats.divergences),
+        double(see.stats.divergences), "%12.0f");
+    row("recoveries", double(mono.stats.recoveries),
+        double(see.stats.recoveries), "%12.0f");
+    row("JRS PVN (%)", 100 * mono.stats.pvn(), 100 * see.stats.pvn(),
+        "%12.1f");
+
+    std::printf("\n  SEE speedup over monopath: %+.1f%%\n",
+                percentChange(mono.ipc(), see.ipc()));
+    std::printf("  SEE uses <= 3 paths %.0f%% of cycles (paper: ~75%%)\n",
+                100 * see.stats.fractionCyclesWithPathsAtMost(3));
+    return 0;
+}

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Regenerate every paper artifact into bench_results/.
+#
+# Usage: scripts/run_all_experiments.sh [build-dir] [scale]
+#   build-dir  defaults to ./build
+#   scale      PP_BENCH_SCALE (default 1.0; 0.1 for a quick pass)
+set -eu
+
+BUILD="${1:-build}"
+export PP_BENCH_SCALE="${2:-1.0}"
+
+mkdir -p bench_results
+for bench in table1_benchmarks fig8_baseline sec51_confidence \
+             sec52_dualpath fig9_predictor_size fig10_window_size \
+             fig11_fu_config fig12_pipeline_depth ablations \
+             fp_extension; do
+    echo "=== $bench (scale $PP_BENCH_SCALE) ==="
+    "$BUILD/bench/$bench" | tee "bench_results/$bench.txt"
+    echo
+done
+
+echo "=== micro_components ==="
+"$BUILD/bench/micro_components" --benchmark_min_time=0.05 \
+    | tee bench_results/micro_components.txt

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Architectural register state of a PPR machine.
+ *
+ * Registers live in a unified 64-entry file (0..31 integer, 32..63 FP
+ * bit patterns); the two zero registers read as zero and swallow writes.
+ */
+
+#ifndef POLYPATH_ARCH_ARCH_STATE_HH
+#define POLYPATH_ARCH_ARCH_STATE_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace polypath
+{
+
+/** Committed (architectural) register state. */
+class ArchState
+{
+  public:
+    ArchState() { regs.fill(0); }
+
+    /** Read logical register @p reg; zero registers read as 0. */
+    u64
+    reg(LogReg reg) const
+    {
+        if (reg == noReg || isZeroReg(reg))
+            return 0;
+        return regs[reg];
+    }
+
+    /** Write logical register @p reg; writes to zero registers vanish. */
+    void
+    setReg(LogReg reg, u64 value)
+    {
+        if (reg == noReg || isZeroReg(reg))
+            return;
+        regs[reg] = value;
+    }
+
+    /** Current program counter. */
+    Addr pc = 0;
+
+    /** Full-file equality, ignoring the zero registers. */
+    bool
+    operator==(const ArchState &other) const
+    {
+        for (LogReg r = 0; r < numLogRegs; ++r) {
+            if (isZeroReg(r))
+                continue;
+            if (regs[r] != other.regs[r])
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::array<u64, numLogRegs> regs;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_ARCH_ARCH_STATE_HH

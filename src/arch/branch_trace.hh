@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Dynamic control-flow trace of the committed (correct) path.
+ *
+ * The golden interpreter records one entry per dynamic conditional branch
+ * *and* per return (returns can mispredict through RAS over/underflow, so
+ * the correct-path cursor must track them too). The timing simulator uses
+ * the trace for three purposes:
+ *   1. the oracle branch predictor (paper's "oracle" category);
+ *   2. the oracle confidence estimator (paper's "gshare/oracle");
+ *   3. end-to-end verification: every run checks its committed branch
+ *      stream against this trace, so timing bugs that corrupt control
+ *      flow cannot go unnoticed.
+ */
+
+#ifndef POLYPATH_ARCH_BRANCH_TRACE_HH
+#define POLYPATH_ARCH_BRANCH_TRACE_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace polypath
+{
+
+/** One dynamic control-flow decision on the correct path. */
+struct BranchRecord
+{
+    Addr pc;
+    bool isReturn;      //!< false: conditional branch; true: RET
+    bool taken;         //!< conditional branches only
+    Addr target;        //!< returns only: actual return target
+};
+
+/** The committed-path control-flow trace. */
+using BranchTrace = std::vector<BranchRecord>;
+
+/**
+ * A fetch path's position in the committed control-flow trace.
+ *
+ * Every path context carries one: while the context is on the correct
+ * execution path, @p index is the dynamic number of the next trace
+ * record (conditional branch or return) it will fetch. Once the context
+ * strays — it followed a wrong prediction, the wrong side of a
+ * divergence, or a wrong return target — onCorrectPath goes false and
+ * the ground-truth outcome becomes unknowable, which is exactly the
+ * information boundary a real oracle would have.
+ */
+struct TraceCursor
+{
+    bool onCorrectPath = false;
+    u64 index = 0;
+
+    /** Is the next record's outcome known (and of branch kind)? */
+    bool
+    outcomeKnown(const BranchTrace &trace) const
+    {
+        return onCorrectPath && index < trace.size() &&
+               !trace[index].isReturn;
+    }
+
+    /** Actual outcome of the next branch; requires outcomeKnown(). */
+    bool
+    actualTaken(const BranchTrace &trace) const
+    {
+        panic_if(!onCorrectPath || index >= trace.size() ||
+                     trace[index].isReturn,
+                 "TraceCursor::actualTaken without a known branch");
+        return trace[index].taken;
+    }
+
+    /** Is the next record a return with a known target? */
+    bool
+    returnKnown(const BranchTrace &trace) const
+    {
+        return onCorrectPath && index < trace.size() &&
+               trace[index].isReturn;
+    }
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_ARCH_BRANCH_TRACE_HH

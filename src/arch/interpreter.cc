@@ -1,0 +1,96 @@
+#include "interpreter.hh"
+
+#include "common/logging.hh"
+#include "isa/semantics.hh"
+
+namespace polypath
+{
+
+Interpreter::Interpreter(const Program &program)
+    : mem(std::make_shared<SparseMemory>()),
+      trace(std::make_shared<BranchTrace>())
+{
+    program.loadInto(*mem);
+    archState.pc = program.entry;
+}
+
+bool
+Interpreter::step()
+{
+    if (isHalted)
+        return false;
+
+    Addr pc = archState.pc;
+    Instr instr = decodeInstr(mem->read32(pc));
+    const OpInfo &info = instr.info();
+
+    fatal_if(info.isInvalid,
+             "reference interpreter decoded INVALID at pc %#llx "
+             "(workload bug: fell off the program?)",
+             static_cast<unsigned long long>(pc));
+
+    ++result.instructions;
+    Addr next_pc = pc + 4;
+
+    if (info.isCondBranch) {
+        bool taken = evalCondBranch(instr, archState.reg(instr.src1()));
+        trace->push_back({pc, false, taken, 0});
+        ++result.condBranches;
+        if (taken) {
+            ++result.takenBranches;
+            next_pc = instr.targetFrom(pc);
+        }
+    } else if (info.isUncondBranch) {
+        if (info.isCall) {
+            archState.setReg(instr.dst(), pc + 4);
+            ++result.calls;
+        }
+        next_pc = instr.targetFrom(pc);
+    } else if (info.isReturn) {
+        next_pc = archState.reg(instr.src1());
+        trace->push_back({pc, true, false, next_pc});
+    } else if (info.isLoad) {
+        Addr ea = effectiveAddr(instr, archState.reg(instr.src1()));
+        archState.setReg(instr.dst(), mem->read(ea, instr.accessSize()));
+        ++result.loads;
+    } else if (info.isStore) {
+        Addr ea = effectiveAddr(instr, archState.reg(instr.src1()));
+        mem->write(ea, archState.reg(instr.src2()), instr.accessSize());
+        ++result.stores;
+    } else if (info.isHalt) {
+        isHalted = true;
+        result.halted = true;
+    } else if (instr.op != Opcode::NOP) {
+        u64 a = archState.reg(instr.src1());
+        u64 b = archState.reg(instr.src2());
+        archState.setReg(instr.dst(), computeResult(instr, a, b, pc));
+    }
+
+    archState.pc = next_pc;
+    return !isHalted;
+}
+
+InterpResult
+Interpreter::run(u64 max_instrs)
+{
+    while (!isHalted) {
+        fatal_if(result.instructions >= max_instrs,
+                 "reference interpreter exceeded %llu instructions "
+                 "without HALT (runaway workload?)",
+                 static_cast<unsigned long long>(max_instrs));
+        step();
+    }
+    result.finalRegs = archState;
+    result.finalMem = mem;
+    result.trace = trace;
+    return result;
+}
+
+InterpResult
+interpret(const Program &program, u64 max_instrs)
+{
+    Interpreter interp(program);
+    return interp.run(max_instrs);
+}
+
+} // namespace polypath

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The golden functional reference interpreter for PPR.
+ *
+ * Executes a program sequentially with no timing model. It is the source
+ * of truth for (a) architectural correctness of the out-of-order core,
+ * (b) the committed-path branch trace consumed by the oracle predictor
+ * and confidence estimator, and (c) workload instruction counts
+ * (Table 1 of the paper).
+ */
+
+#ifndef POLYPATH_ARCH_INTERPRETER_HH
+#define POLYPATH_ARCH_INTERPRETER_HH
+
+#include <memory>
+
+#include "arch/arch_state.hh"
+#include "arch/branch_trace.hh"
+#include "asmkit/program.hh"
+#include "common/types.hh"
+#include "memsys/memory.hh"
+
+namespace polypath
+{
+
+/** Aggregate result of a reference run. */
+struct InterpResult
+{
+    ArchState finalRegs;
+    std::shared_ptr<SparseMemory> finalMem;
+    std::shared_ptr<BranchTrace> trace;
+
+    u64 instructions = 0;       //!< committed instructions (incl. HALT)
+    u64 condBranches = 0;
+    u64 takenBranches = 0;
+    u64 loads = 0;
+    u64 stores = 0;
+    u64 calls = 0;
+    bool halted = false;        //!< false if the instruction cap was hit
+};
+
+/** Stepwise reference interpreter. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const Program &program);
+
+    /**
+     * Execute one instruction.
+     * @return false once HALT has executed.
+     */
+    bool step();
+
+    /** True after HALT. */
+    bool halted() const { return isHalted; }
+
+    /** Architectural state access (for tests). */
+    ArchState &state() { return archState; }
+    const ArchState &state() const { return archState; }
+    SparseMemory &memory() { return *mem; }
+
+    /** Statistics and trace accumulated so far. */
+    const InterpResult &partialResult() const { return result; }
+
+    /**
+     * Run to completion.
+     * @param max_instrs safety cap; exceeding it is a fatal workload bug
+     */
+    InterpResult run(u64 max_instrs = 2'000'000'000ull);
+
+  private:
+    ArchState archState;
+    std::shared_ptr<SparseMemory> mem;
+    std::shared_ptr<BranchTrace> trace;
+    InterpResult result;
+    bool isHalted = false;
+};
+
+/** Convenience: interpret @p program to completion. */
+InterpResult interpret(const Program &program,
+                       u64 max_instrs = 2'000'000'000ull);
+
+} // namespace polypath
+
+#endif // POLYPATH_ARCH_INTERPRETER_HH

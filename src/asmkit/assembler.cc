@@ -1,0 +1,261 @@
+#include "assembler.hh"
+
+#include <limits>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace polypath
+{
+
+Assembler::Assembler(Addr code_base, Addr data_base)
+    : codeBase(code_base), dataBase(data_base)
+{
+    fatal_if(code_base % 4 != 0, "code base must be word aligned");
+}
+
+Label
+Assembler::newLabel()
+{
+    Label label{static_cast<u32>(labelPos.size())};
+    labelPos.push_back(-1);
+    return label;
+}
+
+void
+Assembler::bind(Label label)
+{
+    fatal_if(!label.valid() || label.id >= labelPos.size(),
+             "bind of invalid label");
+    fatal_if(labelPos[label.id] >= 0, "label %u bound twice", label.id);
+    labelPos[label.id] = static_cast<s64>(instrs.size());
+}
+
+Label
+Assembler::here()
+{
+    Label label = newLabel();
+    bind(label);
+    return label;
+}
+
+void
+Assembler::emit(const Instr &instr)
+{
+    instrs.push_back(instr);
+}
+
+Addr
+Assembler::pc() const
+{
+    return codeBase + 4 * instrs.size();
+}
+
+void
+Assembler::emitR(Opcode op, u8 ra, u8 rb, u8 rc)
+{
+    Instr instr;
+    instr.op = op;
+    instr.ra = ra & 31;
+    instr.rb = rb & 31;
+    instr.rc = rc & 31;
+    emit(instr);
+}
+
+void
+Assembler::emitI(Opcode op, u8 ra, s32 imm, u8 rc)
+{
+    bool logical = (op == Opcode::ANDI || op == Opcode::ORI ||
+                    op == Opcode::XORI);
+    if (logical) {
+        // Zero-extended immediates: accept the full unsigned 16-bit
+        // range (negative values would silently change meaning).
+        fatal_if(imm < 0 || imm > 65535,
+                 "%s: immediate %d out of unsigned 16-bit range",
+                 opName(op), imm);
+    } else {
+        fatal_if(imm < -32768 || imm > 32767,
+                 "%s: immediate %d out of 16-bit range", opName(op), imm);
+    }
+    Instr instr;
+    instr.op = op;
+    instr.ra = ra & 31;
+    instr.rc = rc & 31;
+    instr.imm = imm;
+    emit(instr);
+}
+
+void
+Assembler::emitM(Opcode op, u8 ra, s32 disp, u8 rc)
+{
+    fatal_if(disp < -32768 || disp > 32767,
+             "%s: displacement %d out of 16-bit range", opName(op), disp);
+    Instr instr;
+    instr.op = op;
+    instr.ra = ra & 31;
+    instr.rc = rc & 31;
+    instr.imm = disp;
+    emit(instr);
+}
+
+void
+Assembler::emitB(Opcode op, u8 ra, Label target)
+{
+    fatal_if(!target.valid(), "branch to invalid label");
+    Instr instr;
+    instr.op = op;
+    instr.ra = ra & 31;
+    instr.imm = 0;
+    fixups.push_back({instrs.size(), target.id});
+    emit(instr);
+}
+
+void
+Assembler::br(Label t)
+{
+    fatal_if(!t.valid(), "br to invalid label");
+    Instr instr;
+    instr.op = Opcode::BR;
+    instr.imm = 0;
+    fixups.push_back({instrs.size(), t.id});
+    emit(instr);
+}
+
+void
+Assembler::ret(u8 ra)
+{
+    Instr instr;
+    instr.op = Opcode::RET;
+    instr.ra = ra & 31;
+    emit(instr);
+}
+
+void
+Assembler::nop()
+{
+    Instr instr;
+    instr.op = Opcode::NOP;
+    emit(instr);
+}
+
+void
+Assembler::halt()
+{
+    Instr instr;
+    instr.op = Opcode::HALT;
+    emit(instr);
+}
+
+void
+Assembler::li(u8 rc, u64 value)
+{
+    s64 sval = static_cast<s64>(value);
+    // Fits in a signed 16-bit immediate?
+    if (sval >= -32768 && sval <= 32767) {
+        addi(31, static_cast<s32>(sval), rc);
+        return;
+    }
+    // Fits in a signed 32-bit value? Use ldah + ori (adjusting for the
+    // sign of the low half the way Alpha assemblers do).
+    if (sval >= std::numeric_limits<s32>::min() &&
+        sval <= std::numeric_limits<s32>::max()) {
+        s32 lo = static_cast<s32>(static_cast<s16>(value & 0xffff));
+        s64 hi = (sval - lo) >> 16;
+        if (hi >= -32768 && hi <= 32767) {
+            ldah(31, static_cast<s32>(hi), rc);
+            if (lo != 0)
+                addi(rc, lo, rc);
+            return;
+        }
+    }
+    // General 64-bit build: four 16-bit chunks with shifts.
+    u16 c3 = static_cast<u16>(value >> 48);
+    u16 c2 = static_cast<u16>(value >> 32);
+    u16 c1 = static_cast<u16>(value >> 16);
+    u16 c0 = static_cast<u16>(value);
+    ori(31, static_cast<s32>(c3), rc);
+    slli(rc, 16, rc);
+    ori(rc, static_cast<s32>(c2), rc);
+    slli(rc, 16, rc);
+    ori(rc, static_cast<s32>(c1), rc);
+    slli(rc, 16, rc);
+    ori(rc, static_cast<s32>(c0), rc);
+}
+
+Addr
+Assembler::dataAlign(unsigned alignment)
+{
+    fatal_if(!isPowerOf2(alignment), "dataAlign: %u not a power of two",
+             alignment);
+    while ((dataBase + data.size()) % alignment != 0)
+        data.push_back(0);
+    return dataBase + data.size();
+}
+
+Addr
+Assembler::d64(u64 value)
+{
+    Addr addr = dataAlign(8);
+    for (int i = 0; i < 8; ++i)
+        data.push_back(static_cast<u8>(value >> (8 * i)));
+    return addr;
+}
+
+Addr
+Assembler::dBytes(const std::vector<u8> &bytes)
+{
+    Addr addr = dataBase + data.size();
+    data.insert(data.end(), bytes.begin(), bytes.end());
+    return addr;
+}
+
+Addr
+Assembler::dZero(size_t count)
+{
+    Addr addr = dataBase + data.size();
+    data.insert(data.end(), count, 0);
+    return addr;
+}
+
+Addr
+Assembler::dataPc() const
+{
+    return dataBase + data.size();
+}
+
+Program
+Assembler::assemble(const std::string &name) const
+{
+    fatal_if(dataBase < codeBase + 4 * instrs.size() && !data.empty() &&
+                 dataBase >= codeBase,
+             "%s: data segment overlaps code", name.c_str());
+
+    std::vector<Instr> patched = instrs;
+    for (const Fixup &fixup : fixups) {
+        fatal_if(labelPos[fixup.labelId] < 0,
+                 "%s: unbound label %u referenced by instruction %zu",
+                 name.c_str(), fixup.labelId, fixup.instrIndex);
+        s64 target = labelPos[fixup.labelId];
+        s64 disp = target - (static_cast<s64>(fixup.instrIndex) + 1);
+        Instr &instr = patched[fixup.instrIndex];
+        s64 limit = (instr.op == Opcode::BR) ? (s64(1) << 25)
+                                             : (s64(1) << 20);
+        fatal_if(disp < -limit || disp >= limit,
+                 "%s: branch displacement %lld out of range",
+                 name.c_str(), static_cast<long long>(disp));
+        instr.imm = static_cast<s32>(disp);
+    }
+
+    Program prog;
+    prog.name = name;
+    prog.entry = codeBase;
+    prog.codeBase = codeBase;
+    prog.code.reserve(patched.size());
+    for (const Instr &instr : patched)
+        prog.code.push_back(encodeInstr(instr));
+    if (!data.empty())
+        prog.dataSegments.emplace_back(dataBase, data);
+    return prog;
+}
+
+} // namespace polypath

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * A programmatic assembler for PPR.
+ *
+ * Workloads are written directly in C++ against this builder API (there is
+ * no external toolchain to depend on). Typical use:
+ *
+ * @code
+ *     Assembler a;
+ *     Label loop = a.newLabel();
+ *     a.li(1, 100);                 // r1 = 100
+ *     a.bind(loop);
+ *     a.addi(1, -1, 1);             // r1 -= 1
+ *     a.bgt(1, loop);               // while (r1 > 0)
+ *     a.halt();
+ *     Program p = a.assemble("countdown");
+ * @endcode
+ *
+ * Software conventions used by the bundled workloads (Alpha-flavoured):
+ * r30 = stack pointer, r26 = return address, r16..r21 = arguments,
+ * r0 = return value, r31 = zero.
+ */
+
+#ifndef POLYPATH_ASMKIT_ASSEMBLER_HH
+#define POLYPATH_ASMKIT_ASSEMBLER_HH
+
+#include <string>
+#include <vector>
+
+#include "asmkit/program.hh"
+#include "common/types.hh"
+#include "isa/instr.hh"
+
+namespace polypath
+{
+
+/** Opaque forward-referenceable code label. */
+struct Label
+{
+    u32 id = 0xffffffff;
+    bool valid() const { return id != 0xffffffff; }
+};
+
+/** Builder producing Program images. */
+class Assembler
+{
+  public:
+    /** @param code_base load address of the first instruction */
+    explicit Assembler(Addr code_base = 0x1000, Addr data_base = 0x100000);
+
+    // --- labels -----------------------------------------------------
+
+    /** Create a fresh, unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the current code position. */
+    void bind(Label label);
+
+    /** Create a label already bound to the current position. */
+    Label here();
+
+    // --- generic emission -------------------------------------------
+
+    /** Append a fully formed instruction. */
+    void emit(const Instr &instr);
+
+    /** Address the next emitted instruction will occupy. */
+    Addr pc() const;
+
+    // --- integer R-type ----------------------------------------------
+
+    void add(u8 ra, u8 rb, u8 rc) { emitR(Opcode::ADD, ra, rb, rc); }
+    void sub(u8 ra, u8 rb, u8 rc) { emitR(Opcode::SUB, ra, rb, rc); }
+    void mul(u8 ra, u8 rb, u8 rc) { emitR(Opcode::MUL, ra, rb, rc); }
+    void and_(u8 ra, u8 rb, u8 rc) { emitR(Opcode::AND, ra, rb, rc); }
+    void or_(u8 ra, u8 rb, u8 rc) { emitR(Opcode::OR, ra, rb, rc); }
+    void xor_(u8 ra, u8 rb, u8 rc) { emitR(Opcode::XOR, ra, rb, rc); }
+    void sll(u8 ra, u8 rb, u8 rc) { emitR(Opcode::SLL, ra, rb, rc); }
+    void srl(u8 ra, u8 rb, u8 rc) { emitR(Opcode::SRL, ra, rb, rc); }
+    void sra(u8 ra, u8 rb, u8 rc) { emitR(Opcode::SRA, ra, rb, rc); }
+    void cmpeq(u8 ra, u8 rb, u8 rc) { emitR(Opcode::CMPEQ, ra, rb, rc); }
+    void cmplt(u8 ra, u8 rb, u8 rc) { emitR(Opcode::CMPLT, ra, rb, rc); }
+    void cmple(u8 ra, u8 rb, u8 rc) { emitR(Opcode::CMPLE, ra, rb, rc); }
+    void cmpult(u8 ra, u8 rb, u8 rc) { emitR(Opcode::CMPULT, ra, rb, rc); }
+
+    // --- integer I-type ----------------------------------------------
+
+    void addi(u8 ra, s32 imm, u8 rc) { emitI(Opcode::ADDI, ra, imm, rc); }
+    void andi(u8 ra, s32 imm, u8 rc) { emitI(Opcode::ANDI, ra, imm, rc); }
+    void ori(u8 ra, s32 imm, u8 rc) { emitI(Opcode::ORI, ra, imm, rc); }
+    void xori(u8 ra, s32 imm, u8 rc) { emitI(Opcode::XORI, ra, imm, rc); }
+    void slli(u8 ra, s32 imm, u8 rc) { emitI(Opcode::SLLI, ra, imm, rc); }
+    void srli(u8 ra, s32 imm, u8 rc) { emitI(Opcode::SRLI, ra, imm, rc); }
+    void srai(u8 ra, s32 imm, u8 rc) { emitI(Opcode::SRAI, ra, imm, rc); }
+    void cmpeqi(u8 ra, s32 imm, u8 rc) { emitI(Opcode::CMPEQI, ra, imm, rc); }
+    void cmplti(u8 ra, s32 imm, u8 rc) { emitI(Opcode::CMPLTI, ra, imm, rc); }
+    void cmplei(u8 ra, s32 imm, u8 rc) { emitI(Opcode::CMPLEI, ra, imm, rc); }
+    void cmpulti(u8 ra, s32 imm, u8 rc)
+    {
+        emitI(Opcode::CMPULTI, ra, imm, rc);
+    }
+    void ldah(u8 ra, s32 imm, u8 rc) { emitI(Opcode::LDAH, ra, imm, rc); }
+
+    // --- memory -------------------------------------------------------
+
+    void ldq(u8 rc, s32 disp, u8 ra) { emitM(Opcode::LDQ, ra, disp, rc); }
+    void stq(u8 rc, s32 disp, u8 ra) { emitM(Opcode::STQ, ra, disp, rc); }
+    void ldbu(u8 rc, s32 disp, u8 ra) { emitM(Opcode::LDBU, ra, disp, rc); }
+    void stb(u8 rc, s32 disp, u8 ra) { emitM(Opcode::STB, ra, disp, rc); }
+    void fld(u8 fc, s32 disp, u8 ra) { emitM(Opcode::FLD, ra, disp, fc); }
+    void fst(u8 fc, s32 disp, u8 ra) { emitM(Opcode::FST, ra, disp, fc); }
+
+    // --- control flow --------------------------------------------------
+
+    void beq(u8 ra, Label t) { emitB(Opcode::BEQ, ra, t); }
+    void bne(u8 ra, Label t) { emitB(Opcode::BNE, ra, t); }
+    void blt(u8 ra, Label t) { emitB(Opcode::BLT, ra, t); }
+    void bge(u8 ra, Label t) { emitB(Opcode::BGE, ra, t); }
+    void ble(u8 ra, Label t) { emitB(Opcode::BLE, ra, t); }
+    void bgt(u8 ra, Label t) { emitB(Opcode::BGT, ra, t); }
+    void br(Label t);
+    void jsr(u8 link, Label t) { emitB(Opcode::JSR, link, t); }
+    void ret(u8 ra = 26);
+
+    // --- floating point -------------------------------------------------
+
+    void fadd(u8 fa, u8 fb, u8 fc) { emitR(Opcode::FADD, fa, fb, fc); }
+    void fsub(u8 fa, u8 fb, u8 fc) { emitR(Opcode::FSUB, fa, fb, fc); }
+    void fmul(u8 fa, u8 fb, u8 fc) { emitR(Opcode::FMUL, fa, fb, fc); }
+    void fdiv(u8 fa, u8 fb, u8 fc) { emitR(Opcode::FDIV, fa, fb, fc); }
+    void fcmpeq(u8 fa, u8 fb, u8 rc) { emitR(Opcode::FCMPEQ, fa, fb, rc); }
+    void fcmplt(u8 fa, u8 fb, u8 rc) { emitR(Opcode::FCMPLT, fa, fb, rc); }
+    void cvtif(u8 ra, u8 fc) { emitR(Opcode::CVTIF, ra, 0, fc); }
+    void cvtfi(u8 fa, u8 rc) { emitR(Opcode::CVTFI, fa, 0, rc); }
+
+    // --- misc -----------------------------------------------------------
+
+    void nop();
+    void halt();
+
+    // --- pseudo instructions ---------------------------------------------
+
+    /** Load an arbitrary 64-bit constant into @p rc (1..7 instructions). */
+    void li(u8 rc, u64 value);
+
+    /** Register move (or with zero). */
+    void mov(u8 ra, u8 rc) { or_(ra, 31, rc); }
+
+    // --- data segment ------------------------------------------------------
+
+    /** Align the data cursor to @p alignment bytes (power of two). */
+    Addr dataAlign(unsigned alignment);
+
+    /** Append a 64-bit little-endian word; returns its address. */
+    Addr d64(u64 value);
+
+    /** Append raw bytes; returns the base address. */
+    Addr dBytes(const std::vector<u8> &bytes);
+
+    /** Reserve @p count zeroed bytes; returns the base address. */
+    Addr dZero(size_t count);
+
+    /** Current data cursor address. */
+    Addr dataPc() const;
+
+    // --- assembly -------------------------------------------------------
+
+    /**
+     * Resolve all label references and produce the program image.
+     * It is a (user) fatal error if any referenced label is unbound.
+     */
+    Program assemble(const std::string &name) const;
+
+  private:
+    void emitR(Opcode op, u8 ra, u8 rb, u8 rc);
+    void emitI(Opcode op, u8 ra, s32 imm, u8 rc);
+    void emitM(Opcode op, u8 ra, s32 disp, u8 rc);
+    void emitB(Opcode op, u8 ra, Label target);
+
+    Addr codeBase;
+    Addr dataBase;
+    std::vector<Instr> instrs;
+    std::vector<u8> data;
+
+    /** Bound position (instruction index) per label; -1 if unbound. */
+    std::vector<s64> labelPos;
+
+    struct Fixup
+    {
+        size_t instrIndex;
+        u32 labelId;
+    };
+    std::vector<Fixup> fixups;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_ASMKIT_ASSEMBLER_HH

@@ -1,0 +1,120 @@
+#include "disasm.hh"
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common/logging.hh"
+#include "isa/instr.hh"
+
+namespace polypath
+{
+
+namespace
+{
+
+std::string
+hex(u64 value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+std::string
+labelFor(Addr addr)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "L%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+} // anonymous namespace
+
+std::string
+disassembleProgram(const Program &program)
+{
+    std::string out;
+    out += "; program: " + program.name + "\n";
+    out += "; code base " + hex(program.codeBase) + ", entry " +
+           hex(program.entry) + "\n\n";
+
+    // --- data segments -------------------------------------------------
+    for (const auto &[base, bytes] : program.dataSegments) {
+        out += "        .data           ; base " + hex(base) + "\n";
+        size_t i = 0;
+        while (i + 8 <= bytes.size()) {
+            u64 word = 0;
+            for (int b = 0; b < 8; ++b)
+                word |= static_cast<u64>(bytes[i + b]) << (8 * b);
+            out += "        .quad   " + hex(word) + "\n";
+            i += 8;
+        }
+        if (i < bytes.size()) {
+            out += "        .byte   ";
+            for (bool first = true; i < bytes.size(); ++i) {
+                if (!first)
+                    out += ", ";
+                out += hex(bytes[i]);
+                first = false;
+            }
+            out += "\n";
+        }
+        out += "\n";
+    }
+
+    // --- pass 1: collect control-flow targets --------------------------
+    std::set<Addr> targets;
+    Addr code_end = program.codeBase + 4 * program.code.size();
+    for (size_t i = 0; i < program.code.size(); ++i) {
+        Instr instr = decodeInstr(program.code[i]);
+        const OpInfo &info = instr.info();
+        if (info.isCondBranch || info.isUncondBranch) {
+            Addr pc = program.codeBase + 4 * i;
+            Addr target = instr.targetFrom(pc);
+            fatal_if(target < program.codeBase || target >= code_end ||
+                         target % 4 != 0,
+                     "%s: branch at %#llx targets %#llx outside code",
+                     program.name.c_str(),
+                     static_cast<unsigned long long>(pc),
+                     static_cast<unsigned long long>(target));
+            targets.insert(target);
+        }
+    }
+
+    // --- pass 2: emit instructions --------------------------------------
+    out += "        .text\n";
+    for (size_t i = 0; i < program.code.size(); ++i) {
+        Addr pc = program.codeBase + 4 * i;
+        if (targets.count(pc))
+            out += labelFor(pc) + ":\n";
+        Instr instr = decodeInstr(program.code[i]);
+        const OpInfo &info = instr.info();
+        fatal_if(info.isInvalid,
+                 "%s: INVALID encoding at %#llx is not disassemblable",
+                 program.name.c_str(),
+                 static_cast<unsigned long long>(pc));
+
+        std::string text;
+        if (info.isCondBranch) {
+            text = std::string(info.name) + " r" +
+                   std::to_string(instr.ra) + ", " +
+                   labelFor(instr.targetFrom(pc));
+        } else if (instr.op == Opcode::BR) {
+            text = "br " + labelFor(instr.targetFrom(pc));
+        } else if (instr.op == Opcode::JSR) {
+            text = "jsr r" + std::to_string(instr.ra) + ", " +
+                   labelFor(instr.targetFrom(pc));
+        } else {
+            // Everything else round-trips through the instruction
+            // disassembler's syntax.
+            text = instr.toString();
+        }
+        out += "        " + text + "\n";
+    }
+    return out;
+}
+
+} // namespace polypath

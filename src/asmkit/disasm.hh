@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Program-level disassembler producing *reassemblable* source.
+ *
+ * The output parses back through assembleText() into a bit-identical
+ * program: control-flow targets become synthetic labels, data segments
+ * become .quad/.byte directives. The tests use this for a full
+ * round-trip property over every bundled workload.
+ */
+
+#ifndef POLYPATH_ASMKIT_DISASM_HH
+#define POLYPATH_ASMKIT_DISASM_HH
+
+#include <string>
+
+#include "asmkit/program.hh"
+
+namespace polypath
+{
+
+/** Disassemble @p program into reassemblable PPR source text. */
+std::string disassembleProgram(const Program &program);
+
+} // namespace polypath
+
+#endif // POLYPATH_ASMKIT_DISASM_HH

@@ -1,0 +1,509 @@
+#include "parser.hh"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "asmkit/assembler.hh"
+#include "common/logging.hh"
+
+namespace polypath
+{
+
+namespace
+{
+
+/** Parsing context for one source unit. */
+class TextAssembler
+{
+  public:
+    TextAssembler(const std::string &source, const std::string &name,
+                  Addr code_base, Addr data_base)
+        : asmb(code_base, data_base), unitName(name), text(source)
+    {}
+
+    Program run();
+
+  private:
+    [[noreturn]] void
+    error(const std::string &message) const
+    {
+        fatal("%s:%u: %s", unitName.c_str(), lineNo, message.c_str());
+    }
+
+    // --- lexing helpers ------------------------------------------------
+
+    static std::string
+    stripComment(const std::string &line)
+    {
+        size_t pos = line.find_first_of(";#");
+        return pos == std::string::npos ? line : line.substr(0, pos);
+    }
+
+    static std::string
+    trim(const std::string &str)
+    {
+        size_t begin = str.find_first_not_of(" \t\r");
+        if (begin == std::string::npos)
+            return "";
+        size_t end = str.find_last_not_of(" \t\r");
+        return str.substr(begin, end - begin + 1);
+    }
+
+    /** Split "a, b, c" on commas (whitespace-trimmed parts). */
+    std::vector<std::string>
+    splitOperands(const std::string &str) const
+    {
+        std::vector<std::string> parts;
+        std::string current;
+        for (char c : str) {
+            if (c == ',') {
+                parts.push_back(trim(current));
+                current.clear();
+            } else {
+                current += c;
+            }
+        }
+        std::string last = trim(current);
+        if (!last.empty() || !parts.empty())
+            parts.push_back(last);
+        for (const std::string &part : parts) {
+            if (part.empty())
+                error("empty operand");
+        }
+        return parts;
+    }
+
+    // --- operand parsing -------------------------------------------------
+
+    u8
+    parseIntReg(const std::string &token) const
+    {
+        static const std::map<std::string, u8> aliases = {
+            {"zero", 31}, {"sp", 30}, {"ra", 26}, {"v0", 0}};
+        auto it = aliases.find(token);
+        if (it != aliases.end())
+            return it->second;
+        if (token.size() >= 2 && token[0] == 'r') {
+            unsigned idx = 0;
+            for (size_t i = 1; i < token.size(); ++i) {
+                if (!std::isdigit(static_cast<unsigned char>(token[i])))
+                    error("bad register '" + token + "'");
+                idx = idx * 10 + (token[i] - '0');
+            }
+            if (idx < 32)
+                return static_cast<u8>(idx);
+        }
+        error("expected integer register, got '" + token + "'");
+    }
+
+    u8
+    parseFpReg(const std::string &token) const
+    {
+        if (token.size() >= 2 && token[0] == 'f') {
+            unsigned idx = 0;
+            for (size_t i = 1; i < token.size(); ++i) {
+                if (!std::isdigit(static_cast<unsigned char>(token[i])))
+                    error("bad register '" + token + "'");
+                idx = idx * 10 + (token[i] - '0');
+            }
+            if (idx < 32)
+                return static_cast<u8>(idx);
+        }
+        error("expected FP register, got '" + token + "'");
+    }
+
+    /** Number or previously-defined symbol. */
+    s64
+    parseValue(const std::string &token) const
+    {
+        if (token.empty())
+            error("empty value");
+        auto sym = symbols.find(token);
+        if (sym != symbols.end())
+            return static_cast<s64>(sym->second);
+
+        size_t pos = 0;
+        bool negative = false;
+        if (token[pos] == '-' || token[pos] == '+') {
+            negative = token[pos] == '-';
+            ++pos;
+        }
+        if (pos >= token.size())
+            error("bad number '" + token + "'");
+        u64 value = 0;
+        if (token.compare(pos, 2, "0x") == 0 ||
+            token.compare(pos, 2, "0X") == 0) {
+            pos += 2;
+            if (pos >= token.size())
+                error("bad number '" + token + "'");
+            for (; pos < token.size(); ++pos) {
+                char c = static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(token[pos])));
+                if (c >= '0' && c <= '9')
+                    value = value * 16 + (c - '0');
+                else if (c >= 'a' && c <= 'f')
+                    value = value * 16 + (c - 'a' + 10);
+                else
+                    error("bad number '" + token + "'");
+            }
+        } else {
+            for (; pos < token.size(); ++pos) {
+                if (!std::isdigit(static_cast<unsigned char>(token[pos])))
+                    error("undefined symbol or bad number '" + token +
+                          "'");
+                value = value * 10 + (token[pos] - '0');
+            }
+        }
+        s64 signed_value = static_cast<s64>(value);
+        return negative ? -signed_value : signed_value;
+    }
+
+    s32
+    parseImm(const std::string &token) const
+    {
+        return static_cast<s32>(parseValue(token));
+    }
+
+    /** "disp(rB)" memory operand. */
+    std::pair<s32, u8>
+    parseMem(const std::string &token) const
+    {
+        size_t open = token.find('(');
+        size_t close = token.find(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open || close + 1 != token.size()) {
+            error("expected disp(reg), got '" + token + "'");
+        }
+        std::string disp = trim(token.substr(0, open));
+        std::string base = trim(token.substr(open + 1, close - open - 1));
+        s32 displacement = disp.empty() ? 0 : parseImm(disp);
+        return {displacement, parseIntReg(base)};
+    }
+
+    Label
+    codeLabel(const std::string &name)
+    {
+        auto it = codeLabels.find(name);
+        if (it != codeLabels.end())
+            return it->second;
+        Label label = asmb.newLabel();
+        codeLabels.emplace(name, label);
+        return label;
+    }
+
+    // --- statement handling -----------------------------------------------
+
+    void handleDirective(const std::string &head,
+                         const std::string &rest);
+    void handleInstruction(const std::string &mnemonic,
+                           const std::string &rest);
+
+    Assembler asmb;
+    std::string unitName;
+    const std::string &text;
+    unsigned lineNo = 0;
+    bool inData = false;
+
+    /** Constant symbols and data-label addresses. */
+    std::map<std::string, u64> symbols;
+    /** Code labels (forward references allowed). */
+    std::map<std::string, Label> codeLabels;
+    std::map<std::string, bool> codeLabelBound;
+};
+
+void
+TextAssembler::handleDirective(const std::string &head,
+                               const std::string &rest)
+{
+    if (head == ".data") {
+        inData = true;
+        // An optional base argument is accepted for documentation but
+        // the data base is fixed at construction.
+        return;
+    }
+    if (head == ".text") {
+        inData = false;
+        return;
+    }
+    if (head == ".align") {
+        asmb.dataAlign(static_cast<unsigned>(parseValue(trim(rest))));
+        return;
+    }
+    if (head == ".quad") {
+        for (const std::string &token : splitOperands(rest))
+            asmb.d64(static_cast<u64>(parseValue(token)));
+        return;
+    }
+    if (head == ".byte") {
+        std::vector<u8> bytes;
+        for (const std::string &token : splitOperands(rest))
+            bytes.push_back(static_cast<u8>(parseValue(token)));
+        asmb.dBytes(bytes);
+        return;
+    }
+    if (head == ".space") {
+        asmb.dZero(static_cast<size_t>(parseValue(trim(rest))));
+        return;
+    }
+    if (head == ".equ") {
+        std::vector<std::string> parts = splitOperands(rest);
+        if (parts.size() != 2)
+            error(".equ needs name, value");
+        symbols[parts[0]] = static_cast<u64>(parseValue(parts[1]));
+        return;
+    }
+    error("unknown directive '" + head + "'");
+}
+
+void
+TextAssembler::handleInstruction(const std::string &mnemonic,
+                                 const std::string &rest)
+{
+    std::vector<std::string> ops =
+        rest.empty() ? std::vector<std::string>{} : splitOperands(rest);
+    auto need = [&](size_t n) {
+        if (ops.size() != n)
+            error("'" + mnemonic + "' expects " + std::to_string(n) +
+                  " operands");
+    };
+
+    // Integer R-type.
+    static const std::map<std::string, Opcode> r3 = {
+        {"add", Opcode::ADD}, {"sub", Opcode::SUB}, {"mul", Opcode::MUL},
+        {"and", Opcode::AND}, {"or", Opcode::OR}, {"xor", Opcode::XOR},
+        {"sll", Opcode::SLL}, {"srl", Opcode::SRL}, {"sra", Opcode::SRA},
+        {"cmpeq", Opcode::CMPEQ}, {"cmplt", Opcode::CMPLT},
+        {"cmple", Opcode::CMPLE}, {"cmpult", Opcode::CMPULT}};
+    if (auto it = r3.find(mnemonic); it != r3.end()) {
+        need(3);
+        Instr instr;
+        instr.op = it->second;
+        instr.ra = parseIntReg(ops[0]);
+        instr.rb = parseIntReg(ops[1]);
+        instr.rc = parseIntReg(ops[2]);
+        asmb.emit(instr);
+        return;
+    }
+
+    // Integer I-type.
+    static const std::map<std::string, Opcode> i3 = {
+        {"addi", Opcode::ADDI}, {"andi", Opcode::ANDI},
+        {"ori", Opcode::ORI}, {"xori", Opcode::XORI},
+        {"slli", Opcode::SLLI}, {"srli", Opcode::SRLI},
+        {"srai", Opcode::SRAI}, {"cmpeqi", Opcode::CMPEQI},
+        {"cmplti", Opcode::CMPLTI}, {"cmplei", Opcode::CMPLEI},
+        {"cmpulti", Opcode::CMPULTI}, {"ldah", Opcode::LDAH}};
+    if (auto it = i3.find(mnemonic); it != i3.end()) {
+        need(3);
+        u8 ra = parseIntReg(ops[0]);
+        s32 imm = parseImm(ops[1]);
+        u8 rc = parseIntReg(ops[2]);
+        // Route through the typed emitters for immediate range checks.
+        switch (it->second) {
+          case Opcode::ADDI: asmb.addi(ra, imm, rc); break;
+          case Opcode::ANDI: asmb.andi(ra, imm, rc); break;
+          case Opcode::ORI: asmb.ori(ra, imm, rc); break;
+          case Opcode::XORI: asmb.xori(ra, imm, rc); break;
+          case Opcode::SLLI: asmb.slli(ra, imm, rc); break;
+          case Opcode::SRLI: asmb.srli(ra, imm, rc); break;
+          case Opcode::SRAI: asmb.srai(ra, imm, rc); break;
+          case Opcode::CMPEQI: asmb.cmpeqi(ra, imm, rc); break;
+          case Opcode::CMPLTI: asmb.cmplti(ra, imm, rc); break;
+          case Opcode::CMPLEI: asmb.cmplei(ra, imm, rc); break;
+          case Opcode::CMPULTI: asmb.cmpulti(ra, imm, rc); break;
+          default: asmb.ldah(ra, imm, rc); break;
+        }
+        return;
+    }
+
+    // Memory.
+    static const std::map<std::string, Opcode> mem = {
+        {"ldq", Opcode::LDQ}, {"stq", Opcode::STQ},
+        {"ldbu", Opcode::LDBU}, {"stb", Opcode::STB},
+        {"fld", Opcode::FLD}, {"fst", Opcode::FST}};
+    if (auto it = mem.find(mnemonic); it != mem.end()) {
+        need(2);
+        bool fp = (it->second == Opcode::FLD || it->second == Opcode::FST);
+        auto [disp, base] = parseMem(ops[1]);
+        Instr instr;
+        instr.op = it->second;
+        instr.ra = base;
+        instr.rc = fp ? parseFpReg(ops[0]) : parseIntReg(ops[0]);
+        instr.imm = disp;
+        asmb.emit(instr);
+        return;
+    }
+
+    // Branches.
+    static const std::map<std::string, Opcode> branches = {
+        {"beq", Opcode::BEQ}, {"bne", Opcode::BNE}, {"blt", Opcode::BLT},
+        {"bge", Opcode::BGE}, {"ble", Opcode::BLE}, {"bgt", Opcode::BGT}};
+    if (auto it = branches.find(mnemonic); it != branches.end()) {
+        need(2);
+        u8 reg = parseIntReg(ops[0]);
+        Label target = codeLabel(ops[1]);
+        switch (it->second) {
+          case Opcode::BEQ: asmb.beq(reg, target); break;
+          case Opcode::BNE: asmb.bne(reg, target); break;
+          case Opcode::BLT: asmb.blt(reg, target); break;
+          case Opcode::BGE: asmb.bge(reg, target); break;
+          case Opcode::BLE: asmb.ble(reg, target); break;
+          default: asmb.bgt(reg, target); break;
+        }
+        return;
+    }
+
+    // FP R-type.
+    static const std::map<std::string, Opcode> fp3 = {
+        {"fadd", Opcode::FADD}, {"fsub", Opcode::FSUB},
+        {"fmul", Opcode::FMUL}, {"fdiv", Opcode::FDIV}};
+    if (auto it = fp3.find(mnemonic); it != fp3.end()) {
+        need(3);
+        Instr instr;
+        instr.op = it->second;
+        instr.ra = parseFpReg(ops[0]);
+        instr.rb = parseFpReg(ops[1]);
+        instr.rc = parseFpReg(ops[2]);
+        asmb.emit(instr);
+        return;
+    }
+    if (mnemonic == "fcmpeq" || mnemonic == "fcmplt") {
+        need(3);
+        Instr instr;
+        instr.op =
+            mnemonic == "fcmpeq" ? Opcode::FCMPEQ : Opcode::FCMPLT;
+        instr.ra = parseFpReg(ops[0]);
+        instr.rb = parseFpReg(ops[1]);
+        instr.rc = parseIntReg(ops[2]);
+        asmb.emit(instr);
+        return;
+    }
+    if (mnemonic == "cvtif") {
+        need(2);
+        asmb.cvtif(parseIntReg(ops[0]), parseFpReg(ops[1]));
+        return;
+    }
+    if (mnemonic == "cvtfi") {
+        need(2);
+        asmb.cvtfi(parseFpReg(ops[0]), parseIntReg(ops[1]));
+        return;
+    }
+
+    // Control / misc / pseudo.
+    if (mnemonic == "br") {
+        need(1);
+        asmb.br(codeLabel(ops[0]));
+        return;
+    }
+    if (mnemonic == "jsr") {
+        need(2);
+        asmb.jsr(parseIntReg(ops[0]), codeLabel(ops[1]));
+        return;
+    }
+    if (mnemonic == "ret") {
+        if (ops.empty())
+            asmb.ret();
+        else if (ops.size() == 1)
+            asmb.ret(parseIntReg(ops[0]));
+        else
+            error("'ret' expects at most one operand");
+        return;
+    }
+    if (mnemonic == "li") {
+        need(2);
+        asmb.li(parseIntReg(ops[0]),
+                static_cast<u64>(parseValue(ops[1])));
+        return;
+    }
+    if (mnemonic == "mov") {
+        need(2);
+        asmb.mov(parseIntReg(ops[0]), parseIntReg(ops[1]));
+        return;
+    }
+    if (mnemonic == "nop") {
+        need(0);
+        asmb.nop();
+        return;
+    }
+    if (mnemonic == "halt") {
+        need(0);
+        asmb.halt();
+        return;
+    }
+    error("unknown mnemonic '" + mnemonic + "'");
+}
+
+Program
+TextAssembler::run()
+{
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t end = text.find('\n', pos);
+        std::string line = text.substr(
+            pos, end == std::string::npos ? std::string::npos
+                                          : end - pos);
+        ++lineNo;
+        pos = end == std::string::npos ? text.size() + 1 : end + 1;
+
+        line = trim(stripComment(line));
+
+        // Labels (possibly several on one line).
+        while (true) {
+            size_t colon = line.find(':');
+            if (colon == std::string::npos)
+                break;
+            std::string name = trim(line.substr(0, colon));
+            if (name.empty() ||
+                name.find_first_of(" \t(),") != std::string::npos) {
+                break;      // not a label (e.g. a mem operand colon-free)
+            }
+            if (inData) {
+                if (symbols.count(name))
+                    error("symbol '" + name + "' redefined");
+                symbols[name] = asmb.dataPc();
+            } else {
+                Label label = codeLabel(name);
+                if (codeLabelBound[name])
+                    error("label '" + name + "' redefined");
+                asmb.bind(label);
+                codeLabelBound[name] = true;
+            }
+            line = trim(line.substr(colon + 1));
+        }
+        if (line.empty())
+            continue;
+
+        // Head token.
+        size_t ws = line.find_first_of(" \t");
+        std::string head =
+            ws == std::string::npos ? line : line.substr(0, ws);
+        std::string rest =
+            ws == std::string::npos ? "" : trim(line.substr(ws + 1));
+
+        if (head[0] == '.')
+            handleDirective(head, rest);
+        else
+            handleInstruction(head, rest);
+    }
+
+    // All referenced code labels must be bound.
+    for (const auto &[name, label] : codeLabels) {
+        if (!codeLabelBound[name])
+            fatal("%s: undefined label '%s'", unitName.c_str(),
+                  name.c_str());
+    }
+    return asmb.assemble(unitName);
+}
+
+} // anonymous namespace
+
+Program
+assembleText(const std::string &source, const std::string &name,
+             Addr code_base, Addr data_base)
+{
+    TextAssembler parser(source, name, code_base, data_base);
+    return parser.run();
+}
+
+} // namespace polypath

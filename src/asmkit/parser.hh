@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Textual assembler for PPR: parses assembly source into a Program.
+ *
+ * Syntax (one statement per line; ';' or '#' starts a comment):
+ *
+ *     .data [base]          switch to the data section (default base
+ *                           0x100000); subsequent data directives append
+ *     .text                 switch back to code
+ *     .align N              align the data cursor
+ *     .quad v [, v ...]     64-bit little-endian words
+ *     .byte v [, v ...]     raw bytes
+ *     .space N              N zeroed bytes
+ *     .equ name, value      define a constant symbol
+ *
+ *     label:                define a label (code or data position)
+ *
+ *     add   r1, r2, r3      integer R-type     rc = ra OP rb
+ *     addi  r1, -4, r3      integer I-type     rc = ra OP imm
+ *     ldq   r3, 16(r2)      loads              rd = mem[rb + disp]
+ *     stq   r3, 16(r2)      stores             mem[rb + disp] = rd
+ *     beq   r1, target      conditional branches
+ *     br    target          unconditional
+ *     jsr   r26, target     call (link register first)
+ *     ret   [r26]           return
+ *     fadd  f1, f2, f3      FP R-type; fcmpeq f1, f2, r3; cvtif r1, f2
+ *     li    r1, 0xdeadbeef  pseudo: load constant or symbol
+ *     mov   r1, r2          pseudo: register copy
+ *     nop / halt
+ *
+ * Registers: r0..r31 / f0..f31 plus the aliases zero (r31), sp (r30),
+ * ra (r26), v0 (r0). Immediates are decimal or 0x hex, and may be
+ * previously-defined symbols (.equ constants or data labels). Code
+ * labels may be referenced before definition; data/constant symbols
+ * must be defined before use (the conventional ".data first" layout).
+ *
+ * Errors are reported through fatal() with the line number.
+ */
+
+#ifndef POLYPATH_ASMKIT_PARSER_HH
+#define POLYPATH_ASMKIT_PARSER_HH
+
+#include <string>
+
+#include "asmkit/program.hh"
+
+namespace polypath
+{
+
+/** Assemble PPR source text into a loadable program. */
+Program assembleText(const std::string &source,
+                     const std::string &name = "program",
+                     Addr code_base = 0x1000, Addr data_base = 0x100000);
+
+} // namespace polypath
+
+#endif // POLYPATH_ASMKIT_PARSER_HH

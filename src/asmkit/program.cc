@@ -1,0 +1,22 @@
+#include "program.hh"
+
+#include "memsys/memory.hh"
+
+namespace polypath
+{
+
+void
+Program::loadInto(SparseMemory &mem) const
+{
+    Addr addr = codeBase;
+    for (u32 word : code) {
+        mem.write(addr, word, 4);
+        addr += 4;
+    }
+    for (const auto &[base, bytes] : dataSegments) {
+        for (size_t i = 0; i < bytes.size(); ++i)
+            mem.writeByte(base + i, bytes[i]);
+    }
+}
+
+} // namespace polypath

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * A loadable PPR program image: code, initial data and an entry point.
+ */
+
+#ifndef POLYPATH_ASMKIT_PROGRAM_HH
+#define POLYPATH_ASMKIT_PROGRAM_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace polypath
+{
+
+class SparseMemory;
+
+/** A fully assembled program ready to be loaded into simulator memory. */
+struct Program
+{
+    std::string name;
+    Addr entry = 0;
+    Addr codeBase = 0;
+    std::vector<u32> code;
+
+    /** (base address, bytes) pairs of initialised data. */
+    std::vector<std::pair<Addr, std::vector<u8>>> dataSegments;
+
+    /** Number of static instructions. */
+    size_t codeSize() const { return code.size(); }
+
+    /** Copy code and data into @p mem. */
+    void loadInto(SparseMemory &mem) const;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_ASMKIT_PROGRAM_HH

@@ -1,0 +1,89 @@
+#include "combining.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace polypath
+{
+
+BimodalPredictor::BimodalPredictor(unsigned index_bits)
+    : indexMask(lowMask(index_bits)),
+      table(size_t(1) << index_bits, SatCounter(2, 1))
+{
+    fatal_if(index_bits == 0 || index_bits > 28,
+             "bimodal table of 2^%u entries unsupported", index_bits);
+}
+
+u64
+BimodalPredictor::index(Addr pc) const
+{
+    return (pc >> 2) & indexMask;
+}
+
+bool
+BimodalPredictor::predict(const PredictionQuery &query)
+{
+    return table[index(query.pc)].msbSet();
+}
+
+void
+BimodalPredictor::update(Addr pc, u64 /*ghr*/, bool taken)
+{
+    SatCounter &ctr = table[index(pc)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+}
+
+size_t
+BimodalPredictor::stateBytes() const
+{
+    return (table.size() * 2) / 8;
+}
+
+CombiningPredictor::CombiningPredictor(unsigned index_bits)
+    : bimodal(index_bits), gshare(index_bits),
+      chooserMask(lowMask(index_bits)),
+      chooser(size_t(1) << index_bits, SatCounter(2, 2))
+{
+}
+
+bool
+CombiningPredictor::predict(const PredictionQuery &query)
+{
+    bool use_gshare = chooser[(query.pc >> 2) & chooserMask].msbSet();
+    return use_gshare ? gshare.predict(query) : bimodal.predict(query);
+}
+
+void
+CombiningPredictor::update(Addr pc, u64 ghr, bool taken)
+{
+    // Reconstruct what each component would have said, then train the
+    // chooser toward the component that was right (no change when they
+    // agree), and both components toward the outcome — TN 36's scheme.
+    PredictionQuery query;
+    query.pc = pc;
+    query.ghr = ghr;
+    bool bimodal_guess = bimodal.predict(query);
+    bool gshare_guess = gshare.predict(query);
+
+    if (bimodal_guess != gshare_guess) {
+        SatCounter &ctr = chooser[(pc >> 2) & chooserMask];
+        if (gshare_guess == taken)
+            ctr.increment();
+        else
+            ctr.decrement();
+    }
+    bimodal.update(pc, ghr, taken);
+    gshare.update(pc, ghr, taken);
+}
+
+size_t
+CombiningPredictor::stateBytes() const
+{
+    return bimodal.stateBytes() + gshare.stateBytes() +
+           (chooser.size() * 2) / 8;
+}
+
+} // namespace polypath

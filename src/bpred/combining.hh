@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bimodal and combining branch predictors (McFarling, DEC-WRL TN 36 —
+ * the same report the paper takes gshare from).
+ *
+ * The combining predictor runs a PC-indexed bimodal table and a gshare
+ * table side by side with a chooser table of 2-bit counters that learns,
+ * per index, which component predicts the branch better. It is the
+ * natural "larger predictor" data point for Fig. 9-style equal-area
+ * comparisons against SEE.
+ */
+
+#ifndef POLYPATH_BPRED_COMBINING_HH
+#define POLYPATH_BPRED_COMBINING_HH
+
+#include <vector>
+
+#include "bpred/gshare.hh"
+#include "bpred/predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace polypath
+{
+
+/** Classic bimodal predictor: PC-indexed 2-bit counters. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(unsigned index_bits);
+
+    bool predict(const PredictionQuery &query) override;
+    void update(Addr pc, u64 ghr, bool taken) override;
+    size_t stateBytes() const override;
+
+    u64 index(Addr pc) const;
+
+  private:
+    u64 indexMask;
+    std::vector<SatCounter> table;
+};
+
+/** McFarling's combining predictor: bimodal + gshare + chooser. */
+class CombiningPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param index_bits log2 size of each of the three tables
+     *        (bimodal, gshare, chooser), matching TN 36's equal-split
+     */
+    explicit CombiningPredictor(unsigned index_bits);
+
+    bool predict(const PredictionQuery &query) override;
+    void update(Addr pc, u64 ghr, bool taken) override;
+    size_t stateBytes() const override;
+
+  private:
+    BimodalPredictor bimodal;
+    GsharePredictor gshare;
+    u64 chooserMask;
+    /** Chooser: high half prefers gshare, low half bimodal. */
+    std::vector<SatCounter> chooser;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_BPRED_COMBINING_HH

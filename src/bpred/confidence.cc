@@ -1,0 +1,135 @@
+#include "confidence.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace polypath
+{
+
+namespace
+{
+
+// Parameter validation must run before the counter table is
+// constructed (SatCounter would panic on a zero width, but a bad
+// configuration is a user error, not a simulator bug).
+unsigned
+validatedJrsParams(unsigned history_bits, unsigned counter_bits,
+                   unsigned threshold)
+{
+    fatal_if(history_bits == 0 || history_bits > 28,
+             "JRS table of 2^%u entries unsupported", history_bits);
+    fatal_if(counter_bits == 0 || counter_bits > 8,
+             "JRS counter width %u unsupported", counter_bits);
+    fatal_if(threshold == 0 || threshold > ((1u << counter_bits) - 1),
+             "JRS threshold %u out of range for %u-bit counters",
+             threshold, counter_bits);
+    return history_bits;
+}
+
+} // anonymous namespace
+
+JrsConfidence::JrsConfidence(unsigned history_bits, unsigned counter_bits,
+                             unsigned threshold, bool enhanced_index)
+    : histBits(validatedJrsParams(history_bits, counter_bits, threshold)),
+      ctrBits(counter_bits),
+      thresholdValue(static_cast<u8>(threshold)),
+      enhancedIndex(enhanced_index),
+      indexMask(lowMask(history_bits)),
+      table(size_t(1) << history_bits, SatCounter(counter_bits, 0))
+{
+}
+
+u64
+JrsConfidence::index(Addr pc, u64 ghr, bool pred_taken) const
+{
+    // Enhanced indexing (§4.2): shift the speculative outcome of the
+    // branch being estimated into the history before hashing.
+    u64 history = enhancedIndex ? ((ghr << 1) | (pred_taken ? 1 : 0))
+                                : ghr;
+    return ((pc >> 2) ^ history) & indexMask;
+}
+
+bool
+JrsConfidence::highAt(Addr pc, u64 ghr, bool pred_taken) const
+{
+    return table[index(pc, ghr, pred_taken)].raw() >= thresholdValue;
+}
+
+bool
+JrsConfidence::estimate(const PredictionQuery &query, bool pred_taken)
+{
+    return highAt(query.pc, query.ghr, pred_taken);
+}
+
+void
+JrsConfidence::update(Addr pc, u64 ghr, bool pred_taken, bool correct)
+{
+    SatCounter &ctr = table[index(pc, ghr, pred_taken)];
+    if (correct)
+        ctr.increment();
+    else
+        ctr.reset();
+}
+
+size_t
+JrsConfidence::stateBytes() const
+{
+    return (table.size() * ctrBits + 7) / 8;
+}
+
+AdaptiveJrsConfidence::AdaptiveJrsConfidence(unsigned history_bits,
+                                             unsigned counter_bits,
+                                             unsigned threshold,
+                                             bool enhanced_index,
+                                             double pvn_floor,
+                                             unsigned window_events)
+    : inner(history_bits, counter_bits, threshold, enhanced_index),
+      pvnFloor(pvn_floor), windowEvents(window_events)
+{
+    fatal_if(pvn_floor < 0.0 || pvn_floor >= 1.0,
+             "adaptive PVN floor %.2f out of [0,1)", pvn_floor);
+    fatal_if(window_events == 0, "adaptive window must be non-empty");
+}
+
+bool
+AdaptiveJrsConfidence::estimate(const PredictionQuery &query,
+                                bool pred_taken)
+{
+    bool high = inner.estimate(query, pred_taken);
+    // While reverted, everything is reported as high confidence; the
+    // inner estimate is still consulted at update() time so monitoring
+    // continues.
+    return divergeEnabled ? high : true;
+}
+
+void
+AdaptiveJrsConfidence::update(Addr pc, u64 ghr, bool pred_taken,
+                              bool correct)
+{
+    // Re-derive what the estimator would say for this branch right now
+    // (the tables may have moved slightly since fetch; good enough for
+    // a monitoring signal).
+    bool low = !inner.highAt(pc, ghr, pred_taken);
+    inner.update(pc, ghr, pred_taken, correct);
+    if (!low)
+        return;
+    ++lowSeen;
+    if (!correct)
+        ++lowWrong;
+    if (lowSeen >= windowEvents) {
+        double pvn = static_cast<double>(lowWrong) /
+                     static_cast<double>(lowSeen);
+        divergeEnabled = pvn >= pvnFloor;
+        lowSeen = 0;
+        lowWrong = 0;
+    }
+}
+
+size_t
+AdaptiveJrsConfidence::stateBytes() const
+{
+    // Inner tables plus two window counters and the mode bit.
+    return inner.stateBytes() + 2 * sizeof(u32) + 1;
+}
+
+} // namespace polypath

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Branch confidence estimators (§3.2.7 / §4.2).
+ *
+ * The paper uses a modified Jacobsen-Rotenberg-Smith (JRS) one-level
+ * estimator with *resetting* counters: a table (same size as the branch
+ * predictor) of n-bit counters counting correct predictions since the
+ * last misprediction at that index. High confidence is signalled when
+ * the counter reaches a threshold. Two paper-specific modifications:
+ *   - 1-bit counters (instead of JRS's 4-bit) maximise PVN, the design
+ *     parameter that matters for SEE;
+ *   - the table index folds in the *speculative outcome of the current
+ *     branch* on top of the gshare history ("enhanced indexing"), which
+ *     the paper reports as a substantial improvement.
+ */
+
+#ifndef POLYPATH_BPRED_CONFIDENCE_HH
+#define POLYPATH_BPRED_CONFIDENCE_HH
+
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace polypath
+{
+
+/** Always high confidence: never diverge — the monopath machine. */
+class AlwaysHighConfidence : public ConfidenceEstimator
+{
+  public:
+    bool estimate(const PredictionQuery &, bool) override { return true; }
+    void update(Addr, u64, bool, bool) override {}
+    size_t stateBytes() const override { return 0; }
+};
+
+/** Always low confidence: diverge on every branch (ablation). */
+class AlwaysLowConfidence : public ConfidenceEstimator
+{
+  public:
+    bool estimate(const PredictionQuery &, bool) override { return false; }
+    void update(Addr, u64, bool, bool) override {}
+    size_t stateBytes() const override { return 0; }
+};
+
+/**
+ * Oracle confidence (the paper's "gshare/oracle" category): low
+ * confidence exactly when the prediction is wrong. Unknowable on wrong
+ * paths, where it signals high confidence.
+ */
+class OracleConfidence : public ConfidenceEstimator
+{
+  public:
+    bool
+    estimate(const PredictionQuery &query, bool pred_taken) override
+    {
+        if (query.trace && query.cursor.outcomeKnown(*query.trace))
+            return pred_taken == query.cursor.actualTaken(*query.trace);
+        return true;
+    }
+
+    void update(Addr, u64, bool, bool) override {}
+    size_t stateBytes() const override { return 0; }
+};
+
+/** JRS one-level estimator with resetting counters. */
+class JrsConfidence : public ConfidenceEstimator
+{
+    friend class AdaptiveJrsConfidence;
+
+  public:
+    /**
+     * @param history_bits log2 of the counter-table size (matched to the
+     *                     branch predictor, per §4.2)
+     * @param counter_bits counter width; the paper advocates 1
+     * @param threshold counter value at/above which confidence is high
+     * @param enhanced_index fold the speculative outcome of the current
+     *                       branch into the table index
+     */
+    JrsConfidence(unsigned history_bits, unsigned counter_bits = 1,
+                  unsigned threshold = 1, bool enhanced_index = true);
+
+    bool estimate(const PredictionQuery &query, bool pred_taken) override;
+    void update(Addr pc, u64 ghr, bool pred_taken, bool correct) override;
+    size_t stateBytes() const override;
+
+    unsigned counterBits() const { return ctrBits; }
+
+  private:
+    u64 index(Addr pc, u64 ghr, bool pred_taken) const;
+
+    /** Raw table consultation without the PredictionQuery wrapper. */
+    bool highAt(Addr pc, u64 ghr, bool pred_taken) const;
+
+    unsigned histBits;
+    unsigned ctrBits;
+    u8 thresholdValue;
+    bool enhancedIndex;
+    u64 indexMask;
+    std::vector<SatCounter> table;
+};
+
+/**
+ * The §5.1 "lesson learned", implemented: a JRS estimator that monitors
+ * its own predictive value (PVN) over a sliding window of its
+ * low-confidence calls and reverts to strict monopath execution
+ * (signalling high confidence for everything) whenever the measured PVN
+ * drops below a floor. The paper observed that m88ksim loses 8.5% under
+ * SEE precisely because JRS's PVN collapses to 16% there; this wrapper
+ * caps that downside while leaving high-PVN benchmarks untouched.
+ *
+ * The estimator keeps monitoring while reverted (the underlying JRS
+ * tables continue to train on every branch), so it re-enables eager
+ * execution when the program moves into a phase the estimator handles
+ * well.
+ */
+class AdaptiveJrsConfidence : public ConfidenceEstimator
+{
+  public:
+    /**
+     * @param pvn_floor re-enable/disable threshold on the measured PVN
+     * @param window_events low-confidence events per measurement window
+     */
+    AdaptiveJrsConfidence(unsigned history_bits, unsigned counter_bits = 1,
+                          unsigned threshold = 1,
+                          bool enhanced_index = true,
+                          double pvn_floor = 0.25,
+                          unsigned window_events = 512);
+
+    bool estimate(const PredictionQuery &query, bool pred_taken) override;
+    void update(Addr pc, u64 ghr, bool pred_taken, bool correct) override;
+    size_t stateBytes() const override;
+
+    /** Is eager execution currently enabled? */
+    bool divergenceEnabled() const { return divergeEnabled; }
+
+  private:
+    JrsConfidence inner;
+    double pvnFloor;
+    unsigned windowEvents;
+    unsigned lowSeen = 0;
+    unsigned lowWrong = 0;
+    bool divergeEnabled = true;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_BPRED_CONFIDENCE_HH

@@ -1,0 +1,46 @@
+#include "gshare.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace polypath
+{
+
+GsharePredictor::GsharePredictor(unsigned history_bits)
+    : histBits(history_bits), indexMask(lowMask(history_bits)),
+      table(size_t(1) << history_bits, SatCounter(2, 1))
+{
+    fatal_if(history_bits == 0 || history_bits > 28,
+             "gshare history of %u bits unsupported", history_bits);
+}
+
+u64
+GsharePredictor::index(Addr pc, u64 ghr) const
+{
+    return ((pc >> 2) ^ ghr) & indexMask;
+}
+
+bool
+GsharePredictor::predict(const PredictionQuery &query)
+{
+    return table[index(query.pc, query.ghr)].msbSet();
+}
+
+void
+GsharePredictor::update(Addr pc, u64 ghr, bool taken)
+{
+    SatCounter &ctr = table[index(pc, ghr)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+}
+
+size_t
+GsharePredictor::stateBytes() const
+{
+    // 2 bits per counter.
+    return (table.size() * 2) / 8;
+}
+
+} // namespace polypath

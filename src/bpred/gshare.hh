@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The gshare branch predictor (McFarling, DEC-WRL TN 36), as used for
+ * the paper's baseline: global history XOR branch address indexing a
+ * table of 2-bit saturating counters. The baseline uses 14 bits of
+ * history / 16k counters; Fig. 9 sweeps 10..16 bits.
+ */
+
+#ifndef POLYPATH_BPRED_GSHARE_HH
+#define POLYPATH_BPRED_GSHARE_HH
+
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace polypath
+{
+
+/** gshare: table of 2-bit counters indexed by (pc >> 2) ^ ghr. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    explicit GsharePredictor(unsigned history_bits);
+
+    bool predict(const PredictionQuery &query) override;
+    void update(Addr pc, u64 ghr, bool taken) override;
+    size_t stateBytes() const override;
+
+    /** Table index for a (pc, history) pair; shared with JRS indexing. */
+    u64 index(Addr pc, u64 ghr) const;
+
+    unsigned historyBits() const { return histBits; }
+
+  private:
+    unsigned histBits;
+    u64 indexMask;
+    std::vector<SatCounter> table;
+};
+
+/** Static always-taken predictor (sanity baseline for tests/ablation). */
+class TakenPredictor : public BranchPredictor
+{
+  public:
+    bool predict(const PredictionQuery &) override { return true; }
+    void update(Addr, u64, bool) override {}
+    size_t stateBytes() const override { return 0; }
+};
+
+/**
+ * Oracle predictor: perfect knowledge of the committed-path outcome
+ * (the paper's "oracle" calibration category). On a wrong path no oracle
+ * is definable; it predicts taken there (wrong paths never commit, so
+ * this only influences timing).
+ */
+class OraclePredictor : public BranchPredictor
+{
+  public:
+    bool
+    predict(const PredictionQuery &query) override
+    {
+        if (query.trace && query.cursor.outcomeKnown(*query.trace))
+            return query.cursor.actualTaken(*query.trace);
+        return true;
+    }
+
+    void update(Addr, u64, bool) override {}
+    size_t stateBytes() const override { return 0; }
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_BPRED_GSHARE_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Branch-prediction and confidence-estimation interfaces.
+ *
+ * Both receive the fetching path's global history (PolyPath keeps a
+ * speculatively-updated GHR copy per path, §4.2) and a TraceCursor so the
+ * oracle variants can consult the committed-path ground truth.
+ */
+
+#ifndef POLYPATH_BPRED_PREDICTOR_HH
+#define POLYPATH_BPRED_PREDICTOR_HH
+
+#include <cstddef>
+
+#include "arch/branch_trace.hh"
+#include "common/types.hh"
+
+namespace polypath
+{
+
+/** Everything a predictor/estimator may look at when queried at fetch. */
+struct PredictionQuery
+{
+    Addr pc = 0;
+    u64 ghr = 0;                        //!< fetching path's global history
+    const BranchTrace *trace = nullptr; //!< committed-path ground truth
+    TraceCursor cursor;                 //!< this path's trace position
+};
+
+/** Direction predictor for conditional branches. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the branch at fetch time. */
+    virtual bool predict(const PredictionQuery &query) = 0;
+
+    /**
+     * Train with the resolved outcome. @p ghr is the history the
+     * prediction was made with (restoring the paper's speculative-update
+     * + recovery semantics exactly).
+     */
+    virtual void update(Addr pc, u64 ghr, bool taken) = 0;
+
+    /** Predictor state size in bytes (equal-area comparisons, Fig. 9). */
+    virtual size_t stateBytes() const = 0;
+};
+
+/** Branch confidence estimator (§3.2.7). */
+class ConfidenceEstimator
+{
+  public:
+    virtual ~ConfidenceEstimator() = default;
+
+    /**
+     * Assess the prediction @p pred_taken for the queried branch.
+     * @return true for high confidence (follow the prediction);
+     *         false for low confidence (SEE diverges)
+     */
+    virtual bool estimate(const PredictionQuery &query,
+                          bool pred_taken) = 0;
+
+    /** Train with the resolved prediction correctness. */
+    virtual void update(Addr pc, u64 ghr, bool pred_taken,
+                        bool correct) = 0;
+
+    /** Estimator state size in bytes. */
+    virtual size_t stateBytes() const = 0;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_BPRED_PREDICTOR_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the ISA encoder/decoder and
+ * the branch predictors.
+ */
+
+#ifndef POLYPATH_COMMON_BITUTILS_HH
+#define POLYPATH_COMMON_BITUTILS_HH
+
+#include <bit>
+
+#include "types.hh"
+
+namespace polypath
+{
+
+/** Extract bits [hi:lo] (inclusive) of @p value. */
+constexpr u64
+bits(u64 value, unsigned hi, unsigned lo)
+{
+    unsigned nbits = hi - lo + 1;
+    u64 mask = (nbits >= 64) ? ~u64(0) : ((u64(1) << nbits) - 1);
+    return (value >> lo) & mask;
+}
+
+/** Insert @p field into bits [hi:lo] of a zeroed word. */
+constexpr u64
+insertBits(u64 field, unsigned hi, unsigned lo)
+{
+    unsigned nbits = hi - lo + 1;
+    u64 mask = (nbits >= 64) ? ~u64(0) : ((u64(1) << nbits) - 1);
+    return (field & mask) << lo;
+}
+
+/** Sign-extend the low @p nbits bits of @p value to 64 bits. */
+constexpr s64
+sext(u64 value, unsigned nbits)
+{
+    unsigned shift = 64 - nbits;
+    return static_cast<s64>(value << shift) >> shift;
+}
+
+/** Mask covering the low @p nbits bits. */
+constexpr u64
+lowMask(unsigned nbits)
+{
+    return (nbits >= 64) ? ~u64(0) : ((u64(1) << nbits) - 1);
+}
+
+/** True iff @p value is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(u64 value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)); @p value must be non-zero. */
+constexpr unsigned
+floorLog2(u64 value)
+{
+    return 63 - std::countl_zero(value);
+}
+
+} // namespace polypath
+
+#endif // POLYPATH_COMMON_BITUTILS_HH

@@ -1,0 +1,58 @@
+#include "logging.hh"
+
+#include <cstdio>
+
+namespace polypath
+{
+
+std::string
+vformatMessage(const char *fmt, va_list ap)
+{
+    char buf[4096];
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    return std::string(buf);
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformatMessage(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformatMessage(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformatMessage(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformatMessage(fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace polypath

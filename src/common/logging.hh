@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 style.
+ *
+ * panic()  -- an internal simulator invariant was violated (a bug in
+ *             polypath itself); aborts so a debugger/core dump can be used.
+ * fatal()  -- the simulation cannot continue due to a user-level problem
+ *             (bad configuration, broken workload); exits with status 1.
+ * warn()   -- something questionable happened but simulation continues.
+ * inform() -- plain status output.
+ */
+
+#ifndef POLYPATH_COMMON_LOGGING_HH
+#define POLYPATH_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace polypath
+{
+
+/** Internal: format a printf-style message into a std::string. */
+std::string vformatMessage(const char *fmt, va_list ap);
+
+/** Internal: emit a tagged message and abort. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...);
+
+/** Internal: emit a tagged message and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...);
+
+/** Internal: emit a tagged warning. */
+void warnImpl(const char *fmt, ...);
+
+/** Internal: emit an informational message. */
+void informImpl(const char *fmt, ...);
+
+} // namespace polypath
+
+#define panic(...) \
+    ::polypath::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define fatal(...) \
+    ::polypath::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define warn(...) ::polypath::warnImpl(__VA_ARGS__)
+
+#define inform(...) ::polypath::informImpl(__VA_ARGS__)
+
+/**
+ * panic_if(cond, ...) checks a simulator invariant; the condition text is
+ * included in the failure message.
+ */
+#define panic_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond) {                                                    \
+            ::polypath::panicImpl(__FILE__, __LINE__, __VA_ARGS__);    \
+        }                                                              \
+    } while (0)
+
+#define fatal_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond) {                                                    \
+            ::polypath::fatalImpl(__FILE__, __LINE__, __VA_ARGS__);    \
+        }                                                              \
+    } while (0)
+
+#endif // POLYPATH_COMMON_LOGGING_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generators.
+ *
+ * The simulator and the workload generators must be fully deterministic so
+ * that experiments are reproducible; we therefore avoid std::random_device
+ * and use an explicit xorshift64* generator with a fixed seed.
+ */
+
+#ifndef POLYPATH_COMMON_PRNG_HH
+#define POLYPATH_COMMON_PRNG_HH
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace polypath
+{
+
+/** xorshift64* generator; fast, deterministic and good enough for
+ *  workload data synthesis. */
+class Prng
+{
+  public:
+    explicit Prng(u64 seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        u64 x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    u64
+    nextBelow(u64 bound)
+    {
+        panic_if(bound == 0, "Prng::nextBelow with zero bound");
+        return next() % bound;
+    }
+
+    /** Bernoulli trial that succeeds with probability num/den. */
+    bool
+    chance(u64 num, u64 den)
+    {
+        return nextBelow(den) < num;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    u64 state;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_COMMON_PRNG_HH

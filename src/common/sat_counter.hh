@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Saturating counters used by branch predictors and confidence estimators.
+ */
+
+#ifndef POLYPATH_COMMON_SAT_COUNTER_HH
+#define POLYPATH_COMMON_SAT_COUNTER_HH
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace polypath
+{
+
+/**
+ * An n-bit saturating up/down counter (n <= 8).
+ *
+ * Used as the 2-bit direction counter of gshare. The counter saturates at
+ * 0 and 2^n - 1.
+ */
+class SatCounter
+{
+  public:
+    explicit SatCounter(unsigned num_bits = 2, u8 initial = 0)
+        : maxVal(static_cast<u8>((1u << num_bits) - 1)), value(initial)
+    {
+        panic_if(num_bits == 0 || num_bits > 8,
+                 "SatCounter width %u out of range", num_bits);
+        panic_if(initial > maxVal, "SatCounter initial value too large");
+    }
+
+    /** Saturating increment. */
+    void
+    increment()
+    {
+        if (value < maxVal)
+            ++value;
+    }
+
+    /** Saturating decrement. */
+    void
+    decrement()
+    {
+        if (value > 0)
+            --value;
+    }
+
+    /** Reset to zero (used by resetting confidence counters). */
+    void reset() { value = 0; }
+
+    /** Raw counter value. */
+    u8 raw() const { return value; }
+
+    /** Saturation maximum for this width. */
+    u8 max() const { return maxVal; }
+
+    /** Most-significant-bit test, i.e. "counter in upper half". */
+    bool msbSet() const { return value > (maxVal >> 1); }
+
+    /** True when fully saturated high. */
+    bool saturated() const { return value == maxVal; }
+
+  private:
+    u8 maxVal;
+    u8 value;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,55 @@
+#include "stats_util.hh"
+
+#include <cmath>
+
+namespace polypath
+{
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        sum += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / sum;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+percentChange(double a, double b)
+{
+    if (a == 0.0)
+        return 0.0;
+    return 100.0 * (b - a) / a;
+}
+
+} // namespace polypath

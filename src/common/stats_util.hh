@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Aggregation helpers for experiment reporting (the paper reports
+ * harmonic-mean IPC across benchmarks and geometric-mean misprediction
+ * rates).
+ */
+
+#ifndef POLYPATH_COMMON_STATS_UTIL_HH
+#define POLYPATH_COMMON_STATS_UTIL_HH
+
+#include <vector>
+
+namespace polypath
+{
+
+/** Arithmetic mean; returns 0 for an empty input. */
+double arithmeticMean(const std::vector<double> &values);
+
+/** Harmonic mean; returns 0 for empty input or any non-positive value. */
+double harmonicMean(const std::vector<double> &values);
+
+/** Geometric mean; returns 0 for empty input or any non-positive value. */
+double geometricMean(const std::vector<double> &values);
+
+/** Relative change (b vs. a) in percent: 100 * (b - a) / a. */
+double percentChange(double a, double b);
+
+} // namespace polypath
+
+#endif // POLYPATH_COMMON_STATS_UTIL_HH

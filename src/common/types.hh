@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared across the simulator.
+ */
+
+#ifndef POLYPATH_COMMON_TYPES_HH
+#define POLYPATH_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace polypath
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+/** Memory address (byte granularity). */
+using Addr = u64;
+
+/** Simulation cycle count. */
+using Cycle = u64;
+
+/** Global dynamic-instruction sequence number (fetch order). */
+using InstSeq = u64;
+
+/** Physical register index. */
+using PhysReg = u16;
+
+/** Invalid/unassigned physical register sentinel. */
+constexpr PhysReg invalidPhysReg = 0xffff;
+
+} // namespace polypath
+
+#endif // POLYPATH_COMMON_TYPES_HH

@@ -1,0 +1,97 @@
+#include "config.hh"
+
+namespace polypath
+{
+
+SimConfig
+SimConfig::monopath()
+{
+    SimConfig cfg;
+    cfg.predictor = PredictorKind::Gshare;
+    cfg.confidence = ConfidenceKind::AlwaysHigh;
+    cfg.maxDivergences = 0;
+    return cfg;
+}
+
+SimConfig
+SimConfig::seeJrs()
+{
+    SimConfig cfg;
+    cfg.predictor = PredictorKind::Gshare;
+    cfg.confidence = ConfidenceKind::Jrs;
+    cfg.maxDivergences = -1;
+    return cfg;
+}
+
+SimConfig
+SimConfig::seeOracleConfidence()
+{
+    SimConfig cfg;
+    cfg.predictor = PredictorKind::Gshare;
+    cfg.confidence = ConfidenceKind::Oracle;
+    cfg.maxDivergences = -1;
+    return cfg;
+}
+
+SimConfig
+SimConfig::oraclePrediction()
+{
+    SimConfig cfg;
+    cfg.predictor = PredictorKind::Oracle;
+    cfg.confidence = ConfidenceKind::AlwaysHigh;
+    cfg.maxDivergences = 0;
+    return cfg;
+}
+
+SimConfig
+SimConfig::dualPathJrs()
+{
+    SimConfig cfg = seeJrs();
+    cfg.maxDivergences = 1;
+    return cfg;
+}
+
+SimConfig
+SimConfig::dualPathOracleConfidence()
+{
+    SimConfig cfg = seeOracleConfidence();
+    cfg.maxDivergences = 1;
+    return cfg;
+}
+
+SimConfig
+SimConfig::seeAdaptiveJrs()
+{
+    SimConfig cfg = seeJrs();
+    cfg.confidence = ConfidenceKind::AdaptiveJrs;
+    return cfg;
+}
+
+std::string
+SimConfig::categoryName() const
+{
+    std::string name;
+    switch (predictor) {
+      case PredictorKind::Gshare: name = "gshare"; break;
+      case PredictorKind::Bimodal: name = "bimodal"; break;
+      case PredictorKind::Combining: name = "combining"; break;
+      case PredictorKind::Oracle: name = "oracle"; break;
+      case PredictorKind::AlwaysTaken: name = "taken"; break;
+    }
+    if (predictor == PredictorKind::Oracle &&
+        confidence == ConfidenceKind::AlwaysHigh) {
+        return name;
+    }
+    switch (confidence) {
+      case ConfidenceKind::AlwaysHigh: name += "/monopath"; break;
+      case ConfidenceKind::Jrs: name += "/JRS"; break;
+      case ConfidenceKind::Oracle: name += "/oracle"; break;
+      case ConfidenceKind::AlwaysLow: name += "/eager"; break;
+      case ConfidenceKind::AdaptiveJrs: name += "/JRS-adaptive"; break;
+    }
+    if (maxDivergences == 1)
+        name += "/dual-path";
+    return name;
+}
+
+} // namespace polypath

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Machine configuration for the PolyPath / monopath simulator.
+ *
+ * Defaults reproduce the paper's baseline (§4.2): an 8-way superscalar,
+ * out-of-order, in-order-commit machine with a 256-entry central
+ * instruction window/reorder buffer, an 8-stage pipeline, AXP-21164
+ * functional-unit mix (4 IntType0, 4 IntType1, 4 FPAdd, 4 FPMult,
+ * 4 D-cache ports), a 14-bit gshare predictor and a same-sized JRS
+ * confidence estimator with 1-bit resetting counters.
+ */
+
+#ifndef POLYPATH_CORE_CONFIG_HH
+#define POLYPATH_CORE_CONFIG_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "memsys/cache.hh"
+
+namespace polypath
+{
+
+/** Direction-predictor selection. */
+enum class PredictorKind : u8
+{
+    Gshare,
+    Bimodal,        //!< PC-indexed 2-bit counters (McFarling TN 36)
+    Combining,      //!< bimodal + gshare + chooser (McFarling TN 36)
+    Oracle,         //!< perfect prediction (calibration bound)
+    AlwaysTaken,    //!< static (tests/ablation)
+};
+
+/** Confidence-estimator selection. */
+enum class ConfidenceKind : u8
+{
+    AlwaysHigh,     //!< never diverge: the monopath machine
+    Jrs,            //!< the paper's real estimator
+    Oracle,         //!< perfect confidence (calibration bound)
+    AlwaysLow,      //!< diverge whenever resources allow (ablation)
+    AdaptiveJrs,    //!< §5.1 lesson: JRS that self-monitors its PVN
+};
+
+/** Multi-path fetch bandwidth arbitration policy (§3.2.6). */
+enum class FetchPolicy : u8
+{
+    ExponentialPriority,    //!< paper baseline: bandwidth halves per rank
+    RoundRobin,             //!< even split (ablation)
+    OldestFirst,            //!< oldest path takes all it can (ablation)
+    PredictedFirst,         //!< §3.2.7 future work: within the
+                            //!< exponential scheme, paths that followed
+                            //!< the predictor at their divergences rank
+                            //!< ahead of their non-predicted siblings
+};
+
+/** Full machine configuration. */
+struct SimConfig
+{
+    // Pipeline widths.
+    unsigned fetchWidth = 8;
+    unsigned renameWidth = 8;
+    unsigned commitWidth = 8;
+
+    /** Central instruction window / reorder buffer entries. */
+    unsigned windowSize = 256;
+
+    /**
+     * In-order front-end depth in cycles (fetch through rename). The
+     * paper's total pipeline length is frontendStages + 3 (window/issue,
+     * execute, commit): the 8-stage baseline has a 5-stage front end;
+     * Fig. 12 sweeps total depth 6..10.
+     */
+    unsigned frontendStages = 5;
+
+    // Execution core (per-class functional unit counts).
+    unsigned numIntAlu0 = 4;
+    unsigned numIntAlu1 = 4;
+    unsigned numFpAdd = 4;
+    unsigned numFpMul = 4;
+    unsigned numMemPorts = 4;
+
+    /**
+     * CTX tag width in history positions = maximum number of in-flight
+     * (uncommitted) conditional branches, like checkpoint RegMaps in a
+     * monopath machine.
+     */
+    unsigned tagWidth = 16;
+
+    /** Cap on simultaneously live paths; 0 = auto (tagWidth + 1). */
+    unsigned maxActivePaths = 0;
+
+    /**
+     * Maximum simultaneous unresolved divergences: -1 unlimited (SEE),
+     * 0 never diverge, 1 = dual-path execution (3 paths, §5.2).
+     */
+    int maxDivergences = -1;
+
+    // Branch prediction.
+    PredictorKind predictor = PredictorKind::Gshare;
+    unsigned historyBits = 14;          //!< gshare: 2^14 = 16k counters
+    bool speculativeHistoryUpdate = true;
+
+    // Confidence estimation.
+    ConfidenceKind confidence = ConfidenceKind::AlwaysHigh;
+    unsigned jrsCounterBits = 1;
+    unsigned jrsThreshold = 1;
+    bool enhancedConfidenceIndex = true;
+
+    /** AdaptiveJrs: revert to monopath when measured PVN drops below
+     *  this floor, over windows of adaptiveWindowEvents
+     *  low-confidence calls. */
+    double adaptivePvnFloor = 0.25;
+    unsigned adaptiveWindowEvents = 512;
+
+    /** Train predictor/estimator at resolution instead of commit. */
+    bool trainAtResolution = false;
+
+    // Fetch.
+    FetchPolicy fetchPolicy = FetchPolicy::ExponentialPriority;
+    unsigned rasDepth = 32;
+
+    /**
+     * D-cache timing model. The paper's machine has perfect caches
+     * (always hit, default); set dcache.perfect = false to study SEE
+     * under realistic memory latency (extension, see `ablations`).
+     */
+    CacheConfig dcache;
+
+    /** Physical registers; 0 = auto (64 logical + window + slack). */
+    unsigned numPhysRegs = 0;
+
+    /** Cycle cap; 0 = auto (generous multiple of the dynamic count). */
+    u64 maxCycles = 0;
+
+    /** Run the golden-trace commit verification (cheap; default on). */
+    bool verify = true;
+
+    /** Collect per-static-branch profiles (execs, mispredicts,
+     *  low-confidence calls, divergences); see ppsim --profile. */
+    bool profileBranches = false;
+
+    /**
+     * Deep structural self-check every N cycles (0 = off). Validates
+     * resource-conservation and path-tree invariants; used heavily by
+     * the test suite, costs O(window) per check.
+     */
+    unsigned selfCheckInterval = 0;
+
+    /** Derived: total pipeline stages as the paper counts them. */
+    unsigned totalPipelineStages() const { return frontendStages + 3; }
+
+    /** Derived: effective path cap. */
+    unsigned
+    effectiveMaxPaths() const
+    {
+        return maxActivePaths ? maxActivePaths : tagWidth + 1;
+    }
+
+    /** Derived: effective physical register count. */
+    unsigned
+    effectivePhysRegs() const
+    {
+        return numPhysRegs ? numPhysRegs : (1 + 64 + windowSize + 16);
+    }
+
+    // --- Named configurations used throughout the evaluation ---------
+
+    /** Paper baseline monopath machine (gshare, never diverge). */
+    static SimConfig monopath();
+
+    /** SEE with the real JRS estimator ("gshare/JRS"). */
+    static SimConfig seeJrs();
+
+    /** SEE with perfect confidence ("gshare/oracle"). */
+    static SimConfig seeOracleConfidence();
+
+    /** Perfect branch prediction ("oracle"). */
+    static SimConfig oraclePrediction();
+
+    /** Dual-path restriction of SEE (§5.2), JRS estimator. */
+    static SimConfig dualPathJrs();
+
+    /** Dual-path restriction of SEE (§5.2), oracle confidence. */
+    static SimConfig dualPathOracleConfidence();
+
+    /** SEE with the self-monitoring adaptive JRS estimator (§5.1's
+     *  future-work suggestion, implemented). */
+    static SimConfig seeAdaptiveJrs();
+
+    /** Human-readable category label matching the paper's legends. */
+    std::string categoryName() const;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_CORE_CONFIG_HH

@@ -1,0 +1,1127 @@
+#include "core.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "bpred/combining.hh"
+#include "bpred/confidence.hh"
+#include "bpred/gshare.hh"
+#include "common/logging.hh"
+#include "isa/semantics.hh"
+
+namespace polypath
+{
+
+namespace
+{
+
+std::unique_ptr<BranchPredictor>
+makePredictor(const SimConfig &cfg)
+{
+    switch (cfg.predictor) {
+      case PredictorKind::Gshare:
+        return std::make_unique<GsharePredictor>(cfg.historyBits);
+      case PredictorKind::Bimodal:
+        return std::make_unique<BimodalPredictor>(cfg.historyBits);
+      case PredictorKind::Combining:
+        return std::make_unique<CombiningPredictor>(cfg.historyBits);
+      case PredictorKind::Oracle:
+        return std::make_unique<OraclePredictor>();
+      case PredictorKind::AlwaysTaken:
+        return std::make_unique<TakenPredictor>();
+    }
+    panic("unknown predictor kind");
+}
+
+std::unique_ptr<ConfidenceEstimator>
+makeConfidence(const SimConfig &cfg)
+{
+    switch (cfg.confidence) {
+      case ConfidenceKind::AlwaysHigh:
+        return std::make_unique<AlwaysHighConfidence>();
+      case ConfidenceKind::Jrs:
+        return std::make_unique<JrsConfidence>(
+            cfg.historyBits, cfg.jrsCounterBits, cfg.jrsThreshold,
+            cfg.enhancedConfidenceIndex);
+      case ConfidenceKind::Oracle:
+        return std::make_unique<OracleConfidence>();
+      case ConfidenceKind::AlwaysLow:
+        return std::make_unique<AlwaysLowConfidence>();
+      case ConfidenceKind::AdaptiveJrs:
+        return std::make_unique<AdaptiveJrsConfidence>(
+            cfg.historyBits, cfg.jrsCounterBits, cfg.jrsThreshold,
+            cfg.enhancedConfidenceIndex, cfg.adaptivePvnFloor,
+            cfg.adaptiveWindowEvents);
+    }
+    panic("unknown confidence kind");
+}
+
+/** Maximum cycles with no commit before we declare the core wedged. */
+constexpr Cycle deadlockThreshold = 100'000;
+
+} // anonymous namespace
+
+PolyPathCore::PolyPathCore(const SimConfig &config, const Program &program,
+                           const InterpResult &golden_result)
+    : cfg(config), golden(golden_result), trace(*golden_result.trace),
+      physFile(cfg.effectivePhysRegs()), histAlloc(cfg.tagWidth),
+      window(cfg.windowSize), fuPool(cfg), dcache(cfg.dcache),
+      predictor(makePredictor(cfg)), confidence(makeConfidence(cfg))
+{
+    fatal_if(cfg.fetchWidth == 0 || cfg.renameWidth == 0 ||
+                 cfg.commitWidth == 0 || cfg.windowSize == 0 ||
+                 cfg.frontendStages == 0,
+             "degenerate pipeline configuration");
+    fatal_if(cfg.tagWidth == 0 || cfg.tagWidth > maxHistPositions,
+             "CTX tag width %u unsupported", cfg.tagWidth);
+    panic_if(!golden.trace, "golden run has no branch trace");
+
+    program.loadInto(mem);
+    frontendCapacity =
+        static_cast<size_t>(cfg.frontendStages) * cfg.fetchWidth;
+    waiters.resize(cfg.effectivePhysRegs());
+    simStats.livePathsHistogram.assign(cfg.effectiveMaxPaths() + 2, 0);
+
+    TraceCursor root_cursor;
+    root_cursor.onCorrectPath = true;
+    root_cursor.index = 0;
+    PathContextPtr root = makeContext(
+        CtxTag{}, program.entry, 0,
+        std::make_unique<ReturnAddressStack>(cfg.rasDepth), root_cursor,
+        std::make_unique<RegMap>());
+    fetchStartCycle[root->id] = 0;
+}
+
+PolyPathCore::~PolyPathCore() = default;
+
+PathContext &
+PolyPathCore::contextById(u32 id)
+{
+    auto it = contexts.find(id);
+    panic_if(it == contexts.end(), "context %u does not exist", id);
+    return *it->second;
+}
+
+PathContextPtr
+PolyPathCore::makeContext(const CtxTag &tag, Addr fetch_pc, u64 ghr,
+                          std::unique_ptr<ReturnAddressStack> ras,
+                          TraceCursor cursor,
+                          std::unique_ptr<RegMap> reg_map)
+{
+    auto ctx = std::make_shared<PathContext>();
+    ctx->id = nextCtxId++;
+    ctx->tag = tag;
+    ctx->fetchPc = fetch_pc;
+    ctx->ghr = ghr;
+    ctx->ras = std::move(ras);
+    ctx->cursor = cursor;
+    ctx->regMap = std::move(reg_map);
+    ctx->createSeq = nextCtxSeq++;
+    contexts.emplace(ctx->id, ctx);
+    leaves.push_back(ctx->id);
+    // Redirect latency: a freshly created path starts fetching next cycle.
+    fetchStartCycle[ctx->id] = currentCycle + 1;
+    return ctx;
+}
+
+void
+PolyPathCore::removeLeaf(u32 id)
+{
+    auto it = std::find(leaves.begin(), leaves.end(), id);
+    if (it != leaves.end())
+        leaves.erase(it);
+}
+
+u64
+PolyPathCore::srcValue(PhysReg reg) const
+{
+    return reg == invalidPhysReg ? 0 : physFile.value(reg);
+}
+
+void
+PolyPathCore::emitTrace(PipeEvent event, const DynInstPtr &inst,
+                        std::string detail)
+{
+    if (!traceSink)
+        return;
+    if (detail.empty()) {
+        detail = inst->instr.toString() + "  [" +
+                 inst->tag.toString(std::min(cfg.tagWidth, 16u)) + "]";
+    }
+    traceSink->record({currentCycle, event, inst->seq, inst->pc,
+                       std::move(detail)});
+}
+
+u64
+PolyPathCore::fetchGhr(const PathContext &ctx) const
+{
+    return cfg.speculativeHistoryUpdate ? ctx.ghr : committedGhr;
+}
+
+// ====================================================================
+// Cycle loop
+// ====================================================================
+
+void
+PolyPathCore::tick()
+{
+    panic_if(isHalted, "tick() after HALT committed");
+
+    fuPool.newCycle();
+    commitPhase();
+    if (!isHalted) {
+        writebackPhase();
+        issuePhase();
+        renamePhase();
+        fetchPhase();
+    }
+
+    // End-of-cycle sampling.
+    simStats.windowOccupancySum += window.size();
+    size_t live_paths = leaves.size();
+    simStats.livePathsSum += live_paths;
+    size_t bucket =
+        std::min(live_paths, simStats.livePathsHistogram.size() - 1);
+    ++simStats.livePathsHistogram[bucket];
+
+    ++currentCycle;
+    simStats.cycles = currentCycle;
+    simStats.dcacheHits = dcache.hits();
+    simStats.dcacheMisses = dcache.misses();
+
+    if (cfg.selfCheckInterval &&
+        currentCycle % cfg.selfCheckInterval == 0) {
+        checkInvariants();
+    }
+
+    panic_if(!isHalted && currentCycle - lastCommitCycle > deadlockThreshold,
+             "core deadlock: no commit since cycle %llu (window %zu, "
+             "front-end %zu, paths %zu, free hist %u)",
+             static_cast<unsigned long long>(lastCommitCycle),
+             window.size(), frontEnd.size(), leaves.size(),
+             histAlloc.numFree());
+}
+
+// ====================================================================
+// Fetch
+// ====================================================================
+
+void
+PolyPathCore::fetchPhase()
+{
+    // Gather the paths that may fetch this cycle.
+    std::vector<PathContext *> cands;
+    cands.reserve(leaves.size());
+    for (u32 id : leaves) {
+        PathContext &ctx = contextById(id);
+        if (ctx.fetchStopped)
+            continue;
+        auto it = fetchStartCycle.find(id);
+        if (it != fetchStartCycle.end() && it->second > currentCycle)
+            continue;
+        cands.push_back(&ctx);
+    }
+    if (cands.empty())
+        return;
+
+    // Priority: distance from the oldest uncommitted branch (tree depth),
+    // ties broken by path age (§4.2 fetch assumption). The
+    // PredictedFirst policy (§3.2.7's unexplored dimension) ranks paths
+    // that disagreed with the predictor below those that followed it.
+    bool predicted_first = cfg.fetchPolicy == FetchPolicy::PredictedFirst;
+    std::sort(cands.begin(), cands.end(),
+              [predicted_first](const PathContext *a,
+                                const PathContext *b) {
+                  if (predicted_first &&
+                      a->nonPredictedEdges != b->nonPredictedEdges) {
+                      return a->nonPredictedEdges < b->nonPredictedEdges;
+                  }
+                  unsigned da = a->depth(), db = b->depth();
+                  if (da != db)
+                      return da < db;
+                  return a->createSeq < b->createSeq;
+              });
+
+    unsigned remaining = cfg.fetchWidth;
+    for (size_t i = 0; i < cands.size() && remaining > 0; ++i) {
+        bool last = (i + 1 == cands.size());
+        unsigned quota = remaining;
+        switch (cfg.fetchPolicy) {
+          case FetchPolicy::ExponentialPriority:
+          case FetchPolicy::PredictedFirst:
+            // Bandwidth halves with each step down the priority order
+            // ("decreases exponentially with the distance of a path from
+            // the oldest branch").
+            quota = last ? remaining : std::max(1u, (remaining + 1) / 2);
+            break;
+          case FetchPolicy::RoundRobin:
+            quota = (remaining + (cands.size() - i) - 1) /
+                    (cands.size() - i);
+            break;
+          case FetchPolicy::OldestFirst:
+            quota = remaining;
+            break;
+        }
+        unsigned used = fetchFromContext(*cands[i], quota);
+        remaining -= std::min(used, remaining);
+    }
+    simStats.fetchCycleSlotsUsed += cfg.fetchWidth - remaining;
+}
+
+unsigned
+PolyPathCore::fetchFromContext(PathContext &ctx, unsigned quota)
+{
+    unsigned used = 0;
+    while (used < quota && !ctx.fetchStopped) {
+        if (frontEnd.size() >= frontendCapacity) {
+            ++simStats.fetchStallFrontendFull;
+            break;
+        }
+
+        Instr instr = decodeInstr(mem.read32(ctx.fetchPc));
+        const OpInfo &info = instr.info();
+
+        // Branches and returns need a CTX history position; stall the
+        // path at the branch if none is free (the checkpoint limit of a
+        // conventional machine, §3.1).
+        if ((info.isCondBranch || info.isReturn) &&
+            !histAlloc.available()) {
+            ++simStats.fetchStallNoCtx;
+            break;
+        }
+
+        auto inst = std::make_shared<DynInst>();
+        inst->seq = nextSeq++;
+        inst->pc = ctx.fetchPc;
+        inst->instr = instr;
+        inst->tag = ctx.tag;
+        inst->ctxId = ctx.id;
+        inst->fetchCycle = currentCycle;
+
+        bool diverged = false;
+        if (info.isCondBranch) {
+            diverged = processCondBranchFetch(ctx, inst);
+        } else if (info.isReturn) {
+            processReturnFetch(ctx, inst);
+        } else if (info.isUncondBranch) {
+            if (info.isCall)
+                ctx.ras->push(inst->pc + 4);
+            ctx.fetchPc = instr.targetFrom(inst->pc);
+        } else if (info.isHalt) {
+            ctx.fetchStopped = true;
+            ctx.fetchPc += 4;
+        } else {
+            ctx.fetchPc += 4;
+        }
+
+        frontEnd.push_back(inst);
+        ++simStats.fetchedInstrs;
+        ++used;
+        emitTrace(PipeEvent::Fetch, inst);
+
+        if (diverged)
+            break;      // this leaf was consumed by the divergence
+    }
+    return used;
+}
+
+bool
+PolyPathCore::processCondBranchFetch(PathContext &ctx,
+                                     const DynInstPtr &inst)
+{
+    PredictionQuery query{inst->pc, fetchGhr(ctx), &trace, ctx.cursor};
+    bool pred = predictor->predict(query);
+    bool high_conf = confidence->estimate(query, pred);
+
+    auto bs = std::make_unique<BranchState>();
+    bs->ghrAtPredict = query.ghr;
+    bs->predTaken = pred;
+    bs->lowConfidence = !high_conf;
+    bs->onCorrectPath = ctx.cursor.onCorrectPath;
+    bs->traceIndex = ctx.cursor.index;
+    bs->rasCheckpoint =
+        std::make_unique<ReturnAddressStack>(*ctx.ras);
+
+    // Ground truth (oracle components + self-check).
+    bool known = false;
+    bool actual = false;
+    if (ctx.cursor.onCorrectPath) {
+        panic_if(ctx.cursor.index >= trace.size(),
+                 "correct path fetched a branch beyond the trace "
+                 "(pc %#llx)",
+                 static_cast<unsigned long long>(inst->pc));
+        const BranchRecord &rec = trace[ctx.cursor.index];
+        panic_if(rec.isReturn || rec.pc != inst->pc,
+                 "correct-path control-flow mismatch at pc %#llx "
+                 "(trace idx %llu: pc %#llx, ret=%d)",
+                 static_cast<unsigned long long>(inst->pc),
+                 static_cast<unsigned long long>(ctx.cursor.index),
+                 static_cast<unsigned long long>(rec.pc), rec.isReturn);
+        known = true;
+        actual = rec.taken;
+    }
+
+    Addr taken_target = inst->instr.targetFrom(inst->pc);
+    Addr nt_target = inst->pc + 4;
+
+    bool want_diverge =
+        !high_conf && cfg.maxDivergences != 0 &&
+        (cfg.maxDivergences < 0 ||
+         liveDivergences < cfg.maxDivergences) &&
+        (leaves.size() + 1 <= cfg.effectiveMaxPaths());
+
+    u8 pos = histAlloc.alloc();
+    inst->histPos = pos;
+
+    if (want_diverge) {
+        bs->divergent = true;
+        ++liveDivergences;
+        ++simStats.divergences;
+        for (bool dir : {true, false}) {
+            TraceCursor cursor;
+            if (known && dir == actual) {
+                cursor.onCorrectPath = true;
+                cursor.index = ctx.cursor.index + 1;
+            }
+            u64 child_ghr = (ctx.ghr << 1) | (dir ? 1 : 0);
+            PathContextPtr child = makeContext(
+                ctx.tag.child(pos, dir), dir ? taken_target : nt_target,
+                child_ghr,
+                std::make_unique<ReturnAddressStack>(*ctx.ras), cursor,
+                nullptr);
+            child->nonPredictedEdges =
+                ctx.nonPredictedEdges + (dir != pred ? 1 : 0);
+            if (dir)
+                bs->childTakenCtx = child->id;
+            else
+                bs->childNtCtx = child->id;
+        }
+        // The parent leaf is consumed; the context object stays parked
+        // until the divergent branch renames and hands over its RegMap.
+        removeLeaf(ctx.id);
+        ctx.fetchStopped = true;
+        inst->branch = std::move(bs);
+        emitTrace(PipeEvent::Diverge, inst,
+                  "pos " + std::to_string(pos) + " -> ctx " +
+                      std::to_string(inst->branch->childTakenCtx) + "/" +
+                      std::to_string(inst->branch->childNtCtx));
+        return true;
+    }
+
+    if (!high_conf)
+        ++simStats.divergencesSuppressed;
+
+    // Predicted (monopath-style) branch: the leaf continues with an
+    // extended tag along the predicted direction.
+    ctx.tag = ctx.tag.child(pos, pred);
+    ctx.ghr = (ctx.ghr << 1) | (pred ? 1 : 0);
+    if (ctx.cursor.onCorrectPath) {
+        if (known && pred == actual)
+            ctx.cursor.index += 1;
+        else
+            ctx.cursor.onCorrectPath = false;
+    }
+    ctx.fetchPc = pred ? taken_target : nt_target;
+    inst->branch = std::move(bs);
+    return false;
+}
+
+bool
+PolyPathCore::processReturnFetch(PathContext &ctx, const DynInstPtr &inst)
+{
+    auto bs = std::make_unique<BranchState>();
+    bs->ghrAtPredict = fetchGhr(ctx);
+    bs->predTaken = true;
+    bs->predTarget = ctx.ras->pop();
+    bs->rasCheckpoint =
+        std::make_unique<ReturnAddressStack>(*ctx.ras);   // post-pop
+    bs->onCorrectPath = ctx.cursor.onCorrectPath;
+    bs->traceIndex = ctx.cursor.index;
+
+    u8 pos = histAlloc.alloc();
+    inst->histPos = pos;
+
+    if (ctx.cursor.onCorrectPath) {
+        panic_if(ctx.cursor.index >= trace.size(),
+                 "correct path fetched a return beyond the trace "
+                 "(pc %#llx)",
+                 static_cast<unsigned long long>(inst->pc));
+        const BranchRecord &rec = trace[ctx.cursor.index];
+        panic_if(!rec.isReturn || rec.pc != inst->pc,
+                 "correct-path return mismatch at pc %#llx",
+                 static_cast<unsigned long long>(inst->pc));
+        if (bs->predTarget == rec.target)
+            ctx.cursor.index += 1;
+        else
+            ctx.cursor.onCorrectPath = false;
+    }
+
+    ctx.tag = ctx.tag.child(pos, true);
+    ctx.fetchPc = bs->predTarget;
+    inst->branch = std::move(bs);
+    return false;
+}
+
+// ====================================================================
+// Rename / dispatch
+// ====================================================================
+
+void
+PolyPathCore::renamePhase()
+{
+    unsigned count = 0;
+    while (count < cfg.renameWidth && !frontEnd.empty()) {
+        DynInstPtr inst = frontEnd.front();
+        panic_if(inst->killed, "killed instruction left in front-end");
+
+        // Front-end latency: an instruction fetched in cycle F (stage 1)
+        // reaches rename (stage frontendStages) in cycle
+        // F + frontendStages - 1.
+        if (currentCycle < inst->fetchCycle + cfg.frontendStages - 1)
+            break;
+        if (window.full())
+            break;
+        if (inst->instr.dst() != noReg && !physFile.hasFree())
+            break;
+
+        PathContext &ctx = contextById(inst->ctxId);
+        panic_if(!ctx.regMap, "renaming with no path RegMap (ctx %u)",
+                 ctx.id);
+
+        frontEnd.pop_front();
+        renameInst(inst, ctx);
+        window.insert(inst);
+        ++count;
+    }
+}
+
+void
+PolyPathCore::renameInst(const DynInstPtr &inst, PathContext &ctx)
+{
+    const Instr &instr = inst->instr;
+
+    inst->physSrc1 = ctx.regMap->lookup(instr.src1());
+    inst->physSrc2 = ctx.regMap->lookup(instr.src2());
+    inst->logDst = instr.dst();
+    if (inst->logDst != noReg) {
+        inst->physDst = physFile.alloc();
+        inst->oldPhysDst = ctx.regMap->rename(inst->logDst,
+                                              inst->physDst);
+    }
+
+    inst->waitingSrcs = 0;
+    for (PhysReg src : {inst->physSrc1, inst->physSrc2}) {
+        if (src != invalidPhysReg && !physFile.ready(src)) {
+            ++inst->waitingSrcs;
+            waiters[src].push_back(inst);
+        }
+    }
+    inst->renamed = true;
+
+    if (instr.isStore()) {
+        storeQueue.insert(inst->seq, inst->tag,
+                          static_cast<u8>(instr.accessSize()));
+        // Perfect-disambiguation model: publish address/data as soon as
+        // dataflow provides them.
+        if (physFile.ready(inst->physSrc1))
+            publishStoreAddr(inst);
+        if (physFile.ready(inst->physSrc2))
+            publishStoreData(inst);
+    }
+
+    if (inst->branch) {
+        BranchState &bs = *inst->branch;
+        if (bs.divergent) {
+            // Hand the parent's RegMap to the two successor paths: one
+            // copy each, the PolyPath reading of the two-RegMap budget
+            // (§3.2.5).
+            PathContext &taken_child = contextById(bs.childTakenCtx);
+            PathContext &nt_child = contextById(bs.childNtCtx);
+            taken_child.regMap = std::make_unique<RegMap>(*ctx.regMap);
+            nt_child.regMap = std::move(ctx.regMap);
+            // The parked parent context is no longer needed.
+            u32 parent_id = inst->ctxId;
+            fetchStartCycle.erase(parent_id);
+            contexts.erase(parent_id);
+        } else {
+            bs.checkpoint = std::make_unique<RegMap>(*ctx.regMap);
+        }
+    }
+
+    emitTrace(PipeEvent::Rename, inst);
+    if (inst->waitingSrcs == 0)
+        enqueueReady(inst);
+}
+
+void
+PolyPathCore::publishStoreAddr(const DynInstPtr &inst)
+{
+    Addr ea = effectiveAddr(inst->instr, srcValue(inst->physSrc1));
+    inst->effAddr = ea;
+    storeQueue.setAddress(inst->seq, ea);
+}
+
+void
+PolyPathCore::publishStoreData(const DynInstPtr &inst)
+{
+    storeQueue.setData(inst->seq, srcValue(inst->physSrc2));
+}
+
+void
+PolyPathCore::enqueueReady(const DynInstPtr &inst)
+{
+    size_t cls = static_cast<size_t>(inst->instr.info().execClass);
+    readyQueues[cls].push({inst->seq, inst});
+}
+
+// ====================================================================
+// Issue / execute
+// ====================================================================
+
+void
+PolyPathCore::issuePhase()
+{
+    // Blocked loads retry every cycle (store addresses/data may have
+    // been published since).
+    if (!blockedLoads.empty()) {
+        for (DynInstPtr &load : blockedLoads) {
+            if (!load->killed && !load->issued)
+                enqueueReady(load);
+        }
+        blockedLoads.clear();
+    }
+
+    for (size_t cls = 0;
+         cls < static_cast<size_t>(ExecClass::NumClasses); ++cls) {
+        ReadyQueue &queue = readyQueues[cls];
+        ExecClass exec_cls = static_cast<ExecClass>(cls);
+        while (fuPool.available(exec_cls) && !queue.empty()) {
+            DynInstPtr inst = queue.top().second;
+            queue.pop();
+            if (inst->killed || inst->issued)
+                continue;
+            if (inst->instr.isLoad()) {
+                if (!tryIssueLoad(inst)) {
+                    blockedLoads.push_back(inst);
+                    continue;
+                }
+            }
+            fuPool.take(exec_cls);
+            inst->issued = true;
+            executeAtIssue(inst);
+            scheduleCompletion(inst, inst->instr.info().latency +
+                                         inst->extraLatency);
+            ++simStats.fuIssued[cls];
+            emitTrace(PipeEvent::Issue, inst);
+        }
+    }
+}
+
+bool
+PolyPathCore::tryIssueLoad(const DynInstPtr &inst)
+{
+    Addr ea = effectiveAddr(inst->instr, srcValue(inst->physSrc1));
+    inst->effAddr = ea;
+    LoadQueryResult query = storeQueue.queryLoad(
+        inst->seq, inst->tag, ea, inst->instr.accessSize(), mem);
+    if (query.status == LoadQueryStatus::MustWait) {
+        ++simStats.loadBlockedEvents;
+        return false;
+    }
+    inst->result = query.value;
+    inst->hasResult = true;
+    if (query.forwarded) {
+        // Forwarded entirely from the store queue: no cache access.
+        ++simStats.loadsForwarded;
+    } else {
+        inst->extraLatency =
+            static_cast<u8>(std::min(dcache.access(ea), 250u));
+    }
+    return true;
+}
+
+void
+PolyPathCore::executeAtIssue(const DynInstPtr &inst)
+{
+    const Instr &instr = inst->instr;
+    const OpInfo &info = instr.info();
+    u64 a = srcValue(inst->physSrc1);
+    u64 b = srcValue(inst->physSrc2);
+
+    if (info.isCondBranch) {
+        BranchState &bs = *inst->branch;
+        bs.actualTaken = evalCondBranch(instr, a);
+        bs.actualTarget = bs.actualTaken ? instr.targetFrom(inst->pc)
+                                         : inst->pc + 4;
+    } else if (info.isReturn) {
+        inst->branch->actualTarget = a;
+    } else if (info.isLoad) {
+        // Result resolved in tryIssueLoad().
+    } else if (info.isStore) {
+        // Published through the store queue; nothing to compute here.
+        publishStoreAddr(inst);
+        publishStoreData(inst);
+        // Write-allocate: the store's line becomes resident (timing is
+        // hidden by the store buffer, so no latency contribution).
+        dcache.access(inst->effAddr);
+    } else if (info.isHalt || info.isInvalid ||
+               instr.op == Opcode::NOP || instr.op == Opcode::BR) {
+        // No result.
+    } else {
+        inst->result = computeResult(instr, a, b, inst->pc);
+        inst->hasResult = true;
+    }
+}
+
+void
+PolyPathCore::scheduleCompletion(const DynInstPtr &inst, unsigned latency)
+{
+    panic_if(latency == 0 || latency >= completionRingSize,
+             "latency %u out of range", latency);
+    completionRing[(currentCycle + latency) % completionRingSize]
+        .push_back(inst);
+}
+
+// ====================================================================
+// Writeback / resolution
+// ====================================================================
+
+void
+PolyPathCore::writebackPhase()
+{
+    auto &bucket = completionRing[currentCycle % completionRingSize];
+    // The bucket may gain entries only for future cycles, so iterating a
+    // copy is unnecessary; resolution may kill instructions in *other*
+    // buckets, which the killed flag handles lazily.
+    std::vector<DynInstPtr> completing;
+    completing.swap(bucket);
+
+    for (DynInstPtr &inst : completing) {
+        if (inst->killed)
+            continue;
+        inst->completed = true;
+        emitTrace(PipeEvent::Writeback, inst);
+        if (inst->physDst != invalidPhysReg) {
+            physFile.setValue(inst->physDst, inst->result);
+            wakeDependents(inst->physDst);
+        }
+        if (inst->isCondBranch() || inst->isReturn())
+            resolveControl(inst);
+    }
+}
+
+void
+PolyPathCore::wakeDependents(PhysReg reg)
+{
+    std::vector<DynInstPtr> consumers;
+    consumers.swap(waiters[reg]);
+    for (DynInstPtr &inst : consumers) {
+        if (inst->killed)
+            continue;
+        if (inst->instr.isStore()) {
+            if (inst->physSrc1 == reg)
+                publishStoreAddr(inst);
+            if (inst->physSrc2 == reg)
+                publishStoreData(inst);
+        }
+        panic_if(inst->waitingSrcs == 0, "spurious wakeup");
+        if (--inst->waitingSrcs == 0)
+            enqueueReady(inst);
+    }
+}
+
+void
+PolyPathCore::resolveControl(const DynInstPtr &inst)
+{
+    BranchState &bs = *inst->branch;
+    panic_if(bs.resolved, "double resolution");
+    bs.resolved = true;
+
+    if (inst->isCondBranch()) {
+        bool actual = bs.actualTaken;
+        if (bs.divergent) {
+            accountDivergenceEnd(inst);
+            killWrongSide(inst->histPos, actual);
+        } else if (actual != bs.predTaken) {
+            killWrongSide(inst->histPos, actual);
+            spawnRecoveryContext(inst, actual, bs.actualTarget, false);
+            ++simStats.recoveries;
+            if (bs.onCorrectPath)
+                ++simStats.recoveriesCorrectPath;
+        } else {
+            // Correct prediction: the checkpoint is dead (§3.1).
+            bs.checkpoint.reset();
+            bs.rasCheckpoint.reset();
+        }
+        if (cfg.trainAtResolution)
+            trainPredictors(inst);
+    } else {
+        // Return: "taken" side was the RAS-predicted target.
+        if (bs.actualTarget != bs.predTarget) {
+            killWrongSide(inst->histPos, false);
+            spawnRecoveryContext(inst, false, bs.actualTarget, true);
+            ++simStats.retRecoveries;
+        } else {
+            bs.checkpoint.reset();
+            bs.rasCheckpoint.reset();
+        }
+    }
+}
+
+void
+PolyPathCore::accountDivergenceEnd(const DynInstPtr &inst)
+{
+    BranchState &bs = *inst->branch;
+    if (!bs.divergenceAccounted) {
+        bs.divergenceAccounted = true;
+        --liveDivergences;
+        panic_if(liveDivergences < 0, "divergence accounting underflow");
+    }
+}
+
+void
+PolyPathCore::killWrongSide(unsigned pos, bool actual_taken)
+{
+    // Instruction window sweep (the Fig. 6 snoop state machines).
+    window.killWrongPath(pos, actual_taken, [this](const DynInstPtr &i) {
+        killInst(i, true);
+    });
+
+    // In-order front-end sweep.
+    std::deque<DynInstPtr> kept;
+    for (DynInstPtr &inst : frontEnd) {
+        if (inst->tag.onWrongSide(pos, actual_taken))
+            killInst(inst, false);
+        else
+            kept.push_back(std::move(inst));
+    }
+    frontEnd.swap(kept);
+
+    // Path contexts on the wrong subtree die with their instructions.
+    std::vector<u32> dead;
+    for (auto &[id, ctx] : contexts) {
+        if (ctx->tag.onWrongSide(pos, actual_taken))
+            dead.push_back(id);
+    }
+    for (u32 id : dead) {
+        contextById(id).live = false;
+        removeLeaf(id);
+        fetchStartCycle.erase(id);
+        contexts.erase(id);
+    }
+}
+
+void
+PolyPathCore::killInst(const DynInstPtr &inst, bool in_window)
+{
+    panic_if(inst->killed, "double kill");
+    inst->killed = true;
+    if (inst->renamed) {
+        if (inst->physDst != invalidPhysReg)
+            physFile.release(inst->physDst);
+        if (inst->instr.isStore())
+            storeQueue.kill(inst->seq);
+    }
+    if (inst->holdsHistPos()) {
+        // A killed branch's position has carriers only in its own (also
+        // killed) subtree, so it can be recycled immediately.
+        if (inst->branch && inst->branch->divergent)
+            accountDivergenceEnd(inst);
+        histAlloc.release(inst->histPos);
+        inst->histPos = noHistPos;
+    }
+    if (in_window)
+        ++simStats.killedInstrs;
+    else
+        ++simStats.killedFrontend;
+    emitTrace(PipeEvent::Kill, inst);
+}
+
+void
+PolyPathCore::spawnRecoveryContext(const DynInstPtr &inst, bool tag_dir,
+                                   Addr target_pc, bool is_return)
+{
+    BranchState &bs = *inst->branch;
+    panic_if(!bs.checkpoint || !bs.rasCheckpoint,
+             "recovery without checkpoints (pc %#llx)",
+             static_cast<unsigned long long>(inst->pc));
+
+    TraceCursor cursor;
+    if (bs.onCorrectPath) {
+        // A mispredicted correct-path control transfer means the
+        // recovery path *is* the correct continuation.
+        cursor.onCorrectPath = true;
+        cursor.index = bs.traceIndex + 1;
+    }
+
+    u64 ghr = is_return
+                  ? bs.ghrAtPredict
+                  : ((bs.ghrAtPredict << 1) | (bs.actualTaken ? 1 : 0));
+
+    PathContextPtr ctx = makeContext(
+        inst->tag.child(inst->histPos, tag_dir), target_pc, ghr,
+        std::move(bs.rasCheckpoint), cursor, std::move(bs.checkpoint));
+    // A recovery path is the architecturally resolved direction; it
+    // carries no non-predicted penalty of its own.
+    emitTrace(PipeEvent::Recover, inst,
+              "restart ctx " + std::to_string(ctx->id) + " at pc " +
+                  std::to_string(target_pc));
+}
+
+// ====================================================================
+// Commit
+// ====================================================================
+
+void
+PolyPathCore::commitPhase()
+{
+    unsigned count = 0;
+    while (count < cfg.commitWidth && !window.empty() && !isHalted) {
+        const DynInstPtr &inst = window.head();
+        if (!inst->completed)
+            break;
+        commitInst(inst);
+        window.popHead();
+        ++count;
+        lastCommitCycle = currentCycle;
+    }
+}
+
+void
+PolyPathCore::commitInst(const DynInstPtr &inst)
+{
+    panic_if(inst->killed, "committing a killed instruction");
+    const OpInfo &info = inst->instr.info();
+    fatal_if(info.isInvalid,
+             "INVALID instruction committed at pc %#llx — the workload "
+             "executed uninitialised memory",
+             static_cast<unsigned long long>(inst->pc));
+
+    ++simStats.committedInstrs;
+    emitTrace(PipeEvent::Commit, inst);
+
+    if (inst->logDst != noReg) {
+        PhysReg prev = retireMap.rename(inst->logDst, inst->physDst);
+        panic_if(prev != inst->oldPhysDst,
+                 "retirement map out of sync at pc %#llx "
+                 "(logical r%u: retire %u vs rename-old %u)",
+                 static_cast<unsigned long long>(inst->pc), inst->logDst,
+                 prev, inst->oldPhysDst);
+        physFile.release(prev);
+    }
+
+    if (inst->instr.isStore())
+        storeQueue.commit(inst->seq, mem);
+
+    if (inst->isCondBranch() || inst->isReturn())
+        commitControl(inst);
+
+    if (info.isHalt)
+        isHalted = true;
+}
+
+void
+PolyPathCore::commitControl(const DynInstPtr &inst)
+{
+    BranchState &bs = *inst->branch;
+    panic_if(!bs.resolved, "committing unresolved control instruction");
+
+    if (cfg.verify) {
+        panic_if(committedTraceIdx >= trace.size(),
+                 "committed control transfer beyond the golden trace "
+                 "(pc %#llx)",
+                 static_cast<unsigned long long>(inst->pc));
+        const BranchRecord &rec = trace[committedTraceIdx];
+        bool is_ret = inst->isReturn();
+        panic_if(rec.isReturn != is_ret || rec.pc != inst->pc,
+                 "commit stream diverged from golden trace at idx %llu "
+                 "(pc %#llx vs %#llx)",
+                 static_cast<unsigned long long>(committedTraceIdx),
+                 static_cast<unsigned long long>(inst->pc),
+                 static_cast<unsigned long long>(rec.pc));
+        if (is_ret) {
+            panic_if(rec.target != bs.actualTarget,
+                     "committed return target mismatch at pc %#llx",
+                     static_cast<unsigned long long>(inst->pc));
+        } else {
+            panic_if(rec.taken != bs.actualTaken,
+                     "committed branch outcome mismatch at pc %#llx",
+                     static_cast<unsigned long long>(inst->pc));
+        }
+    }
+    ++committedTraceIdx;
+
+    if (inst->isCondBranch()) {
+        ++simStats.committedBranches;
+        bool correct = (bs.actualTaken == bs.predTaken);
+        if (!correct)
+            ++simStats.mispredictedBranches;
+        if (bs.lowConfidence) {
+            ++simStats.lowConfidenceBranches;
+            if (!correct)
+                ++simStats.lowConfidenceMispredicts;
+        } else if (!correct) {
+            ++simStats.highConfidenceMispredicts;
+        }
+        if (!cfg.trainAtResolution)
+            trainPredictors(inst);
+        committedGhr = (committedGhr << 1) | (bs.actualTaken ? 1 : 0);
+        if (cfg.profileBranches) {
+            BranchProfile &prof = profiles[inst->pc];
+            ++prof.execs;
+            prof.mispredicts += !correct;
+            prof.lowConfidence += bs.lowConfidence;
+            prof.divergences += bs.divergent;
+        }
+    } else {
+        ++simStats.committedReturns;
+        if (bs.actualTarget != bs.predTarget)
+            ++simStats.mispredictedReturns;
+    }
+
+    broadcastCommitPosition(inst->histPos);
+    inst->histPos = noHistPos;
+}
+
+void
+PolyPathCore::broadcastCommitPosition(unsigned pos)
+{
+    // §3.2.2: the committing branch's history position is dead state in
+    // every live tag; one valid-bit reset per carrier recycles it.
+    window.commitPosition(pos);
+    for (DynInstPtr &inst : frontEnd)
+        inst->tag.clearPosition(pos);
+    storeQueue.commitPosition(pos);
+    for (auto &[id, ctx] : contexts)
+        ctx->tag.clearPosition(pos);
+    histAlloc.release(static_cast<u8>(pos));
+}
+
+void
+PolyPathCore::trainPredictors(const DynInstPtr &inst)
+{
+    const BranchState &bs = *inst->branch;
+    predictor->update(inst->pc, bs.ghrAtPredict, bs.actualTaken);
+    confidence->update(inst->pc, bs.ghrAtPredict, bs.predTaken,
+                       bs.actualTaken == bs.predTaken);
+}
+
+// ====================================================================
+// Structural self-check
+// ====================================================================
+
+void
+PolyPathCore::checkInvariants() const
+{
+    // --- gather the in-flight instruction population ------------------
+    std::vector<DynInstPtr> in_flight;
+    for (const DynInstPtr &inst : window.contents())
+        in_flight.push_back(inst);
+    for (const DynInstPtr &inst : frontEnd)
+        in_flight.push_back(inst);
+
+    // Window is in fetch order with no killed entries.
+    InstSeq prev_seq = 0;
+    for (const DynInstPtr &inst : window.contents()) {
+        panic_if(inst->killed, "killed instruction in window");
+        panic_if(inst->seq <= prev_seq && prev_seq != 0,
+                 "window out of fetch order");
+        prev_seq = inst->seq;
+    }
+
+    // --- physical-register conservation -------------------------------
+    std::vector<bool> referenced(physFile.numRegs(), false);
+    referenced[zeroPhysReg] = true;
+    auto mark_map = [&](const RegMap &map) {
+        for (LogReg reg = 0; reg < numLogRegs; ++reg) {
+            PhysReg phys = map.lookup(reg);
+            panic_if(phys >= physFile.numRegs(), "map points off file");
+            referenced[phys] = true;
+        }
+    };
+    mark_map(retireMap);
+    for (const auto &[id, ctx] : contexts) {
+        if (ctx->regMap)
+            mark_map(*ctx->regMap);
+    }
+    for (const DynInstPtr &inst : in_flight) {
+        if (inst->renamed && inst->physDst != invalidPhysReg)
+            referenced[inst->physDst] = true;
+        if (inst->branch && inst->branch->checkpoint)
+            mark_map(*inst->branch->checkpoint);
+    }
+
+    std::vector<bool> free_mask = physFile.freeMask();
+    for (PhysReg reg = 1; reg < physFile.numRegs(); ++reg) {
+        panic_if(free_mask[reg] && referenced[reg],
+                 "phys reg %u is free but still referenced", reg);
+        panic_if(!free_mask[reg] && !referenced[reg],
+                 "phys reg %u leaked (allocated but unreachable)", reg);
+    }
+
+    // --- CTX history-position conservation ----------------------------
+    std::vector<unsigned> pos_holders(histAlloc.width(), 0);
+    for (const DynInstPtr &inst : in_flight) {
+        if (inst->holdsHistPos()) {
+            panic_if(inst->histPos >= histAlloc.width(),
+                     "bad history position");
+            ++pos_holders[inst->histPos];
+        }
+    }
+    unsigned held = 0;
+    for (unsigned pos = 0; pos < histAlloc.width(); ++pos) {
+        panic_if(pos_holders[pos] > 1,
+                 "history position %u held by %u branches", pos,
+                 pos_holders[pos]);
+        held += pos_holders[pos];
+    }
+    panic_if(held + histAlloc.numFree() != histAlloc.width(),
+             "history positions lost: %u held + %u free != %u", held,
+             histAlloc.numFree(), histAlloc.width());
+
+    // --- live leaves are pairwise unrelated paths ----------------------
+    for (size_t i = 0; i < leaves.size(); ++i) {
+        for (size_t j = i + 1; j < leaves.size(); ++j) {
+            const CtxTag &a = contexts.at(leaves[i])->tag;
+            const CtxTag &b = contexts.at(leaves[j])->tag;
+            panic_if(a.isRelated(b),
+                     "leaf paths %s and %s are related",
+                     a.toString(histAlloc.width()).c_str(),
+                     b.toString(histAlloc.width()).c_str());
+        }
+    }
+
+    // --- every store-queue entry belongs to an in-flight store ---------
+    std::vector<InstSeq> sq_seqs = storeQueue.seqs();
+    for (InstSeq seq : sq_seqs) {
+        bool found = false;
+        for (const DynInstPtr &inst : window.contents()) {
+            if (inst->seq == seq) {
+                panic_if(!inst->instr.isStore(),
+                         "store-queue entry for a non-store");
+                found = true;
+                break;
+            }
+        }
+        panic_if(!found, "orphan store-queue entry (seq %llu)",
+                 static_cast<unsigned long long>(seq));
+    }
+}
+
+// ====================================================================
+// Architectural state extraction
+// ====================================================================
+
+ArchState
+PolyPathCore::architecturalState() const
+{
+    ArchState state;
+    for (LogReg reg = 0; reg < numLogRegs; ++reg) {
+        if (isZeroReg(reg))
+            continue;
+        state.setReg(reg, physFile.value(retireMap.lookup(reg)));
+    }
+    return state;
+}
+
+} // namespace polypath

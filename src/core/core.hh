@@ -1,0 +1,264 @@
+/**
+ * @file
+ * The PolyPath out-of-order core (Fig. 2) — the paper's contribution.
+ *
+ * A cycle-level, execution-driven model of an 8-way superscalar,
+ * out-of-order execution, in-order commit processor with Selective Eager
+ * Execution:
+ *
+ *   - multi-path fetch with exponential-priority bandwidth arbitration;
+ *   - per-path RegMaps with checkpointing; unified recovery: a
+ *     high-confidence branch takes a history position and a checkpoint
+ *     exactly like a divergent one, so the monopath baseline is simply
+ *     this core with an always-high-confidence estimator;
+ *   - a central instruction window whose entries snoop the branch
+ *     resolution and commit buses through their CTX tags;
+ *   - a CTX-tagged store buffer with ancestor-only forwarding;
+ *   - AXP-21164 functional-unit mix and latencies;
+ *   - precise state: memory is written only at commit, registers are
+ *     reclaimed only when provably dead, and every run self-verifies
+ *     against the golden interpreter's trace and final state.
+ *
+ * Wrong paths are *really* executed: fetched from (possibly wild) PCs,
+ * renamed, issued to functional units with whatever values dataflow
+ * provides, and killed by the resolution bus — the defining property of
+ * an execution-driven multipath simulator (§4.2).
+ */
+
+#ifndef POLYPATH_CORE_CORE_HH
+#define POLYPATH_CORE_CORE_HH
+
+#include <map>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/arch_state.hh"
+#include "arch/interpreter.hh"
+#include "asmkit/program.hh"
+#include "bpred/predictor.hh"
+#include "core/config.hh"
+#include "core/dyn_inst.hh"
+#include "core/fu_pool.hh"
+#include "core/iwindow.hh"
+#include "core/path_context.hh"
+#include "core/stats.hh"
+#include "core/trace.hh"
+#include "ctx/hist_alloc.hh"
+#include "memsys/cache.hh"
+#include "memsys/memory.hh"
+#include "memsys/store_queue.hh"
+#include "rename/phys_regfile.hh"
+
+namespace polypath
+{
+
+/** Per-static-branch profile (cfg.profileBranches). */
+struct BranchProfile
+{
+    u64 execs = 0;          //!< committed executions
+    u64 mispredicts = 0;
+    u64 lowConfidence = 0;  //!< low-confidence estimates at commit
+    u64 divergences = 0;    //!< committed divergent executions
+};
+
+/** The PolyPath / monopath timing core. */
+class PolyPathCore
+{
+  public:
+    /**
+     * @param cfg machine configuration
+     * @param program workload image (loaded into a private memory)
+     * @param golden reference run of the same program: supplies the
+     *        control-flow trace (oracle + verification)
+     */
+    PolyPathCore(const SimConfig &cfg, const Program &program,
+                 const InterpResult &golden);
+    ~PolyPathCore();
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Has HALT committed? */
+    bool halted() const { return isHalted; }
+
+    /** Current cycle. */
+    Cycle cycle() const { return currentCycle; }
+
+    /** Statistics so far. */
+    const SimStats &stats() const { return simStats; }
+
+    /** Committed architectural register state (via the retirement map). */
+    ArchState architecturalState() const;
+
+    /** The core's memory (committed state only). */
+    const SparseMemory &memory() const { return mem; }
+
+    // --- introspection for tests and examples ------------------------
+
+    size_t windowOccupancy() const { return window.size(); }
+    size_t numLivePaths() const { return leaves.size(); }
+    unsigned freeHistPositions() const { return histAlloc.numFree(); }
+    const SimConfig &config() const { return cfg; }
+
+    /** Attach (or detach with nullptr) a pipeline-event trace sink. */
+    void setTraceSink(TraceSink *sink) { traceSink = sink; }
+
+    /** Per-PC branch profiles (empty unless cfg.profileBranches). */
+    const std::unordered_map<Addr, BranchProfile> &
+    branchProfiles() const
+    {
+        return profiles;
+    }
+
+  private:
+    // --- pipeline phases (executed in reverse order each tick) --------
+    void commitPhase();
+    void writebackPhase();
+    void issuePhase();
+    void renamePhase();
+    void fetchPhase();
+
+    // --- fetch helpers -------------------------------------------------
+    unsigned fetchFromContext(PathContext &ctx, unsigned quota);
+    bool processCondBranchFetch(PathContext &ctx, const DynInstPtr &inst);
+    bool processReturnFetch(PathContext &ctx, const DynInstPtr &inst);
+    u64 fetchGhr(const PathContext &ctx) const;
+
+    // --- rename helpers -------------------------------------------------
+    void renameInst(const DynInstPtr &inst, PathContext &ctx);
+    void publishStoreAddr(const DynInstPtr &inst);
+    void publishStoreData(const DynInstPtr &inst);
+
+    // --- execution helpers -----------------------------------------------
+    void executeAtIssue(const DynInstPtr &inst);
+    bool tryIssueLoad(const DynInstPtr &inst);
+    void scheduleCompletion(const DynInstPtr &inst, unsigned latency);
+    void enqueueReady(const DynInstPtr &inst);
+    void wakeDependents(PhysReg reg);
+
+    // --- resolution / recovery ---------------------------------------------
+    void resolveControl(const DynInstPtr &inst);
+    void killWrongSide(unsigned pos, bool actual_taken);
+    void killInst(const DynInstPtr &inst, bool in_window);
+    void spawnRecoveryContext(const DynInstPtr &inst, bool tag_dir,
+                              Addr target_pc, bool is_return);
+    void accountDivergenceEnd(const DynInstPtr &inst);
+
+    // --- commit helpers ------------------------------------------------
+    void commitInst(const DynInstPtr &inst);
+    void commitControl(const DynInstPtr &inst);
+    void broadcastCommitPosition(unsigned pos);
+    void trainPredictors(const DynInstPtr &inst);
+
+    // --- context management ------------------------------------------------
+    PathContextPtr makeContext(const CtxTag &tag, Addr fetch_pc, u64 ghr,
+                               std::unique_ptr<ReturnAddressStack> ras,
+                               TraceCursor cursor,
+                               std::unique_ptr<RegMap> reg_map);
+    PathContext &contextById(u32 id);
+    void removeLeaf(u32 id);
+
+    u64 srcValue(PhysReg reg) const;
+
+    /** Emit a trace record if a sink is attached. */
+    void emitTrace(PipeEvent event, const DynInstPtr &inst,
+                   std::string detail = {});
+
+  public:
+    /**
+     * Deep structural invariant check (also run periodically when
+     * config().selfCheckInterval is set):
+     *  - physical-register conservation: free + held-by-pipeline +
+     *    reachable-from-maps equals the file size;
+     *  - history-position conservation: free + held-by-in-flight
+     *    control instructions equals the tag width;
+     *  - the window is in fetch order with no killed entries;
+     *  - live leaf paths are pairwise unrelated (no leaf is another
+     *    leaf's ancestor);
+     *  - every store-queue entry belongs to an in-flight store.
+     * Panics on violation.
+     */
+    void checkInvariants() const;
+
+  private:
+
+    // --- configuration and fixed structures -----------------------------
+    SimConfig cfg;
+    const InterpResult &golden;
+    const BranchTrace &trace;
+
+    SparseMemory mem;
+    PhysRegFile physFile;
+    RegMap retireMap;
+    HistAlloc histAlloc;
+    InstructionWindow window;
+    StoreQueue storeQueue;
+    FuPool fuPool;
+    CacheModel dcache;
+
+    std::unique_ptr<BranchPredictor> predictor;
+    std::unique_ptr<ConfidenceEstimator> confidence;
+
+    // --- dynamic state ------------------------------------------------------
+    Cycle currentCycle = 0;
+    InstSeq nextSeq = 1;
+    bool isHalted = false;
+
+    /** All live path-context objects by id. */
+    std::unordered_map<u32, PathContextPtr> contexts;
+
+    /** Ids of contexts eligible to fetch (the leaves of the tree). */
+    std::vector<u32> leaves;
+    u32 nextCtxId = 1;
+    u64 nextCtxSeq = 1;
+
+    /** Per-context first fetch cycle (redirect latency modelling). */
+    std::unordered_map<u32, Cycle> fetchStartCycle;
+
+    /** In-order front-end: fetched but not yet renamed instructions. */
+    std::deque<DynInstPtr> frontEnd;
+    size_t frontendCapacity;
+
+    /** Per-FU-class ready instructions (oldest first, lazy deletion). */
+    using ReadyEntry = std::pair<InstSeq, DynInstPtr>;
+    using ReadyQueue =
+        std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+                            std::greater<ReadyEntry>>;
+    std::array<ReadyQueue, static_cast<size_t>(ExecClass::NumClasses)>
+        readyQueues;
+
+    /** Loads blocked by disambiguation; retried every cycle. */
+    std::vector<DynInstPtr> blockedLoads;
+
+    /** Wakeup lists: physical register -> consumers waiting on it. */
+    std::vector<std::vector<DynInstPtr>> waiters;
+
+    /** Completion ring buffer indexed by cycle modulo its size
+     *  (bounds the largest schedulable latency, incl. cache misses). */
+    static constexpr size_t completionRingSize = 256;
+    std::array<std::vector<DynInstPtr>, completionRingSize> completionRing;
+
+    /** Unresolved divergence points in flight (dual-path limiting). */
+    int liveDivergences = 0;
+
+    /** Committed global history (non-speculative-update mode). */
+    u64 committedGhr = 0;
+
+    /** Next trace record the commit stream must match. */
+    u64 committedTraceIdx = 0;
+
+    Cycle lastCommitCycle = 0;
+
+    TraceSink *traceSink = nullptr;
+
+    /** Per-PC branch profiles (cfg.profileBranches). */
+    std::unordered_map<Addr, BranchProfile> profiles;
+
+    SimStats simStats;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_CORE_CORE_HH

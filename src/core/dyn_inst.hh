@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A dynamic (in-flight) instruction in the PolyPath pipeline.
+ */
+
+#ifndef POLYPATH_CORE_DYN_INST_HH
+#define POLYPATH_CORE_DYN_INST_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "core/ras.hh"
+#include "ctx/ctx_tag.hh"
+#include "isa/instr.hh"
+#include "rename/regmap.hh"
+
+namespace polypath
+{
+
+/** Sentinel for "no CTX history position assigned". */
+constexpr u8 noHistPos = 0xff;
+
+/**
+ * Recovery state captured when a branch (or return) passes fetch/rename;
+ * only allocated for instructions that can trigger recovery.
+ */
+struct BranchState
+{
+    /** RegMap checkpoint, cloned when the branch renames (§3.2.5). */
+    std::unique_ptr<RegMap> checkpoint;
+
+    /** RAS snapshot after the branch's own effect (post-pop for RET). */
+    std::unique_ptr<ReturnAddressStack> rasCheckpoint;
+
+    /** Global history the prediction was made with. */
+    u64 ghrAtPredict = 0;
+
+    /** Trace-cursor state at this branch (for oracle/verification). */
+    bool onCorrectPath = false;
+    u64 traceIndex = 0;
+
+    bool predTaken = false;
+    Addr predTarget = 0;            //!< predicted target (RET)
+    bool lowConfidence = false;
+    bool divergent = false;
+    u32 childTakenCtx = 0;          //!< divergence: taken-side context id
+    u32 childNtCtx = 0;             //!< divergence: not-taken-side id
+    bool divergenceAccounted = false;   //!< live-divergence count handling
+    bool resolved = false;
+    bool actualTaken = false;
+    Addr actualTarget = 0;
+};
+
+/** One in-flight instruction. */
+struct DynInst
+{
+    InstSeq seq = 0;
+    Addr pc = 0;
+    Instr instr;
+    CtxTag tag;
+    u32 ctxId = 0;                  //!< the path context it was fetched in
+
+    // Rename state.
+    PhysReg physSrc1 = invalidPhysReg;
+    PhysReg physSrc2 = invalidPhysReg;
+    PhysReg physDst = invalidPhysReg;
+    PhysReg oldPhysDst = invalidPhysReg;
+    LogReg logDst = noReg;
+    u8 waitingSrcs = 0;             //!< unready source operands
+
+    // Pipeline status.
+    bool renamed = false;
+    bool inWindow = false;
+    bool issued = false;
+    bool completed = false;
+    bool killed = false;
+
+    /** Extra execution latency (D-cache miss penalty). */
+    u8 extraLatency = 0;
+
+    // Execution results (computed at issue, visible at writeback).
+    u64 result = 0;
+    bool hasResult = false;
+    Addr effAddr = 0;
+
+    // Branch/return state (null for everything else).
+    u8 histPos = noHistPos;
+    std::unique_ptr<BranchState> branch;
+
+    Cycle fetchCycle = 0;
+
+    bool isCondBranch() const { return instr.isCondBranch(); }
+    bool isReturn() const { return instr.info().isReturn; }
+
+    /** Does this instruction hold a CTX history position? */
+    bool holdsHistPos() const { return histPos != noHistPos; }
+};
+
+using DynInstPtr = std::shared_ptr<DynInst>;
+
+} // namespace polypath
+
+#endif // POLYPATH_CORE_DYN_INST_HH

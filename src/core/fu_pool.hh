@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Functional-unit pool: per-class issue-slot accounting.
+ *
+ * Units are fully pipelined (one issue per unit per cycle); latency is a
+ * property of the instruction (isa/opcodes.cc) and completion is tracked
+ * by the core's event list, so the pool only arbitrates issue slots.
+ */
+
+#ifndef POLYPATH_CORE_FU_POOL_HH
+#define POLYPATH_CORE_FU_POOL_HH
+
+#include <array>
+
+#include "common/logging.hh"
+#include "core/config.hh"
+#include "isa/opcodes.hh"
+
+namespace polypath
+{
+
+/** Issue-slot arbiter for the five FU classes. */
+class FuPool
+{
+  public:
+    explicit FuPool(const SimConfig &cfg)
+    {
+        counts[static_cast<size_t>(ExecClass::IntAlu0)] = cfg.numIntAlu0;
+        counts[static_cast<size_t>(ExecClass::IntAlu1)] = cfg.numIntAlu1;
+        counts[static_cast<size_t>(ExecClass::FpAdd)] = cfg.numFpAdd;
+        counts[static_cast<size_t>(ExecClass::FpMul)] = cfg.numFpMul;
+        counts[static_cast<size_t>(ExecClass::Mem)] = cfg.numMemPorts;
+        used.fill(0);
+    }
+
+    /** Units of @p cls configured. */
+    unsigned
+    numUnits(ExecClass cls) const
+    {
+        return counts[static_cast<size_t>(cls)];
+    }
+
+    /** Is an issue slot of class @p cls free this cycle? */
+    bool
+    available(ExecClass cls) const
+    {
+        size_t i = static_cast<size_t>(cls);
+        return used[i] < counts[i];
+    }
+
+    /** Consume one issue slot. */
+    void
+    take(ExecClass cls)
+    {
+        size_t i = static_cast<size_t>(cls);
+        panic_if(used[i] >= counts[i], "FU class %zu over-issued", i);
+        ++used[i];
+    }
+
+    /** Start a new cycle. */
+    void newCycle() { used.fill(0); }
+
+  private:
+    std::array<unsigned, static_cast<size_t>(ExecClass::NumClasses)>
+        counts{};
+    std::array<unsigned, static_cast<size_t>(ExecClass::NumClasses)>
+        used{};
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_CORE_FU_POOL_HH

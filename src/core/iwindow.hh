@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The central instruction window / reorder buffer (§3.1, §3.2.3).
+ *
+ * Entries are kept in fetch order; the oldest entries commit in order
+ * from the front. Every entry conceptually carries the CTX-tag snoop
+ * state machine of Fig. 6: on a branch-resolution broadcast it kills
+ * itself if it lies on the wrong side of the resolved branch, and on a
+ * branch-commit broadcast it invalidates the vacated history position in
+ * its tag. Those two bus operations are implemented as sweeps here.
+ */
+
+#ifndef POLYPATH_CORE_IWINDOW_HH
+#define POLYPATH_CORE_IWINDOW_HH
+
+#include <deque>
+#include <functional>
+
+#include "common/logging.hh"
+#include "core/dyn_inst.hh"
+
+namespace polypath
+{
+
+/** Fetch-ordered instruction window. */
+class InstructionWindow
+{
+  public:
+    explicit InstructionWindow(unsigned num_entries)
+        : capacity(num_entries)
+    {}
+
+    bool full() const { return entries.size() >= capacity; }
+    bool empty() const { return entries.empty(); }
+    size_t size() const { return entries.size(); }
+    unsigned maxEntries() const { return capacity; }
+
+    /** Dispatch an instruction (must be in fetch order). */
+    void
+    insert(const DynInstPtr &inst)
+    {
+        panic_if(full(), "instruction window overflow");
+        panic_if(!entries.empty() && entries.back()->seq >= inst->seq,
+                 "window insertion out of fetch order");
+        inst->inWindow = true;
+        entries.push_back(inst);
+    }
+
+    /** Oldest instruction (commit candidate). */
+    const DynInstPtr &
+    head() const
+    {
+        panic_if(entries.empty(), "head() on empty window");
+        return entries.front();
+    }
+
+    /** Remove the head after commit. */
+    void
+    popHead()
+    {
+        panic_if(entries.empty(), "popHead() on empty window");
+        entries.front()->inWindow = false;
+        entries.pop_front();
+    }
+
+    /**
+     * Branch-resolution bus (§3.2.3 "resolution"): kill every entry on
+     * the wrong side of history position @p pos given @p actual_taken.
+     * @p on_kill runs per victim (release resources) before removal.
+     */
+    unsigned
+    killWrongPath(unsigned pos, bool actual_taken,
+                  const std::function<void(const DynInstPtr &)> &on_kill)
+    {
+        unsigned killed = 0;
+        std::deque<DynInstPtr> kept;
+        for (DynInstPtr &inst : entries) {
+            if (inst->tag.onWrongSide(pos, actual_taken)) {
+                on_kill(inst);
+                inst->inWindow = false;
+                ++killed;
+            } else {
+                kept.push_back(std::move(inst));
+            }
+        }
+        entries.swap(kept);
+        return killed;
+    }
+
+    /** Branch-commit bus (§3.2.3 "commit"): invalidate @p pos in every
+     *  entry's tag. */
+    void
+    commitPosition(unsigned pos)
+    {
+        for (DynInstPtr &inst : entries)
+            inst->tag.clearPosition(pos);
+    }
+
+    /** Iterate entries oldest-first (tests, occupancy sampling). */
+    const std::deque<DynInstPtr> &contents() const { return entries; }
+
+  private:
+    unsigned capacity;
+    std::deque<DynInstPtr> entries;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_CORE_IWINDOW_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Path contexts and the CTX manager's context table (§3.2.6, Fig. 7).
+ *
+ * A PathContext is one live *leaf* of the branch tree: a fetch stream
+ * with its own fetch PC, CTX tag, speculative global history, RAS copy,
+ * trace cursor and RegMap. The tag of a leaf evolves as it fetches past
+ * predicted branches; divergent branches retire the leaf and spawn two
+ * children.
+ */
+
+#ifndef POLYPATH_CORE_PATH_CONTEXT_HH
+#define POLYPATH_CORE_PATH_CONTEXT_HH
+
+#include <memory>
+
+#include "arch/branch_trace.hh"
+#include "common/types.hh"
+#include "core/ras.hh"
+#include "ctx/ctx_tag.hh"
+#include "rename/regmap.hh"
+
+namespace polypath
+{
+
+/** One live fetch path. */
+struct PathContext
+{
+    u32 id = 0;
+    CtxTag tag;
+
+    Addr fetchPc = 0;
+
+    /** Still fetching? (false after HALT or while a child of an
+     *  un-renamed divergence is parked). */
+    bool fetchStopped = false;
+
+    /** Live: not yet killed by a branch resolution. */
+    bool live = true;
+
+    /** Speculatively updated global branch history (per §4.2). */
+    u64 ghr = 0;
+
+    /** This path's private return-address stack. */
+    std::unique_ptr<ReturnAddressStack> ras;
+
+    /** Position in the committed branch trace (oracle/verification). */
+    TraceCursor cursor;
+
+    /**
+     * The path's register mapping table. Children of a divergence are
+     * created without one; the divergent branch hands over / clones its
+     * parent's map when it passes the rename stage, which is always
+     * before any child instruction renames.
+     */
+    std::unique_ptr<RegMap> regMap;
+
+    /** Creation order; breaks fetch-priority ties deterministically. */
+    u64 createSeq = 0;
+
+    /** Divergences where this path took the non-predicted direction
+     *  (fetch-priority key for FetchPolicy::PredictedFirst). */
+    unsigned nonPredictedEdges = 0;
+
+    /** Tree depth of the current tag (fetch-priority key). */
+    unsigned depth() const { return tag.depth(); }
+};
+
+using PathContextPtr = std::shared_ptr<PathContext>;
+
+} // namespace polypath
+
+#endif // POLYPATH_CORE_PATH_CONTEXT_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Return-address stack, one copy per path context.
+ *
+ * Each path carries its own RAS (cloned at path creation), so wrong-path
+ * calls/returns can never corrupt the correct path's stack — returns
+ * mispredict only on genuine over/underflow. A predicted return still
+ * occupies a CTX history position so the unified kill/recovery machinery
+ * handles a wrong return target exactly like a mispredicted branch.
+ */
+
+#ifndef POLYPATH_CORE_RAS_HH
+#define POLYPATH_CORE_RAS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace polypath
+{
+
+/** Fixed-depth circular return-address stack. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 32)
+        : entries(depth, 0)
+    {}
+
+    /** Push a return address (overwrites the oldest on overflow). */
+    void
+    push(Addr addr)
+    {
+        top = (top + 1) % entries.size();
+        entries[top] = addr;
+        if (occupied < entries.size())
+            ++occupied;
+    }
+
+    /**
+     * Pop the predicted return target. An empty stack predicts 0 (a
+     * guaranteed misprediction that the recovery machinery absorbs).
+     */
+    Addr
+    pop()
+    {
+        if (occupied == 0)
+            return 0;
+        Addr addr = entries[top];
+        top = (top + entries.size() - 1) % entries.size();
+        --occupied;
+        return addr;
+    }
+
+    unsigned size() const { return occupied; }
+    unsigned depth() const { return entries.size(); }
+
+  private:
+    std::vector<Addr> entries;
+    unsigned top = 0;
+    unsigned occupied = 0;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_CORE_RAS_HH

@@ -1,0 +1,61 @@
+#include "stats.hh"
+
+#include <cstdio>
+
+namespace polypath
+{
+
+double
+SimStats::fractionCyclesWithPathsAtMost(unsigned n) const
+{
+    if (cycles == 0)
+        return 0.0;
+    u64 sum = 0;
+    for (size_t i = 0; i < livePathsHistogram.size() && i <= n; ++i)
+        sum += livePathsHistogram[i];
+    return static_cast<double>(sum) / static_cast<double>(cycles);
+}
+
+double
+SimStats::fuUtilization(ExecClass cls, unsigned num_units) const
+{
+    if (cycles == 0 || num_units == 0)
+        return 0.0;
+    u64 issued = fuIssued[static_cast<size_t>(cls)];
+    return static_cast<double>(issued) /
+           (static_cast<double>(cycles) * num_units);
+}
+
+std::string
+SimStats::toString() const
+{
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "cycles %llu  committed %llu  IPC %.3f\n"
+        "fetched %llu (%.2fx committed, %llu useless)\n"
+        "branches %llu  mispredicted %llu (%.2f%%)  "
+        "returns %llu/%llu mispred\n"
+        "low-confidence %llu  PVN %.1f%%  divergences %llu "
+        "(suppressed %llu)  recoveries %llu\n"
+        "avg live paths %.2f  avg window occupancy %.1f\n",
+        static_cast<unsigned long long>(cycles),
+        static_cast<unsigned long long>(committedInstrs), ipc(),
+        static_cast<unsigned long long>(fetchedInstrs),
+        fetchToCommitRatio(),
+        static_cast<unsigned long long>(uselessInstrs()),
+        static_cast<unsigned long long>(committedBranches),
+        static_cast<unsigned long long>(mispredictedBranches),
+        100.0 * mispredictRate(),
+        static_cast<unsigned long long>(mispredictedReturns),
+        static_cast<unsigned long long>(committedReturns),
+        static_cast<unsigned long long>(lowConfidenceBranches),
+        100.0 * pvn(),
+        static_cast<unsigned long long>(divergences),
+        static_cast<unsigned long long>(divergencesSuppressed),
+        static_cast<unsigned long long>(recoveries),
+        avgLivePaths(), avgWindowOccupancy());
+    return std::string(buf);
+}
+
+} // namespace polypath

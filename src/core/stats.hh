@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Statistics collected during a timing-simulation run. Covers every
+ * quantity the paper reports: IPC, misprediction rates, confidence
+ * estimator PVN, useless (non-committing) fetches, active-path
+ * utilisation, functional-unit utilisation and window occupancy.
+ */
+
+#ifndef POLYPATH_CORE_STATS_HH
+#define POLYPATH_CORE_STATS_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace polypath
+{
+
+/** All counters for one simulation run. */
+struct SimStats
+{
+    Cycle cycles = 0;
+
+    // Instruction flow.
+    u64 fetchedInstrs = 0;
+    u64 committedInstrs = 0;
+    u64 killedInstrs = 0;           //!< squashed after entering the window
+    u64 killedFrontend = 0;         //!< squashed while still in-order
+
+    // Conditional branches (committed-path, i.e. architectural).
+    u64 committedBranches = 0;
+    u64 mispredictedBranches = 0;   //!< committed with wrong prediction
+    u64 committedReturns = 0;
+    u64 mispredictedReturns = 0;
+
+    // Confidence estimation (counted at branch commit).
+    u64 lowConfidenceBranches = 0;
+    u64 lowConfidenceMispredicts = 0;
+    u64 highConfidenceMispredicts = 0;
+
+    // SEE path management.
+    u64 divergences = 0;            //!< divergence points created at fetch
+    u64 divergencesSuppressed = 0;  //!< low confidence but no resources
+    u64 recoveries = 0;             //!< monopath-style mispredict restarts
+    u64 recoveriesCorrectPath = 0;  //!< restarts of the architected path
+    u64 retRecoveries = 0;
+
+    // Fetch.
+    u64 fetchCycleSlotsUsed = 0;
+    u64 fetchStallNoCtx = 0;        //!< branch stalled: no history position
+    u64 fetchStallFrontendFull = 0;
+
+    // Issue/memory.
+    u64 loadsForwarded = 0;
+    u64 loadBlockedEvents = 0;
+    u64 dcacheHits = 0;
+    u64 dcacheMisses = 0;
+
+    // Per-FU-class issue counts (utilisation).
+    std::array<u64, static_cast<size_t>(ExecClass::NumClasses)>
+        fuIssued{};
+
+    // Occupancy integrals (divide by cycles for averages).
+    u64 windowOccupancySum = 0;
+    u64 livePathsSum = 0;
+
+    /** livePathsHistogram[n] = cycles with exactly n live paths
+     *  (saturated at the last bucket). */
+    std::vector<u64> livePathsHistogram;
+
+    bool halted = false;            //!< HALT committed before cycle cap
+
+    // --- Derived metrics ----------------------------------------------
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committedInstrs) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Conditional-branch misprediction rate over committed branches. */
+    double
+    mispredictRate() const
+    {
+        return committedBranches
+                   ? static_cast<double>(mispredictedBranches) /
+                         static_cast<double>(committedBranches)
+                   : 0.0;
+    }
+
+    /** PVN: P(misprediction | low confidence) over committed branches. */
+    double
+    pvn() const
+    {
+        return lowConfidenceBranches
+                   ? static_cast<double>(lowConfidenceMispredicts) /
+                         static_cast<double>(lowConfidenceBranches)
+                   : 0.0;
+    }
+
+    /** Fetched-to-committed ratio (§3.1 reports 1.86 for monopath). */
+    double
+    fetchToCommitRatio() const
+    {
+        return committedInstrs
+                   ? static_cast<double>(fetchedInstrs) /
+                         static_cast<double>(committedInstrs)
+                   : 0.0;
+    }
+
+    /** Fetched instructions that never commit ("useless", §5.1). */
+    u64
+    uselessInstrs() const
+    {
+        return fetchedInstrs >= committedInstrs
+                   ? fetchedInstrs - committedInstrs
+                   : 0;
+    }
+
+    /** Mean number of live paths per cycle (§5.2 reports ~2.9). */
+    double
+    avgLivePaths() const
+    {
+        return cycles ? static_cast<double>(livePathsSum) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Fraction of cycles with at most @p n live paths. */
+    double fractionCyclesWithPathsAtMost(unsigned n) const;
+
+    /** Mean instruction-window occupancy. */
+    double
+    avgWindowOccupancy() const
+    {
+        return cycles ? static_cast<double>(windowOccupancySum) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Utilisation of FU class @p cls given @p num_units units. */
+    double fuUtilization(ExecClass cls, unsigned num_units) const;
+
+    /** Multi-line human-readable dump. */
+    std::string toString() const;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_CORE_STATS_HH

@@ -1,0 +1,22 @@
+#include "trace.hh"
+
+namespace polypath
+{
+
+const char *
+pipeEventName(PipeEvent event)
+{
+    switch (event) {
+      case PipeEvent::Fetch: return "fetch";
+      case PipeEvent::Rename: return "rename";
+      case PipeEvent::Issue: return "issue";
+      case PipeEvent::Writeback: return "writeback";
+      case PipeEvent::Commit: return "commit";
+      case PipeEvent::Kill: return "kill";
+      case PipeEvent::Diverge: return "diverge";
+      case PipeEvent::Recover: return "recover";
+    }
+    return "?";
+}
+
+} // namespace polypath

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Pipeline event tracing.
+ *
+ * A TraceSink attached to the core receives one record per pipeline
+ * event (fetch, rename, issue, writeback, commit, kill, divergence,
+ * recovery). Tracing is entirely optional: with no sink attached the
+ * cost is a null-pointer test per event.
+ */
+
+#ifndef POLYPATH_CORE_TRACE_HH
+#define POLYPATH_CORE_TRACE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace polypath
+{
+
+/** Pipeline event kinds. */
+enum class PipeEvent : u8
+{
+    Fetch,
+    Rename,
+    Issue,
+    Writeback,
+    Commit,
+    Kill,
+    Diverge,    //!< a low-confidence branch forked two paths
+    Recover,    //!< misprediction recovery spawned the correct path
+};
+
+/** Printable event name. */
+const char *pipeEventName(PipeEvent event);
+
+/** One pipeline event. */
+struct TraceRecord
+{
+    Cycle cycle;
+    PipeEvent event;
+    InstSeq seq;
+    Addr pc;
+    std::string detail;     //!< disassembly / tag / context info
+};
+
+/** Receiver interface for pipeline events. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void record(const TraceRecord &rec) = 0;
+};
+
+/** Collects records in memory (tests, programmatic analysis). */
+class VectorTraceSink : public TraceSink
+{
+  public:
+    void record(const TraceRecord &rec) override
+    {
+        records.push_back(rec);
+    }
+
+    std::vector<TraceRecord> records;
+};
+
+/** Streams records to a FILE (human-readable pipeline viewer). */
+class FileTraceSink : public TraceSink
+{
+  public:
+    explicit FileTraceSink(std::FILE *out) : out(out) {}
+
+    void
+    record(const TraceRecord &rec) override
+    {
+        std::fprintf(out, "%8llu  %-9s #%-6llu %#8llx  %s\n",
+                     static_cast<unsigned long long>(rec.cycle),
+                     pipeEventName(rec.event),
+                     static_cast<unsigned long long>(rec.seq),
+                     static_cast<unsigned long long>(rec.pc),
+                     rec.detail.c_str());
+    }
+
+  private:
+    std::FILE *out;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_CORE_TRACE_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Context (CTX) tags — the PolyPath instruction tagging scheme (§3.2.1).
+ *
+ * A CTX tag encodes the branch history that leads to an execution path as
+ * a fixed number of 2-bit history positions. Each position is one of
+ *   X (invalid), T (valid, taken), N (valid, not-taken)
+ * per Fig. 4 of the paper. Positions are allocated to in-flight branches
+ * by HistAlloc; when a branch commits, its position is invalidated in
+ * every live tag and recycled (wrap-around reuse, no realignment).
+ *
+ * The central operation is the *hierarchy comparator* of Fig. 5:
+ * path A is an ancestor of (or equal to) path B iff every valid position
+ * of A is also valid in B with the same direction — position order is
+ * irrelevant, which is what permits wrap-around reuse and out-of-order
+ * branch resolution (unlike the 1-bit ABT scheme the paper contrasts
+ * against).
+ *
+ * The implementation stores the valid bits and the direction bits as two
+ * packed 64-bit masks, so tags support up to 64 history positions and the
+ * comparator is a handful of logic ops, mirroring the gate-level design.
+ */
+
+#ifndef POLYPATH_CTX_CTX_TAG_HH
+#define POLYPATH_CTX_CTX_TAG_HH
+
+#include <bit>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace polypath
+{
+
+/** Maximum number of history positions a tag can hold. */
+constexpr unsigned maxHistPositions = 64;
+
+/** A context tag: packed T/N/X history positions. */
+class CtxTag
+{
+  public:
+    /** The root tag: all positions invalid (XX..X). */
+    constexpr CtxTag() = default;
+
+    /** Is position @p pos valid (T or N)? */
+    bool
+    valid(unsigned pos) const
+    {
+        return (validMask >> pos) & 1;
+    }
+
+    /** Direction at @p pos; only meaningful when valid(pos). */
+    bool
+    taken(unsigned pos) const
+    {
+        return (dirMask >> pos) & 1;
+    }
+
+    /** Record a branch direction at @p pos (must be invalid before). */
+    void
+    setPosition(unsigned pos, bool is_taken)
+    {
+        panic_if(pos >= maxHistPositions, "history position %u too large",
+                 pos);
+        panic_if(valid(pos), "history position %u assigned twice", pos);
+        validMask |= u64(1) << pos;
+        if (is_taken)
+            dirMask |= u64(1) << pos;
+    }
+
+    /** Invalidate position @p pos (branch commit bus, §3.2.3 "commit"). */
+    void
+    clearPosition(unsigned pos)
+    {
+        u64 bit = u64(1) << pos;
+        validMask &= ~bit;
+        dirMask &= ~bit;    // keep direction bits canonical for ==
+    }
+
+    /** Derive the child tag extended with @p is_taken at @p pos. */
+    CtxTag
+    child(unsigned pos, bool is_taken) const
+    {
+        CtxTag tag = *this;
+        tag.setPosition(pos, is_taken);
+        return tag;
+    }
+
+    /**
+     * The Fig. 5 hierarchy comparator: true iff this path is an ancestor
+     * of @p other, or the same path.
+     */
+    bool
+    isAncestorOrSelf(const CtxTag &other) const
+    {
+        // Every valid position of the (candidate) ancestor must be valid
+        // in the descendant with an identical direction bit.
+        bool subset = (validMask & ~other.validMask) == 0;
+        bool dirs_match = ((dirMask ^ other.dirMask) & validMask) == 0;
+        return subset && dirs_match;
+    }
+
+    /** True iff the two tags denote related paths (either direction). */
+    bool
+    isRelated(const CtxTag &other) const
+    {
+        return isAncestorOrSelf(other) || other.isAncestorOrSelf(*this);
+    }
+
+    /**
+     * Branch-resolution kill predicate (§3.2.3 "resolution"): does this
+     * tag lie on the wrong side of the branch holding history position
+     * @p pos whose actual outcome was @p actual_taken?
+     *
+     * While a branch is in flight its position is unique to it, so any
+     * tag with the position valid is a descendant of that branch; it is
+     * on the wrong path iff its direction bit disagrees with the actual
+     * outcome.
+     */
+    bool
+    onWrongSide(unsigned pos, bool actual_taken) const
+    {
+        return valid(pos) && taken(pos) != actual_taken;
+    }
+
+    /** Tree depth: number of valid history positions. */
+    unsigned depth() const { return std::popcount(validMask); }
+
+    /** Reset to the root tag (§3.2.3 "clear"). */
+    void
+    clear()
+    {
+        validMask = 0;
+        dirMask = 0;
+    }
+
+    bool
+    operator==(const CtxTag &other) const
+    {
+        return validMask == other.validMask && dirMask == other.dirMask;
+    }
+
+    /** Render as e.g. "TNXX" for the first @p width positions. */
+    std::string
+    toString(unsigned width = 8) const
+    {
+        std::string out;
+        for (unsigned pos = 0; pos < width; ++pos)
+            out += !valid(pos) ? 'X' : (taken(pos) ? 'T' : 'N');
+        return out;
+    }
+
+  private:
+    u64 validMask = 0;
+    u64 dirMask = 0;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_CTX_CTX_TAG_HH

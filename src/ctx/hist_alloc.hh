@@ -1,0 +1,78 @@
+/**
+ * @file
+ * History-position allocator (part of the CTX manager, §3.2.2 / §3.2.6).
+ *
+ * The CTX tag field width limits the number of in-flight conditional
+ * branches, exactly as the number of checkpoint RegMaps limits pending
+ * branches in a monopath machine. Positions are handed out left to right;
+ * once exhausted, allocation wraps around and reuses positions as they
+ * are vacated by committing (or killed) branches. The position-order
+ * independence of the hierarchy comparator is what makes this reuse safe
+ * without tag realignment.
+ */
+
+#ifndef POLYPATH_CTX_HIST_ALLOC_HH
+#define POLYPATH_CTX_HIST_ALLOC_HH
+
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "ctx/ctx_tag.hh"
+
+namespace polypath
+{
+
+/** FIFO free list of CTX history positions. */
+class HistAlloc
+{
+  public:
+    explicit HistAlloc(unsigned num_positions)
+        : numPositions(num_positions)
+    {
+        panic_if(num_positions == 0 || num_positions > maxHistPositions,
+                 "HistAlloc: %u positions unsupported", num_positions);
+        for (unsigned pos = 0; pos < num_positions; ++pos)
+            freeList.push_back(static_cast<u8>(pos));
+    }
+
+    /** Total positions (the tag width in history entries). */
+    unsigned width() const { return numPositions; }
+
+    /** Free positions remaining. */
+    unsigned numFree() const { return freeList.size(); }
+
+    /** Any position available? */
+    bool available() const { return !freeList.empty(); }
+
+    /**
+     * Allocate the next position in wrap-around order.
+     * Callers must check available() first.
+     */
+    u8
+    alloc()
+    {
+        panic_if(freeList.empty(), "HistAlloc: allocation with none free");
+        u8 pos = freeList.front();
+        freeList.pop_front();
+        return pos;
+    }
+
+    /** Return a vacated position to the free list. */
+    void
+    release(u8 pos)
+    {
+        panic_if(pos >= numPositions, "HistAlloc: bad position %u", pos);
+        for (u8 p : freeList)
+            panic_if(p == pos, "HistAlloc: double release of %u", pos);
+        freeList.push_back(pos);
+    }
+
+  private:
+    unsigned numPositions;
+    std::deque<u8> freeList;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_CTX_HIST_ALLOC_HH

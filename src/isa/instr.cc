@@ -1,0 +1,271 @@
+#include "instr.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace polypath
+{
+
+namespace
+{
+
+/** True for opcodes whose register operands live in the FP file. */
+bool
+isFpOperandOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+      case Opcode::FCMPEQ:
+      case Opcode::FCMPLT:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // anonymous namespace
+
+LogReg
+Instr::src1() const
+{
+    const OpInfo &i = info();
+    switch (i.format) {
+      case Format::R:
+        if (op == Opcode::RET)
+            return intReg(ra);
+        if (isFpOperandOp(op) || op == Opcode::CVTFI)
+            return fpReg(ra);
+        if (op == Opcode::CVTIF)
+            return intReg(ra);
+        return intReg(ra);
+      case Format::I:
+        return intReg(ra);
+      case Format::M:
+        return intReg(ra);            // address base
+      case Format::B:
+        if (op == Opcode::JSR)
+            return noReg;             // link-only, no source
+        return intReg(ra);            // branch condition input
+      case Format::J:
+      case Format::N:
+        return noReg;
+    }
+    return noReg;
+}
+
+LogReg
+Instr::src2() const
+{
+    const OpInfo &i = info();
+    switch (i.format) {
+      case Format::R:
+        if (op == Opcode::RET || op == Opcode::CVTIF ||
+            op == Opcode::CVTFI) {
+            return noReg;
+        }
+        if (isFpOperandOp(op))
+            return fpReg(rb);
+        return intReg(rb);
+      case Format::M:
+        // Store data register.
+        if (op == Opcode::STQ || op == Opcode::STB)
+            return intReg(rc);
+        if (op == Opcode::FST)
+            return fpReg(rc);
+        return noReg;
+      default:
+        return noReg;
+    }
+}
+
+LogReg
+Instr::dst() const
+{
+    const OpInfo &i = info();
+    LogReg d = noReg;
+    switch (i.format) {
+      case Format::R:
+        if (op == Opcode::RET)
+            return noReg;
+        if (op == Opcode::FADD || op == Opcode::FSUB ||
+            op == Opcode::FMUL || op == Opcode::FDIV ||
+            op == Opcode::CVTIF) {
+            d = fpReg(rc);
+        } else if (op == Opcode::FCMPEQ || op == Opcode::FCMPLT ||
+                   op == Opcode::CVTFI) {
+            d = intReg(rc);
+        } else {
+            d = intReg(rc);
+        }
+        break;
+      case Format::I:
+        d = intReg(rc);
+        break;
+      case Format::M:
+        if (op == Opcode::LDQ || op == Opcode::LDBU)
+            d = intReg(rc);
+        else if (op == Opcode::FLD)
+            d = fpReg(rc);
+        else
+            d = noReg;                // stores have no register dest
+        break;
+      case Format::B:
+        if (op == Opcode::JSR)
+            d = intReg(ra);           // link register
+        break;
+      case Format::J:
+      case Format::N:
+        break;
+    }
+    if (d != noReg && isZeroReg(d))
+        return noReg;
+    return d;
+}
+
+unsigned
+Instr::accessSize() const
+{
+    switch (op) {
+      case Opcode::LDBU:
+      case Opcode::STB:
+        return 1;
+      case Opcode::LDQ:
+      case Opcode::STQ:
+      case Opcode::FLD:
+      case Opcode::FST:
+        return 8;
+      default:
+        panic("accessSize() on non-memory op %s", opName(op));
+    }
+}
+
+u32
+encodeInstr(const Instr &instr)
+{
+    const OpInfo &i = opInfo(instr.op);
+    u32 word = static_cast<u32>(
+        insertBits(static_cast<u64>(instr.op), 31, 26));
+    switch (i.format) {
+      case Format::R:
+        word |= insertBits(instr.ra, 25, 21);
+        word |= insertBits(instr.rb, 20, 16);
+        word |= insertBits(instr.rc, 15, 11);
+        break;
+      case Format::I:
+      case Format::M:
+        word |= insertBits(instr.ra, 25, 21);
+        word |= insertBits(instr.rc, 20, 16);
+        word |= insertBits(static_cast<u64>(instr.imm) & 0xffff, 15, 0);
+        break;
+      case Format::B:
+        word |= insertBits(instr.ra, 25, 21);
+        word |= insertBits(static_cast<u64>(instr.imm) & 0x1fffff, 20, 0);
+        break;
+      case Format::J:
+        word |= insertBits(static_cast<u64>(instr.imm) & 0x3ffffff, 25, 0);
+        break;
+      case Format::N:
+        break;
+    }
+    return word;
+}
+
+Instr
+decodeInstr(u32 word)
+{
+    Instr instr;
+    u32 opfield = static_cast<u32>(bits(word, 31, 26));
+    if (opfield >= static_cast<u32>(Opcode::NumOpcodes)) {
+        instr.op = Opcode::INVALID;
+        return instr;
+    }
+    instr.op = static_cast<Opcode>(opfield);
+    const OpInfo &i = opInfo(instr.op);
+    switch (i.format) {
+      case Format::R:
+        instr.ra = static_cast<u8>(bits(word, 25, 21));
+        instr.rb = static_cast<u8>(bits(word, 20, 16));
+        instr.rc = static_cast<u8>(bits(word, 15, 11));
+        break;
+      case Format::I:
+      case Format::M:
+        instr.ra = static_cast<u8>(bits(word, 25, 21));
+        instr.rc = static_cast<u8>(bits(word, 20, 16));
+        // Logical immediates are zero-extended (MIPS-style) so constant
+        // materialisation can OR in raw 16-bit chunks; everything else
+        // sign-extends.
+        if (instr.op == Opcode::ANDI || instr.op == Opcode::ORI ||
+            instr.op == Opcode::XORI) {
+            instr.imm = static_cast<s32>(bits(word, 15, 0));
+        } else {
+            instr.imm = static_cast<s32>(sext(bits(word, 15, 0), 16));
+        }
+        break;
+      case Format::B:
+        instr.ra = static_cast<u8>(bits(word, 25, 21));
+        instr.imm = static_cast<s32>(sext(bits(word, 20, 0), 21));
+        break;
+      case Format::J:
+        instr.imm = static_cast<s32>(sext(bits(word, 25, 0), 26));
+        break;
+      case Format::N:
+        break;
+    }
+    return instr;
+}
+
+std::string
+Instr::toString() const
+{
+    char buf[96];
+    const OpInfo &i = info();
+    switch (i.format) {
+      case Format::R:
+        if (op == Opcode::RET) {
+            std::snprintf(buf, sizeof(buf), "ret r%u", ra);
+        } else if (op == Opcode::CVTIF) {
+            std::snprintf(buf, sizeof(buf), "cvtif r%u, f%u", ra, rc);
+        } else if (op == Opcode::CVTFI) {
+            std::snprintf(buf, sizeof(buf), "cvtfi f%u, r%u", ra, rc);
+        } else if (isFpOperandOp(op)) {
+            bool int_dst = (op == Opcode::FCMPEQ || op == Opcode::FCMPLT);
+            std::snprintf(buf, sizeof(buf), "%s f%u, f%u, %c%u",
+                          i.name, ra, rb, int_dst ? 'r' : 'f', rc);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s r%u, r%u, r%u",
+                          i.name, ra, rb, rc);
+        }
+        break;
+      case Format::I:
+        std::snprintf(buf, sizeof(buf), "%s r%u, %d, r%u",
+                      i.name, ra, imm, rc);
+        break;
+      case Format::M: {
+        char reg_file = (op == Opcode::FLD || op == Opcode::FST) ? 'f' : 'r';
+        std::snprintf(buf, sizeof(buf), "%s %c%u, %d(r%u)",
+                      i.name, reg_file, rc, imm, ra);
+        break;
+      }
+      case Format::B:
+        if (op == Opcode::JSR)
+            std::snprintf(buf, sizeof(buf), "jsr r%u, %d", ra, imm);
+        else
+            std::snprintf(buf, sizeof(buf), "%s r%u, %d", i.name, ra, imm);
+        break;
+      case Format::J:
+        std::snprintf(buf, sizeof(buf), "br %d", imm);
+        break;
+      case Format::N:
+        std::snprintf(buf, sizeof(buf), "%s", i.name);
+        break;
+    }
+    return std::string(buf);
+}
+
+} // namespace polypath

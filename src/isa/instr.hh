@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Decoded PPR instruction representation, binary encode/decode and
+ * disassembly.
+ *
+ * Encoding formats (32-bit words):
+ *   R:  [31:26] op  [25:21] ra  [20:16] rb  [15:11] rc  [10:0] 0
+ *   I:  [31:26] op  [25:21] ra  [20:16] rc  [15:0]  imm16
+ *   M:  [31:26] op  [25:21] ra  [20:16] rc  [15:0]  disp16
+ *   B:  [31:26] op  [25:21] ra  [20:0]  disp21   (word displacement)
+ *   J:  [31:26] op  [25:0]  disp26               (word displacement)
+ *
+ * Branch/jump targets are pc + 4 + 4*disp.
+ */
+
+#ifndef POLYPATH_ISA_INSTR_HH
+#define POLYPATH_ISA_INSTR_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace polypath
+{
+
+/** A decoded PPR instruction. */
+struct Instr
+{
+    Opcode op = Opcode::INVALID;
+    u8 ra = 0;      //!< first register field
+    u8 rb = 0;      //!< second register field (R format)
+    u8 rc = 0;      //!< destination / data register field
+    s32 imm = 0;    //!< sign-extended immediate or word displacement
+
+    /** Static properties of this opcode. */
+    const OpInfo &info() const { return opInfo(op); }
+
+    /**
+     * First source register in the unified logical namespace, or noReg.
+     * For memory ops this is the address base; for stores the data
+     * register is src2.
+     */
+    LogReg src1() const;
+
+    /** Second source register, or noReg. */
+    LogReg src2() const;
+
+    /**
+     * Destination register, or noReg. Writes to the zero registers are
+     * reported as noReg (they are architecturally discarded).
+     */
+    LogReg dst() const;
+
+    /** Branch/call/jump target for pc-relative control flow. */
+    Addr
+    targetFrom(Addr pc) const
+    {
+        return pc + 4 + 4 * static_cast<s64>(imm);
+    }
+
+    /** True for conditional branches. */
+    bool isCondBranch() const { return info().isCondBranch; }
+
+    /** True for any control-transfer instruction. */
+    bool
+    isControl() const
+    {
+        const OpInfo &i = info();
+        return i.isCondBranch || i.isUncondBranch || i.isReturn;
+    }
+
+    bool isLoad() const { return info().isLoad; }
+    bool isStore() const { return info().isStore; }
+    bool isMem() const { return isLoad() || isStore(); }
+
+    /** Memory access size in bytes (1 or 8); only valid for mem ops. */
+    unsigned accessSize() const;
+
+    /** Disassemble to a human-readable string. */
+    std::string toString() const;
+};
+
+/** Encode @p instr into its 32-bit binary form. */
+u32 encodeInstr(const Instr &instr);
+
+/**
+ * Decode a 32-bit word. Never fails: out-of-range opcode fields decode
+ * to Opcode::INVALID (wrong-path fetch can pull arbitrary bits).
+ */
+Instr decodeInstr(u32 word);
+
+} // namespace polypath
+
+#endif // POLYPATH_ISA_INSTR_HH

@@ -1,0 +1,117 @@
+#include "opcodes.hh"
+
+#include "common/logging.hh"
+
+namespace polypath
+{
+
+namespace
+{
+
+// Latencies follow the Alpha AXP-21164 hardware reference: simple integer
+// ops 1 cycle, integer multiply 8, FP add/mul 4, FP divide 16, loads 2
+// (address generation + 1-cycle always-hit cache).
+constexpr OpInfo
+op(const char *name, Format f, ExecClass c, u8 lat,
+   bool cbr = false, bool ubr = false, bool call = false, bool ret = false,
+   bool load = false, bool store = false, bool halt = false,
+   bool invalid = false)
+{
+    return OpInfo{name, f, c, lat, cbr, ubr, call, ret, load, store,
+                  halt, invalid};
+}
+
+const OpInfo opTable[] = {
+    // INVALID occupies an IntAlu0 slot and completes immediately; it only
+    // matters if it reaches commit (program error).
+    op("invalid", Format::N, ExecClass::IntAlu0, 1,
+       false, false, false, false, false, false, false, true),
+
+    op("add",    Format::R, ExecClass::IntAlu0, 1),
+    op("sub",    Format::R, ExecClass::IntAlu0, 1),
+    op("mul",    Format::R, ExecClass::IntAlu1, 8),
+    op("and",    Format::R, ExecClass::IntAlu0, 1),
+    op("or",     Format::R, ExecClass::IntAlu0, 1),
+    op("xor",    Format::R, ExecClass::IntAlu0, 1),
+    op("sll",    Format::R, ExecClass::IntAlu1, 1),
+    op("srl",    Format::R, ExecClass::IntAlu1, 1),
+    op("sra",    Format::R, ExecClass::IntAlu1, 1),
+    op("cmpeq",  Format::R, ExecClass::IntAlu0, 1),
+    op("cmplt",  Format::R, ExecClass::IntAlu0, 1),
+    op("cmple",  Format::R, ExecClass::IntAlu0, 1),
+    op("cmpult", Format::R, ExecClass::IntAlu0, 1),
+
+    op("addi",    Format::I, ExecClass::IntAlu0, 1),
+    op("andi",    Format::I, ExecClass::IntAlu0, 1),
+    op("ori",     Format::I, ExecClass::IntAlu0, 1),
+    op("xori",    Format::I, ExecClass::IntAlu0, 1),
+    op("slli",    Format::I, ExecClass::IntAlu1, 1),
+    op("srli",    Format::I, ExecClass::IntAlu1, 1),
+    op("srai",    Format::I, ExecClass::IntAlu1, 1),
+    op("cmpeqi",  Format::I, ExecClass::IntAlu0, 1),
+    op("cmplti",  Format::I, ExecClass::IntAlu0, 1),
+    op("cmplei",  Format::I, ExecClass::IntAlu0, 1),
+    op("cmpulti", Format::I, ExecClass::IntAlu0, 1),
+    op("ldah",    Format::I, ExecClass::IntAlu0, 1),
+
+    op("ldq",  Format::M, ExecClass::Mem, 2,
+       false, false, false, false, true),
+    op("stq",  Format::M, ExecClass::Mem, 1,
+       false, false, false, false, false, true),
+    op("ldbu", Format::M, ExecClass::Mem, 2,
+       false, false, false, false, true),
+    op("stb",  Format::M, ExecClass::Mem, 1,
+       false, false, false, false, false, true),
+    op("fld",  Format::M, ExecClass::Mem, 2,
+       false, false, false, false, true),
+    op("fst",  Format::M, ExecClass::Mem, 1,
+       false, false, false, false, false, true),
+
+    op("beq", Format::B, ExecClass::IntAlu1, 1, true),
+    op("bne", Format::B, ExecClass::IntAlu1, 1, true),
+    op("blt", Format::B, ExecClass::IntAlu1, 1, true),
+    op("bge", Format::B, ExecClass::IntAlu1, 1, true),
+    op("ble", Format::B, ExecClass::IntAlu1, 1, true),
+    op("bgt", Format::B, ExecClass::IntAlu1, 1, true),
+
+    op("br",  Format::J, ExecClass::IntAlu1, 1, false, true),
+    op("jsr", Format::B, ExecClass::IntAlu1, 1, false, true, true),
+    op("ret", Format::R, ExecClass::IntAlu1, 1,
+       false, false, false, true),
+
+    op("fadd",   Format::R, ExecClass::FpAdd, 4),
+    op("fsub",   Format::R, ExecClass::FpAdd, 4),
+    op("fmul",   Format::R, ExecClass::FpMul, 4),
+    op("fdiv",   Format::R, ExecClass::FpMul, 16),
+    op("fcmpeq", Format::R, ExecClass::FpAdd, 4),
+    op("fcmplt", Format::R, ExecClass::FpAdd, 4),
+    op("cvtif",  Format::R, ExecClass::FpAdd, 4),
+    op("cvtfi",  Format::R, ExecClass::FpAdd, 4),
+
+    op("nop",  Format::N, ExecClass::IntAlu0, 1),
+    op("halt", Format::N, ExecClass::IntAlu0, 1,
+       false, false, false, false, false, false, true),
+};
+
+static_assert(sizeof(opTable) / sizeof(opTable[0]) ==
+                  static_cast<size_t>(Opcode::NumOpcodes),
+              "opTable out of sync with Opcode enum");
+
+} // anonymous namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    auto idx = static_cast<size_t>(op);
+    panic_if(idx >= static_cast<size_t>(Opcode::NumOpcodes),
+             "opInfo: bad opcode %zu", idx);
+    return opTable[idx];
+}
+
+const char *
+opName(Opcode op)
+{
+    return opInfo(op).name;
+}
+
+} // namespace polypath

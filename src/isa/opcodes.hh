@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The PPR ("PolyPath RISC") instruction set.
+ *
+ * PPR is a small Alpha-flavoured, fixed-width 32-bit RISC ISA:
+ *   - 32 64-bit integer registers r0..r31, r31 hardwired to zero;
+ *   - 32 double-precision FP registers f0..f31, f31 hardwired to +0.0;
+ *   - byte-addressed memory with quadword (8-byte) and byte accesses;
+ *   - compare-against-zero conditional branches (like Alpha Bxx);
+ *   - a call/return pair (JSR/RET) for the return-address stack.
+ *
+ * The ISA is "total": no instruction can trap during wrong-path execution
+ * (there is no divide, shifts mask their amount, and all addresses are
+ * readable). The only commit-time exception source is the INVALID opcode,
+ * which is what uninitialised instruction memory decodes to.
+ */
+
+#ifndef POLYPATH_ISA_OPCODES_HH
+#define POLYPATH_ISA_OPCODES_HH
+
+#include "common/types.hh"
+
+namespace polypath
+{
+
+/** PPR opcodes; the numeric value is the 6-bit encoding field. */
+enum class Opcode : u8
+{
+    INVALID = 0,  //!< what zeroed memory decodes to; traps at commit
+
+    // Integer register-register (R format): rc = ra OP rb
+    ADD, SUB, MUL, AND, OR, XOR,
+    SLL, SRL, SRA,
+    CMPEQ, CMPLT, CMPLE, CMPULT,
+
+    // Integer register-immediate (I format): rc = ra OP sext(imm16)
+    ADDI, ANDI, ORI, XORI,
+    SLLI, SRLI, SRAI,
+    CMPEQI, CMPLTI, CMPLEI, CMPULTI,
+    LDAH,       //!< rc = ra + (sext(imm16) << 16)
+
+    // Memory (M format): effective address = ra + sext(disp16)
+    LDQ,        //!< rc = mem64[ea]
+    STQ,        //!< mem64[ea] = rc
+    LDBU,       //!< rc = zext(mem8[ea])
+    STB,        //!< mem8[ea] = rc<7:0>
+    FLD,        //!< f[rc] = mem64[ea] (bit pattern)
+    FST,        //!< mem64[ea] = f[rc] (bit pattern)
+
+    // Conditional branches (B format): compare ra against zero
+    BEQ, BNE, BLT, BGE, BLE, BGT,
+
+    // Unconditional control flow
+    BR,         //!< J format: pc-relative jump, disp26
+    JSR,        //!< B format: ra = return address; call disp21
+    RET,        //!< R format: jump to ra (predicted by the RAS)
+
+    // Floating point
+    FADD, FSUB, FMUL, FDIV,       //!< f[rc] = f[ra] OP f[rb]
+    FCMPEQ, FCMPLT,               //!< int rc = f[ra] CMP f[rb]
+    CVTIF,                        //!< f[rc] = double(int ra)
+    CVTFI,                        //!< int rc = s64(f[ra])
+
+    // Misc
+    NOP,
+    HALT,       //!< end of program when committed
+
+    NumOpcodes
+};
+
+/** Encoding format of an opcode. */
+enum class Format : u8
+{
+    R,      //!< op ra, rb, rc
+    I,      //!< op ra, imm16, rc
+    M,      //!< op rc, disp16(ra)
+    B,      //!< op ra, disp21  (also JSR link encoding)
+    J,      //!< op disp26      (BR)
+    N,      //!< no operands    (NOP, HALT, INVALID)
+};
+
+/** Functional-unit class an instruction executes on (AXP-21164 mix). */
+enum class ExecClass : u8
+{
+    IntAlu0,    //!< add/logic/compare pipe
+    IntAlu1,    //!< shift/multiply/branch pipe
+    FpAdd,
+    FpMul,
+    Mem,        //!< D-cache port
+    NumClasses
+};
+
+/** Static properties of one opcode. */
+struct OpInfo
+{
+    const char *name;
+    Format format;
+    ExecClass execClass;
+    u8 latency;             //!< execution latency in cycles
+    bool isCondBranch;
+    bool isUncondBranch;    //!< BR / JSR (direct, target known at fetch)
+    bool isCall;
+    bool isReturn;
+    bool isLoad;
+    bool isStore;
+    bool isHalt;
+    bool isInvalid;
+};
+
+/** Look up the static properties of @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** Printable mnemonic. */
+const char *opName(Opcode op);
+
+/**
+ * Unified logical register namespace used by rename:
+ * 0..31 integer, 32..63 floating point.
+ */
+using LogReg = u8;
+
+constexpr LogReg numLogRegs = 64;
+constexpr LogReg noReg = 0xff;
+constexpr LogReg intZeroReg = 31;
+constexpr LogReg fpZeroReg = 63;
+
+/** Map an integer register field to the unified namespace. */
+constexpr LogReg intReg(unsigned idx) { return static_cast<LogReg>(idx); }
+
+/** Map an FP register field to the unified namespace. */
+constexpr LogReg fpReg(unsigned idx) { return static_cast<LogReg>(32 + idx); }
+
+/** True for r31/f31, which read as zero and ignore writes. */
+constexpr bool
+isZeroReg(LogReg reg)
+{
+    return reg == intZeroReg || reg == fpZeroReg;
+}
+
+} // namespace polypath
+
+#endif // POLYPATH_ISA_OPCODES_HH

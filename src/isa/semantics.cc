@@ -1,0 +1,132 @@
+#include "semantics.hh"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace polypath
+{
+
+namespace
+{
+
+double
+asDouble(u64 bits_value)
+{
+    return std::bit_cast<double>(bits_value);
+}
+
+u64
+asBits(double value)
+{
+    return std::bit_cast<u64>(value);
+}
+
+/** Total conversion double -> s64; saturates on overflow/NaN. */
+s64
+doubleToS64(double value)
+{
+    if (std::isnan(value))
+        return 0;
+    constexpr double lo = -9.223372036854776e18;
+    constexpr double hi = 9.223372036854776e18;
+    if (value <= lo)
+        return std::numeric_limits<s64>::min();
+    if (value >= hi)
+        return std::numeric_limits<s64>::max();
+    return static_cast<s64>(value);
+}
+
+} // anonymous namespace
+
+u64
+computeResult(const Instr &instr, u64 a, u64 b, Addr pc)
+{
+    s64 imm = instr.imm;
+    switch (instr.op) {
+      case Opcode::ADD:     return a + b;
+      case Opcode::SUB:     return a - b;
+      case Opcode::MUL:     return a * b;
+      case Opcode::AND:     return a & b;
+      case Opcode::OR:      return a | b;
+      case Opcode::XOR:     return a ^ b;
+      case Opcode::SLL:     return a << (b & 63);
+      case Opcode::SRL:     return a >> (b & 63);
+      case Opcode::SRA:
+        return static_cast<u64>(static_cast<s64>(a) >> (b & 63));
+      case Opcode::CMPEQ:   return a == b ? 1 : 0;
+      case Opcode::CMPLT:
+        return static_cast<s64>(a) < static_cast<s64>(b) ? 1 : 0;
+      case Opcode::CMPLE:
+        return static_cast<s64>(a) <= static_cast<s64>(b) ? 1 : 0;
+      case Opcode::CMPULT:  return a < b ? 1 : 0;
+
+      case Opcode::ADDI:    return a + static_cast<u64>(imm);
+      case Opcode::ANDI:    return a & static_cast<u64>(imm);
+      case Opcode::ORI:     return a | static_cast<u64>(imm);
+      case Opcode::XORI:    return a ^ static_cast<u64>(imm);
+      case Opcode::SLLI:    return a << (imm & 63);
+      case Opcode::SRLI:    return a >> (imm & 63);
+      case Opcode::SRAI:
+        return static_cast<u64>(static_cast<s64>(a) >> (imm & 63));
+      case Opcode::CMPEQI:
+        return a == static_cast<u64>(imm) ? 1 : 0;
+      case Opcode::CMPLTI:
+        return static_cast<s64>(a) < imm ? 1 : 0;
+      case Opcode::CMPLEI:
+        return static_cast<s64>(a) <= imm ? 1 : 0;
+      case Opcode::CMPULTI:
+        return a < static_cast<u64>(imm) ? 1 : 0;
+      case Opcode::LDAH:
+        return a + (static_cast<u64>(imm) << 16);
+
+      case Opcode::JSR:     return pc + 4;
+
+      case Opcode::FADD:    return asBits(asDouble(a) + asDouble(b));
+      case Opcode::FSUB:    return asBits(asDouble(a) - asDouble(b));
+      case Opcode::FMUL:    return asBits(asDouble(a) * asDouble(b));
+      case Opcode::FDIV:    return asBits(asDouble(a) / asDouble(b));
+      case Opcode::FCMPEQ:  return asDouble(a) == asDouble(b) ? 1 : 0;
+      case Opcode::FCMPLT:  return asDouble(a) < asDouble(b) ? 1 : 0;
+      case Opcode::CVTIF:
+        return asBits(static_cast<double>(static_cast<s64>(a)));
+      case Opcode::CVTFI:
+        return static_cast<u64>(doubleToS64(asDouble(a)));
+
+      case Opcode::NOP:
+      case Opcode::HALT:
+      case Opcode::INVALID:
+        return 0;
+
+      default:
+        panic("computeResult: op %s has no ALU semantics",
+              opName(instr.op));
+    }
+}
+
+bool
+evalCondBranch(const Instr &instr, u64 a)
+{
+    s64 sa = static_cast<s64>(a);
+    switch (instr.op) {
+      case Opcode::BEQ: return a == 0;
+      case Opcode::BNE: return a != 0;
+      case Opcode::BLT: return sa < 0;
+      case Opcode::BGE: return sa >= 0;
+      case Opcode::BLE: return sa <= 0;
+      case Opcode::BGT: return sa > 0;
+      default:
+        panic("evalCondBranch: %s is not a conditional branch",
+              opName(instr.op));
+    }
+}
+
+Addr
+effectiveAddr(const Instr &instr, u64 base)
+{
+    return base + static_cast<u64>(static_cast<s64>(instr.imm));
+}
+
+} // namespace polypath

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Pure functional semantics of PPR instructions.
+ *
+ * Both the golden reference interpreter (src/arch) and the out-of-order
+ * timing core (src/core) compute results through these functions, so the
+ * two can never disagree on what an instruction *means* — any mismatch
+ * between timing and reference runs is a genuine timing-model bug.
+ *
+ * All operations are total: shift amounts are masked to 6 bits, FP
+ * division by zero follows IEEE (inf/nan bit patterns), and CVTFI of
+ * non-finite values saturates. Nothing here can trap, which is essential
+ * because wrong-path instructions execute on garbage values.
+ */
+
+#ifndef POLYPATH_ISA_SEMANTICS_HH
+#define POLYPATH_ISA_SEMANTICS_HH
+
+#include "common/types.hh"
+#include "isa/instr.hh"
+
+namespace polypath
+{
+
+/**
+ * Compute the result of a non-memory, non-branch instruction.
+ *
+ * @param instr decoded instruction (ALU, FP, LDAH, JSR link, ...)
+ * @param a value of src1 (or 0 if none); FP values as bit patterns
+ * @param b value of src2 (or 0 if none)
+ * @param pc the instruction's own PC (needed for the JSR link value)
+ * @return the destination value (FP results as bit patterns)
+ */
+u64 computeResult(const Instr &instr, u64 a, u64 b, Addr pc);
+
+/**
+ * Evaluate a conditional branch.
+ *
+ * @param instr a conditional-branch instruction
+ * @param a value of the condition register ra
+ * @return true iff the branch is taken
+ */
+bool evalCondBranch(const Instr &instr, u64 a);
+
+/**
+ * Effective address of a memory instruction.
+ *
+ * @param instr a load or store
+ * @param base value of the base register ra
+ */
+Addr effectiveAddr(const Instr &instr, u64 base);
+
+} // namespace polypath
+
+#endif // POLYPATH_ISA_SEMANTICS_HH

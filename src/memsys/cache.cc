@@ -1,0 +1,80 @@
+#include "cache.hh"
+
+#include "common/bitutils.hh"
+
+namespace polypath
+{
+
+CacheModel::CacheModel(const CacheConfig &cache_cfg) : cfg(cache_cfg)
+{
+    if (cfg.perfect)
+        return;
+    fatal_if(!isPowerOf2(cfg.lineBytes) || cfg.lineBytes < 8,
+             "cache line of %u bytes unsupported", cfg.lineBytes);
+    fatal_if(cfg.ways == 0, "cache needs at least one way");
+    fatal_if(cfg.sizeBytes % (cfg.lineBytes * cfg.ways) != 0,
+             "cache size %u not divisible into %u-way sets of %u-byte "
+             "lines",
+             cfg.sizeBytes, cfg.ways, cfg.lineBytes);
+    numSets = cfg.sizeBytes / (cfg.lineBytes * cfg.ways);
+    fatal_if(!isPowerOf2(numSets), "cache set count %u not a power of 2",
+             numSets);
+    ways.resize(static_cast<size_t>(numSets) * cfg.ways);
+}
+
+size_t
+CacheModel::setIndex(Addr addr) const
+{
+    return (addr / cfg.lineBytes) & (numSets - 1);
+}
+
+u64
+CacheModel::lineTag(Addr addr) const
+{
+    return addr / cfg.lineBytes;
+}
+
+unsigned
+CacheModel::access(Addr addr)
+{
+    if (cfg.perfect) {
+        ++hitCount;
+        return 0;
+    }
+    ++useClock;
+    u64 tag = lineTag(addr);
+    Way *set = &ways[setIndex(addr) * cfg.ways];
+    Way *victim = &set[0];
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lastUse = useClock;
+            ++hitCount;
+            return 0;
+        }
+        if (!set[w].valid ||
+            (victim->valid && set[w].lastUse < victim->lastUse)) {
+            victim = &set[w];
+        }
+    }
+    victim->tag = tag;
+    victim->valid = true;
+    victim->lastUse = useClock;
+    ++missCount;
+    return cfg.missLatency;
+}
+
+bool
+CacheModel::contains(Addr addr) const
+{
+    if (cfg.perfect)
+        return true;
+    u64 tag = lineTag(addr);
+    const Way *set = &ways[setIndex(addr) * cfg.ways];
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+} // namespace polypath

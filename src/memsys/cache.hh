@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A set-associative LRU data-cache timing model.
+ *
+ * The paper's machine model assumes perfect caches (§4.2), and that
+ * remains the default. This model is the repository's optional
+ * extension for studying SEE under realistic memory latency: loads that
+ * miss pay a configurable penalty, and wrong-path accesses really do
+ * probe and fill the cache — eager execution can pollute it *or*
+ * prefetch for the correct path, which is exactly the tension the
+ * `ablations` bench measures.
+ *
+ * Only timing is modelled here; data always comes from the store queue
+ * and the backing SparseMemory.
+ */
+
+#ifndef POLYPATH_MEMSYS_CACHE_HH
+#define POLYPATH_MEMSYS_CACHE_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace polypath
+{
+
+/** D-cache geometry and timing. */
+struct CacheConfig
+{
+    bool perfect = true;            //!< paper default: every access hits
+    unsigned sizeBytes = 32768;
+    unsigned lineBytes = 32;
+    unsigned ways = 2;
+    unsigned missLatency = 20;      //!< extra cycles on a miss
+};
+
+/** Timing-only set-associative cache with true-LRU replacement. */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheConfig &cache_cfg);
+
+    /**
+     * Probe (and on a miss, fill) the line containing @p addr.
+     * @return extra latency in cycles (0 on hit or for a perfect cache)
+     */
+    unsigned access(Addr addr);
+
+    u64 hits() const { return hitCount; }
+    u64 misses() const { return missCount; }
+
+    /** For tests: is the line containing @p addr currently resident? */
+    bool contains(Addr addr) const;
+
+  private:
+    struct Way
+    {
+        u64 tag = 0;
+        bool valid = false;
+        u64 lastUse = 0;
+    };
+
+    size_t setIndex(Addr addr) const;
+    u64 lineTag(Addr addr) const;
+
+    CacheConfig cfg;
+    unsigned numSets = 0;
+    std::vector<Way> ways;          //!< numSets * cfg.ways entries
+    u64 useClock = 0;
+    u64 hitCount = 0;
+    u64 missCount = 0;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_MEMSYS_CACHE_HH

@@ -1,0 +1,80 @@
+#include "memory.hh"
+
+#include "common/logging.hh"
+
+namespace polypath
+{
+
+const SparseMemory::Page *
+SparseMemory::findPage(Addr addr) const
+{
+    auto it = pages.find(addr >> pageShift);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+SparseMemory::Page &
+SparseMemory::getPage(Addr addr)
+{
+    auto &slot = pages[addr >> pageShift];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+u8
+SparseMemory::readByte(Addr addr) const
+{
+    const Page *page = findPage(addr);
+    if (!page)
+        return 0;
+    return (*page)[addr & (pageBytes - 1)];
+}
+
+void
+SparseMemory::writeByte(Addr addr, u8 value)
+{
+    getPage(addr)[addr & (pageBytes - 1)] = value;
+}
+
+u64
+SparseMemory::read(Addr addr, unsigned size) const
+{
+    panic_if(size == 0 || size > 8, "memory read of size %u", size);
+    u64 value = 0;
+    for (unsigned i = 0; i < size; ++i)
+        value |= static_cast<u64>(readByte(addr + i)) << (8 * i);
+    return value;
+}
+
+void
+SparseMemory::write(Addr addr, u64 value, unsigned size)
+{
+    panic_if(size == 0 || size > 8, "memory write of size %u", size);
+    for (unsigned i = 0; i < size; ++i)
+        writeByte(addr + i, static_cast<u8>(value >> (8 * i)));
+}
+
+bool
+SparseMemory::contentsEqual(const SparseMemory &other) const
+{
+    auto pages_match = [](const SparseMemory &a, const SparseMemory &b) {
+        for (const auto &[pageNum, page] : a.pages) {
+            const Page *peer = nullptr;
+            auto it = b.pages.find(pageNum);
+            if (it != b.pages.end())
+                peer = it->second.get();
+            for (size_t i = 0; i < pageBytes; ++i) {
+                u8 mine = (*page)[i];
+                u8 theirs = peer ? (*peer)[i] : 0;
+                if (mine != theirs)
+                    return false;
+            }
+        }
+        return true;
+    };
+    return pages_match(*this, other) && pages_match(other, *this);
+}
+
+} // namespace polypath

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sparse byte-addressed main memory.
+ *
+ * Wrong-path instructions can compute wild effective addresses and fetch
+ * can run past the end of the program, so the memory model must accept
+ * *any* 64-bit address. Unwritten memory reads as zero; a zero
+ * instruction word decodes to Opcode::INVALID.
+ *
+ * The paper's machine model assumes perfect caches (every access hits,
+ * 1-cycle access), so there is no miss modelling here; the cache latency
+ * lives in the instruction latency table (loads take 2 cycles total).
+ */
+
+#ifndef POLYPATH_MEMSYS_MEMORY_HH
+#define POLYPATH_MEMSYS_MEMORY_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace polypath
+{
+
+/** Sparse paged memory; pages materialise on first write. */
+class SparseMemory
+{
+  public:
+    static constexpr unsigned pageShift = 12;
+    static constexpr size_t pageBytes = size_t(1) << pageShift;
+
+    /** Read one byte; untouched memory reads as zero. */
+    u8 readByte(Addr addr) const;
+
+    /** Write one byte, materialising the page if needed. */
+    void writeByte(Addr addr, u8 value);
+
+    /** Little-endian multi-byte read of @p size bytes (1..8). */
+    u64 read(Addr addr, unsigned size) const;
+
+    /** Little-endian multi-byte write of @p size bytes (1..8). */
+    void write(Addr addr, u64 value, unsigned size);
+
+    /** 32-bit instruction fetch. */
+    u32 read32(Addr addr) const { return static_cast<u32>(read(addr, 4)); }
+
+    /** 64-bit data read. */
+    u64 read64(Addr addr) const { return read(addr, 8); }
+
+    /** 64-bit data write. */
+    void write64(Addr addr, u64 value) { write(addr, value, 8); }
+
+    /** Number of materialised pages (for tests). */
+    size_t numPages() const { return pages.size(); }
+
+    /**
+     * Compare the materialised contents of this memory against @p other.
+     * Returns true iff every byte that is non-zero in either memory is
+     * identical in both (zero-filled pages are equivalent to absent ones).
+     */
+    bool contentsEqual(const SparseMemory &other) const;
+
+  private:
+    using Page = std::array<u8, pageBytes>;
+
+    const Page *findPage(Addr addr) const;
+    Page &getPage(Addr addr);
+
+    std::unordered_map<u64, std::unique_ptr<Page>> pages;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_MEMSYS_MEMORY_HH

@@ -1,0 +1,190 @@
+#include "store_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace polypath
+{
+
+void
+StoreQueue::insert(InstSeq seq, const CtxTag &tag, u8 size)
+{
+    panic_if(!entries.empty() && entries.back().seq >= seq,
+             "store queue insertion out of fetch order");
+    StoreQueueEntry entry;
+    entry.seq = seq;
+    entry.tag = tag;
+    entry.size = size;
+    entries.push_back(entry);
+}
+
+StoreQueueEntry *
+StoreQueue::findMutable(InstSeq seq)
+{
+    auto it = std::lower_bound(
+        entries.begin(), entries.end(), seq,
+        [](const StoreQueueEntry &e, InstSeq s) { return e.seq < s; });
+    if (it == entries.end() || it->seq != seq)
+        return nullptr;
+    return &*it;
+}
+
+const StoreQueueEntry *
+StoreQueue::find(InstSeq seq) const
+{
+    return const_cast<StoreQueue *>(this)->findMutable(seq);
+}
+
+void
+StoreQueue::setAddress(InstSeq seq, Addr addr)
+{
+    StoreQueueEntry *entry = findMutable(seq);
+    panic_if(!entry, "setAddress: store %llu not in queue",
+             static_cast<unsigned long long>(seq));
+    entry->addr = addr;
+    entry->addrKnown = true;
+}
+
+void
+StoreQueue::setData(InstSeq seq, u64 data)
+{
+    StoreQueueEntry *entry = findMutable(seq);
+    panic_if(!entry, "setData: store %llu not in queue",
+             static_cast<unsigned long long>(seq));
+    entry->data = data;
+    entry->dataKnown = true;
+}
+
+LoadQueryResult
+StoreQueue::queryLoad(InstSeq seq, const CtxTag &tag, Addr addr,
+                      unsigned size, const SparseMemory &mem) const
+{
+    panic_if(size == 0 || size > 8, "load of size %u", size);
+
+    // Per-byte resolution: needed[i] says byte i still lacks a source;
+    // value accumulates forwarded bytes.
+    unsigned needed_mask = (1u << size) - 1;
+    u64 value = 0;
+    bool forwarded = false;
+
+    // Youngest-first walk over older same-path stores.
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        const StoreQueueEntry &store = *it;
+        if (store.seq >= seq)
+            continue;
+        if (!store.tag.isAncestorOrSelf(tag))
+            continue;
+        if (!store.addrKnown) {
+            // Perfect disambiguation cannot see through a store whose
+            // address is not yet computable from dataflow.
+            return {LoadQueryStatus::MustWait};
+        }
+        // Byte overlap between [addr, addr+size) and the store.
+        bool overlaps = false;
+        for (unsigned i = 0; i < size; ++i) {
+            if (!((needed_mask >> i) & 1))
+                continue;
+            Addr byte_addr = addr + i;
+            if (byte_addr >= store.addr &&
+                byte_addr < store.addr + store.size) {
+                overlaps = true;
+                break;
+            }
+        }
+        if (!overlaps)
+            continue;
+        if (!store.dataKnown)
+            return {LoadQueryStatus::MustWait};
+        for (unsigned i = 0; i < size; ++i) {
+            if (!((needed_mask >> i) & 1))
+                continue;
+            Addr byte_addr = addr + i;
+            if (byte_addr >= store.addr &&
+                byte_addr < store.addr + store.size) {
+                u64 byte = (store.data >> (8 * (byte_addr - store.addr)))
+                           & 0xff;
+                value |= byte << (8 * i);
+                needed_mask &= ~(1u << i);
+                forwarded = true;
+            }
+        }
+        if (needed_mask == 0)
+            break;
+    }
+
+    // Remaining bytes come from committed memory state. Program-order
+    // older stores are either still in the queue (handled above) or have
+    // already drained to memory, so this composition is exact.
+    for (unsigned i = 0; i < size; ++i) {
+        if ((needed_mask >> i) & 1)
+            value |= static_cast<u64>(mem.readByte(addr + i)) << (8 * i);
+    }
+
+    return {LoadQueryStatus::Ready, value, forwarded};
+}
+
+void
+StoreQueue::commit(InstSeq seq, SparseMemory &mem)
+{
+    panic_if(entries.empty(), "store commit with empty queue");
+    StoreQueueEntry &front = entries.front();
+    panic_if(front.seq != seq,
+             "store commit out of order: head %llu, committing %llu",
+             static_cast<unsigned long long>(front.seq),
+             static_cast<unsigned long long>(seq));
+    panic_if(!front.addrKnown || !front.dataKnown,
+             "committing store %llu with unresolved operands",
+             static_cast<unsigned long long>(seq));
+    mem.write(front.addr, front.data, front.size);
+    entries.pop_front();
+}
+
+void
+StoreQueue::kill(InstSeq seq)
+{
+    auto it = std::lower_bound(
+        entries.begin(), entries.end(), seq,
+        [](const StoreQueueEntry &e, InstSeq s) { return e.seq < s; });
+    if (it != entries.end() && it->seq == seq)
+        entries.erase(it);
+}
+
+unsigned
+StoreQueue::killWrongPath(unsigned pos, bool actual_taken)
+{
+    unsigned killed = 0;
+    auto keep = [&](const StoreQueueEntry &entry) {
+        if (entry.tag.onWrongSide(pos, actual_taken)) {
+            ++killed;
+            return false;
+        }
+        return true;
+    };
+    std::deque<StoreQueueEntry> kept;
+    for (const StoreQueueEntry &entry : entries) {
+        if (keep(entry))
+            kept.push_back(entry);
+    }
+    entries.swap(kept);
+    return killed;
+}
+
+std::vector<InstSeq>
+StoreQueue::seqs() const
+{
+    std::vector<InstSeq> out;
+    out.reserve(entries.size());
+    for (const StoreQueueEntry &entry : entries)
+        out.push_back(entry.seq);
+    return out;
+}
+
+void
+StoreQueue::commitPosition(unsigned pos)
+{
+    for (StoreQueueEntry &entry : entries)
+        entry.tag.clearPosition(pos);
+}
+
+} // namespace polypath

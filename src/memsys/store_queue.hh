@@ -1,0 +1,119 @@
+/**
+ * @file
+ * CTX-tagged store buffer (§3.2.4).
+ *
+ * Holds speculative store data from dispatch until commit. Forwarding to
+ * loads is restricted to stores on the same path or an ancestor path of
+ * the load, decided with the CTX hierarchy comparator. Data reaches main
+ * memory only when the store commits, so wrong paths can never corrupt
+ * architectural memory state.
+ *
+ * Disambiguation model (per §4.2 "perfect memory disambiguation"): the
+ * core publishes a store's effective address into its queue entry as soon
+ * as the address operand is data-ready (independent of FU scheduling), so
+ * a load waits only on older same-path stores that genuinely conflict or
+ * whose address is not yet computable from dataflow.
+ */
+
+#ifndef POLYPATH_MEMSYS_STORE_QUEUE_HH
+#define POLYPATH_MEMSYS_STORE_QUEUE_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "ctx/ctx_tag.hh"
+#include "memsys/memory.hh"
+
+namespace polypath
+{
+
+/** Outcome of a load's store-queue search. */
+enum class LoadQueryStatus : u8
+{
+    Ready,      //!< value fully resolvable now (forwarded and/or memory)
+    MustWait,   //!< an older same-path store blocks the load for now
+};
+
+/** Result of StoreQueue::queryLoad. */
+struct LoadQueryResult
+{
+    LoadQueryStatus status;
+    u64 value = 0;
+    bool forwarded = false;     //!< true if any byte came from the queue
+};
+
+/** One in-flight store. */
+struct StoreQueueEntry
+{
+    InstSeq seq;
+    CtxTag tag;
+    Addr addr = 0;
+    u64 data = 0;
+    u8 size = 0;
+    bool addrKnown = false;
+    bool dataKnown = false;
+};
+
+/** The speculative store buffer. */
+class StoreQueue
+{
+  public:
+    /** Insert a store at dispatch (entries arrive in fetch order). */
+    void insert(InstSeq seq, const CtxTag &tag, u8 size);
+
+    /** Publish the effective address once dataflow provides it. */
+    void setAddress(InstSeq seq, Addr addr);
+
+    /** Publish the store data once dataflow provides it. */
+    void setData(InstSeq seq, u64 data);
+
+    /**
+     * Resolve a load of @p size bytes at @p addr issued by an instruction
+     * with sequence number @p seq on path @p tag. Bytes covered by older
+     * same-path (ancestor) stores are forwarded; the rest come from
+     * @p mem.
+     */
+    LoadQueryResult queryLoad(InstSeq seq, const CtxTag &tag, Addr addr,
+                              unsigned size,
+                              const SparseMemory &mem) const;
+
+    /**
+     * Commit the store @p seq: write its data to @p mem and drop the
+     * entry. Entries commit in order from the front.
+     */
+    void commit(InstSeq seq, SparseMemory &mem);
+
+    /** Drop the entry for a killed store. */
+    void kill(InstSeq seq);
+
+    /**
+     * Branch-resolution bus: drop every entry on the wrong side of
+     * history position @p pos given the actual outcome. Returns the
+     * number of entries killed.
+     */
+    unsigned killWrongPath(unsigned pos, bool actual_taken);
+
+    /** Branch-commit bus: invalidate history position @p pos in all
+     *  entry tags. */
+    void commitPosition(unsigned pos);
+
+    size_t size() const { return entries.size(); }
+    bool empty() const { return entries.empty(); }
+
+    /** Entry lookup for tests; returns nullptr if absent. */
+    const StoreQueueEntry *find(InstSeq seq) const;
+
+    /** Sequence numbers of all entries (invariant checking). */
+    std::vector<InstSeq> seqs() const;
+
+  private:
+    StoreQueueEntry *findMutable(InstSeq seq);
+
+    /** Sorted by seq (insertion is in fetch order). */
+    std::deque<StoreQueueEntry> entries;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_MEMSYS_STORE_QUEUE_HH

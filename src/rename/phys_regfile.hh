@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unified physical register file with free list and ready bits.
+ *
+ * Physical register 0 is reserved as the constant-zero register: the
+ * logical zero registers (r31/f31) map to it permanently, it is always
+ * ready, always reads 0, and is never allocated or freed.
+ */
+
+#ifndef POLYPATH_RENAME_PHYS_REGFILE_HH
+#define POLYPATH_RENAME_PHYS_REGFILE_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace polypath
+{
+
+/** The constant-zero physical register. */
+constexpr PhysReg zeroPhysReg = 0;
+
+/** Physical register file: values, ready bits, free list. */
+class PhysRegFile
+{
+  public:
+    explicit PhysRegFile(unsigned num_regs)
+        : values(num_regs, 0), readyBits(num_regs, false)
+    {
+        panic_if(num_regs < 2, "PhysRegFile needs at least 2 registers");
+        readyBits[zeroPhysReg] = true;
+        for (PhysReg reg = 1; reg < num_regs; ++reg)
+            freeList.push_back(reg);
+    }
+
+    unsigned numRegs() const { return values.size(); }
+    unsigned numFree() const { return freeList.size(); }
+    bool hasFree() const { return !freeList.empty(); }
+
+    /** Allocate a register; it starts not-ready. */
+    PhysReg
+    alloc()
+    {
+        panic_if(freeList.empty(), "physical register file exhausted");
+        PhysReg reg = freeList.front();
+        freeList.pop_front();
+        readyBits[reg] = false;
+        values[reg] = 0;
+        return reg;
+    }
+
+    /** Return a register to the free list; phys 0 is never freed. */
+    void
+    release(PhysReg reg)
+    {
+        if (reg == zeroPhysReg || reg == invalidPhysReg)
+            return;
+        panic_if(reg >= values.size(), "release of bad phys reg %u", reg);
+        freeList.push_back(reg);
+    }
+
+    /** Read a register value (phys 0 always reads 0). */
+    u64
+    value(PhysReg reg) const
+    {
+        panic_if(reg >= values.size(), "read of bad phys reg %u", reg);
+        return values[reg];
+    }
+
+    /** Write a result and mark the register ready. */
+    void
+    setValue(PhysReg reg, u64 value)
+    {
+        panic_if(reg >= values.size(), "write of bad phys reg %u", reg);
+        panic_if(reg == zeroPhysReg, "write to constant-zero phys reg");
+        values[reg] = value;
+        readyBits[reg] = true;
+    }
+
+    /** Has the register's value been produced yet? */
+    bool
+    ready(PhysReg reg) const
+    {
+        panic_if(reg >= values.size(), "ready check of bad phys reg %u",
+                 reg);
+        return readyBits[reg];
+    }
+
+    /** Bitmap of currently-free registers (invariant checking). */
+    std::vector<bool>
+    freeMask() const
+    {
+        std::vector<bool> mask(values.size(), false);
+        for (PhysReg reg : freeList)
+            mask[reg] = true;
+        return mask;
+    }
+
+  private:
+    std::vector<u64> values;
+    std::vector<bool> readyBits;
+    std::deque<PhysReg> freeList;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_RENAME_PHYS_REGFILE_HH

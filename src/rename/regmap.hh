@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Register mapping table (RegMap) with checkpointing (§3.1 / §3.2.5).
+ *
+ * Maps the 64 unified logical registers to physical registers. In the
+ * PolyPath machine each live path owns one RegMap; a divergent branch
+ * clones its path's map once for each successor path (the same two-copy
+ * budget a monopath machine spends on active + checkpoint copies), and a
+ * predicted branch stores a checkpoint clone for misprediction recovery.
+ */
+
+#ifndef POLYPATH_RENAME_REGMAP_HH
+#define POLYPATH_RENAME_REGMAP_HH
+
+#include <array>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+#include "rename/phys_regfile.hh"
+
+namespace polypath
+{
+
+/** One logical-to-physical register mapping table. */
+class RegMap
+{
+  public:
+    /** Fresh map: every logical register reads the constant zero. */
+    RegMap() { map.fill(zeroPhysReg); }
+
+    /** Translate logical register @p reg. */
+    PhysReg
+    lookup(LogReg reg) const
+    {
+        if (reg == noReg)
+            return invalidPhysReg;
+        panic_if(reg >= numLogRegs, "lookup of bad logical reg %u", reg);
+        return map[reg];
+    }
+
+    /**
+     * Point logical register @p reg at @p phys_reg.
+     * @return the previous mapping (the instruction's "old destination",
+     *         recycled at commit or on a squash)
+     */
+    PhysReg
+    rename(LogReg reg, PhysReg phys_reg)
+    {
+        panic_if(reg == noReg || reg >= numLogRegs || isZeroReg(reg),
+                 "rename of bad logical reg %u", reg);
+        PhysReg old = map[reg];
+        map[reg] = phys_reg;
+        return old;
+    }
+
+    bool operator==(const RegMap &other) const { return map == other.map; }
+
+  private:
+    std::array<PhysReg, numLogRegs> map;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_RENAME_REGMAP_HH

@@ -1,0 +1,102 @@
+#include "machine.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace polypath
+{
+
+InterpResult
+runGolden(const Program &program, u64 max_instrs)
+{
+    return interpret(program, max_instrs);
+}
+
+SimResult
+simulate(const Program &program, const SimConfig &cfg,
+         const InterpResult &golden)
+{
+    PolyPathCore core(cfg, program, golden);
+
+    u64 max_cycles = cfg.maxCycles
+                         ? cfg.maxCycles
+                         : 50 * golden.instructions + 1'000'000;
+    while (!core.halted()) {
+        fatal_if(core.cycle() >= max_cycles,
+                 "simulation of %s exceeded %llu cycles",
+                 program.name.c_str(),
+                 static_cast<unsigned long long>(max_cycles));
+        core.tick();
+    }
+
+    SimResult result;
+    result.stats = core.stats();
+    result.stats.halted = true;
+    result.category = cfg.categoryName();
+    result.workload = program.name;
+
+    if (cfg.verify) {
+        // Committed instruction count must match the reference exactly.
+        panic_if(result.stats.committedInstrs != golden.instructions,
+                 "%s: committed %llu instructions, reference %llu",
+                 program.name.c_str(),
+                 static_cast<unsigned long long>(
+                     result.stats.committedInstrs),
+                 static_cast<unsigned long long>(golden.instructions));
+
+        // Architectural register state must match.
+        ArchState final_regs = core.architecturalState();
+        panic_if(!(final_regs == golden.finalRegs),
+                 "%s: final register state diverged from reference",
+                 program.name.c_str());
+
+        // Committed memory state must match.
+        panic_if(!core.memory().contentsEqual(*golden.finalMem),
+                 "%s: final memory state diverged from reference",
+                 program.name.c_str());
+        result.verified = true;
+    }
+    return result;
+}
+
+SimResult
+simulate(const Program &program, const SimConfig &cfg)
+{
+    InterpResult golden = runGolden(program);
+    return simulate(program, cfg, golden);
+}
+
+std::vector<SimResult>
+runParallel(const std::vector<std::function<SimResult()>> &jobs,
+            unsigned num_workers)
+{
+    if (num_workers == 0) {
+        num_workers = std::thread::hardware_concurrency();
+        if (num_workers == 0)
+            num_workers = 2;
+    }
+
+    std::vector<SimResult> results(jobs.size());
+    std::atomic<size_t> next{0};
+
+    auto worker = [&]() {
+        while (true) {
+            size_t idx = next.fetch_add(1);
+            if (idx >= jobs.size())
+                break;
+            results[idx] = jobs[idx]();
+        }
+    };
+
+    std::vector<std::thread> threads;
+    unsigned spawn = std::min<size_t>(num_workers, jobs.size());
+    for (unsigned i = 0; i < spawn; ++i)
+        threads.emplace_back(worker);
+    for (std::thread &thread : threads)
+        thread.join();
+    return results;
+}
+
+} // namespace polypath

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Top-level simulation driver.
+ *
+ * Wires a workload, a machine configuration and the golden reference run
+ * together, runs the timing core to completion and verifies the result
+ * against the reference (committed control-flow stream during the run,
+ * architectural registers and memory at the end).
+ */
+
+#ifndef POLYPATH_SIM_MACHINE_HH
+#define POLYPATH_SIM_MACHINE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/interpreter.hh"
+#include "asmkit/program.hh"
+#include "core/config.hh"
+#include "core/core.hh"
+#include "core/stats.hh"
+
+namespace polypath
+{
+
+/** Result of one timing simulation. */
+struct SimResult
+{
+    SimStats stats;
+    std::string category;       //!< e.g. "gshare/JRS"
+    std::string workload;
+    bool verified = false;      //!< final-state check passed
+
+    double ipc() const { return stats.ipc(); }
+};
+
+/**
+ * Run the golden reference once for @p program.
+ * Heavier workloads should share one golden run across configurations.
+ */
+InterpResult runGolden(const Program &program,
+                       u64 max_instrs = 2'000'000'000ull);
+
+/**
+ * Simulate @p program on configuration @p cfg, reusing the golden run
+ * @p golden. Panics (simulator bug) if verification fails.
+ */
+SimResult simulate(const Program &program, const SimConfig &cfg,
+                   const InterpResult &golden);
+
+/** Convenience: golden run + timing run in one call. */
+SimResult simulate(const Program &program, const SimConfig &cfg);
+
+/**
+ * Run many independent simulations on a small worker pool (the
+ * experiment sweeps are embarrassingly parallel).
+ *
+ * @param jobs thunks, each returning one SimResult
+ * @param num_workers 0 = hardware concurrency
+ * @return results in job order
+ */
+std::vector<SimResult>
+runParallel(const std::vector<std::function<SimResult()>> &jobs,
+            unsigned num_workers = 0);
+
+} // namespace polypath
+
+#endif // POLYPATH_SIM_MACHINE_HH

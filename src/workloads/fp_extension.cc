@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Floating-point workload extension.
+ *
+ * §5.1 of the paper conjectures (from the vortex result) that SEE can
+ * also help "other highly predictable programs, like floating point
+ * code". These two kernels test that claim:
+ *
+ *   wave    1D wave-equation stencil sweeps — branch behaviour is
+ *           almost perfectly predictable (loop branches only), like a
+ *           SPECfp inner loop;
+ *   nbody   pairwise force accumulation with a distance-cutoff branch —
+ *           mostly regular FP compute with one data-dependent branch
+ *           per pair.
+ */
+
+#include <bit>
+
+#include "common/prng.hh"
+#include "workloads/workload_util.hh"
+#include "workloads/workloads.hh"
+
+namespace polypath
+{
+
+Program
+buildWave(const WorkloadParams &params)
+{
+    using namespace wreg;
+
+    Assembler a;
+    Prng prng(params.seed ^ 0x3a5e0000ull);
+
+    constexpr unsigned field_points = 512;
+    const u64 timesteps = static_cast<u64>(90 * params.scale);
+
+    // Two field buffers (current and previous), random initial shape.
+    a.dataAlign(8);
+    Addr cur_addr = a.dataPc();
+    for (unsigned i = 0; i < field_points; ++i)
+        a.d64(std::bit_cast<u64>(prng.nextDouble() - 0.5));
+    Addr prev_addr = a.dataPc();
+    for (unsigned i = 0; i < field_points; ++i)
+        a.d64(std::bit_cast<u64>(prng.nextDouble() - 0.5));
+    Addr c2_addr = a.d64(std::bit_cast<u64>(0.25));     // courant^2
+    Addr result_addr = a.d64(0);
+
+    // Register plan: s0 steps left, s1 cur base, s2 prev base,
+    // f10 = c^2 constant, f11 checksum accumulator.
+    emitWorkloadInit(a);
+    a.li(s0, timesteps);
+    a.li(s1, cur_addr);
+    a.li(s2, prev_addr);
+    a.li(t0, c2_addr);
+    a.fld(10, 0, t0);
+
+    Label step_loop = a.newLabel();
+    Label all_done = a.newLabel();
+
+    a.bind(step_loop);
+    a.beq(s0, all_done);
+    a.addi(s0, -1, s0);
+
+    // One stencil sweep: prev[i] = 2*cur[i] - prev[i]
+    //                              + c2*(cur[i-1] - 2*cur[i] + cur[i+1])
+    {
+        Label sweep = a.newLabel();
+        Label sweep_done = a.newLabel();
+        a.li(t0, 1);                        // i
+        a.bind(sweep);
+        a.cmplti(t0, field_points - 1, t1);
+        a.beq(t1, sweep_done);
+        a.slli(t0, 3, t1);
+        a.add(s1, t1, t2);                  // &cur[i]
+        a.add(s2, t1, t3);                  // &prev[i]
+        a.fld(1, -8, t2);                   // cur[i-1]
+        a.fld(2, 0, t2);                    // cur[i]
+        a.fld(3, 8, t2);                    // cur[i+1]
+        a.fld(4, 0, t3);                    // prev[i]
+        a.fadd(1, 3, 5);                    // sum of neighbours
+        a.fadd(2, 2, 6);                    // 2*cur[i]
+        a.fsub(5, 6, 5);                    // laplacian
+        a.fmul(5, 10, 5);                   // * c^2
+        a.fsub(6, 4, 7);                    // 2*cur - prev
+        a.fadd(7, 5, 7);                    // new value
+        a.fst(7, 0, t3);
+        a.addi(t0, 1, t0);
+        a.br(sweep);
+        a.bind(sweep_done);
+    }
+    // Swap buffers.
+    a.or_(s1, zero, t4);
+    a.or_(s2, zero, s1);
+    a.or_(t4, zero, s2);
+    a.br(step_loop);
+
+    a.bind(all_done);
+    // Fold the field's midpoint into a checksum word.
+    a.li(t0, cur_addr + (field_points / 2) * 8);
+    a.ldq(t1, 0, t0);
+    a.li(t2, result_addr);
+    a.stq(t1, 0, t2);
+    a.halt();
+
+    return a.assemble("wave");
+}
+
+Program
+buildNbody(const WorkloadParams &params)
+{
+    using namespace wreg;
+
+    Assembler a;
+    Prng prng(params.seed ^ 0x0b0d4000ull);
+
+    constexpr unsigned bodies = 64;
+    const u64 rounds = static_cast<u64>(28 * params.scale);
+
+    // Positions (1D for simplicity) and forces.
+    a.dataAlign(8);
+    Addr pos_addr = a.dataPc();
+    for (unsigned i = 0; i < bodies; ++i)
+        a.d64(std::bit_cast<u64>(prng.nextDouble() * 100.0));
+    Addr force_addr = a.dZero(bodies * 8);
+    Addr cutoff_addr = a.d64(std::bit_cast<u64>(12.5));
+    Addr result_addr = a.d64(0);
+
+    // s0 rounds, s1 pos base, s2 force base, f10 cutoff.
+    emitWorkloadInit(a);
+    a.li(s0, rounds);
+    a.li(s1, pos_addr);
+    a.li(s2, force_addr);
+    a.li(t0, cutoff_addr);
+    a.fld(10, 0, t0);
+
+    Label round_loop = a.newLabel();
+    Label all_done = a.newLabel();
+    a.bind(round_loop);
+    a.beq(s0, all_done);
+    a.addi(s0, -1, s0);
+
+    {
+        // for i in 0..bodies: for j in i+1..bodies: pairwise forces
+        Label i_loop = a.newLabel();
+        Label i_done = a.newLabel();
+        a.li(s3, 0);                        // i
+        a.bind(i_loop);
+        a.cmplti(s3, bodies, t1);
+        a.beq(t1, i_done);
+        a.slli(s3, 3, t1);
+        a.add(s1, t1, t2);
+        a.fld(1, 0, t2);                    // pos[i]
+        a.add(s2, t1, s5);                  // &force[i]
+
+        {
+            Label j_loop = a.newLabel();
+            Label j_done = a.newLabel();
+            Label skip_pair = a.newLabel();
+            a.addi(s3, 1, s4);              // j = i + 1
+            a.bind(j_loop);
+            a.cmplti(s4, bodies, t1);
+            a.beq(t1, j_done);
+            a.slli(s4, 3, t1);
+            a.add(s1, t1, t2);
+            a.fld(2, 0, t2);                // pos[j]
+            a.fsub(2, 1, 3);                // dx
+            a.fmul(3, 3, 4);                // dx^2
+            // The data-dependent branch: beyond the cutoff, skip the
+            // expensive force evaluation.
+            a.fcmplt(4, 10, t3);
+            a.beq(t3, skip_pair);
+            a.fdiv(3, 4, 5);                // ~ 1/dx "force"
+            a.fld(6, 0, s5);
+            a.fadd(6, 5, 6);
+            a.fst(6, 0, s5);                // force[i] += f
+            a.add(s2, t1, t4);
+            a.fld(7, 0, t4);
+            a.fsub(7, 5, 7);
+            a.fst(7, 0, t4);                // force[j] -= f
+            a.bind(skip_pair);
+            a.addi(s4, 1, s4);
+            a.br(j_loop);
+            a.bind(j_done);
+        }
+        a.addi(s3, 1, s3);
+        a.br(i_loop);
+        a.bind(i_done);
+    }
+
+    // Drift the positions a little so pair membership changes between
+    // rounds: pos[i] += force[i] * 1e-4 (integer-scaled for simplicity).
+    {
+        Label drift = a.newLabel();
+        Label drift_done = a.newLabel();
+        a.li(t0, 0);
+        a.bind(drift);
+        a.cmplti(t0, bodies, t1);
+        a.beq(t1, drift_done);
+        a.slli(t0, 3, t1);
+        a.add(s2, t1, t2);
+        a.fld(1, 0, t2);
+        a.li(t3, 0x3f1a36e2eb1c432dull);    // 1e-4
+        a.stq(t3, 0, sp);                   // via the stack
+        a.fld(2, 0, sp);
+        a.fmul(1, 2, 1);
+        a.add(s1, t1, t4);
+        a.fld(3, 0, t4);
+        a.fadd(3, 1, 3);
+        a.fst(3, 0, t4);
+        a.fst(31, 0, t2);                   // force[i] = 0 (f31 = 0.0)
+        a.addi(t0, 1, t0);
+        a.br(drift);
+        a.bind(drift_done);
+    }
+    a.br(round_loop);
+
+    a.bind(all_done);
+    a.li(t0, pos_addr);
+    a.ldq(t1, 0, t0);
+    a.li(t2, result_addr);
+    a.stq(t1, 0, t2);
+    a.halt();
+
+    return a.assemble("nbody");
+}
+
+const std::vector<WorkloadInfo> &
+fpWorkloadRegistry()
+{
+    static const std::vector<WorkloadInfo> registry = {
+        {"wave", buildWave, 0.0, 0.0},
+        {"nbody", buildNbody, 0.0, 0.0},
+    };
+    return registry;
+}
+
+} // namespace polypath

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * "go" workload: game-tree position evaluation on random 19x19 boards.
+ *
+ * SPEC's 099.go is notorious for data-dependent branches on board
+ * contents (Table 1: 24.8% misprediction — the hardest benchmark in the
+ * suite). This kernel evaluates pseudo-random board positions: for each
+ * candidate point it classifies the four neighbours (empty / friend /
+ * foe), follows runs of same-coloured stones, and keeps a running best
+ * move with data-dependent comparisons. Board cells and candidate
+ * points come from an in-guest xorshift PRNG, so the branch outcomes
+ * are essentially unpredictable.
+ */
+
+#include "common/prng.hh"
+#include "workloads/workload_util.hh"
+#include "workloads/workloads.hh"
+
+namespace polypath
+{
+
+Program
+buildGo(const WorkloadParams &params)
+{
+    using namespace wreg;
+
+    Assembler a;
+    Prng prng(params.seed ^ 0x60606060ull);
+
+    constexpr unsigned board_dim = 19;
+    constexpr unsigned board_cells = board_dim * board_dim;
+    const u64 positions = static_cast<u64>(11000 * params.scale);
+
+    // Board: 0 empty (50%), 1 black (25%), 2 white (25%).
+    std::vector<u8> board(board_cells);
+    for (u8 &cell : board) {
+        u64 r = prng.nextBelow(4);
+        cell = r < 2 ? 0 : static_cast<u8>(r - 1);
+    }
+
+    Addr board_addr = a.dBytes(board);
+    a.dataAlign(8);
+    Addr result_addr = a.d64(0);
+    a.d64(0);
+
+    // Register plan:
+    //   s0 board base    s1 positions left   s2 xorshift state
+    //   s3 best score    s4 best position    s5 total influence
+    //   t0..t7 scratch   s6 current position
+    emitWorkloadInit(a);
+    a.li(s0, board_addr);
+    a.li(s1, positions);
+    a.li(s2, params.seed | 1);
+    a.li(s3, -100000);
+    a.li(s4, 0);
+    a.li(s5, 0);
+
+    Label loop = a.newLabel();
+    Label done = a.newLabel();
+
+    a.bind(loop);
+    a.beq(s1, done);
+    a.addi(s1, -1, s1);
+
+    // Pick a pseudo-random interior point: pos = 20 + (rnd % 320).
+    emitXorshift(a, s2, t0);
+    a.srli(s2, 11, t0);
+    a.li(t1, 320);
+    // Cheap modulo for a non-power-of-2 bound: multiply-shift.
+    a.mul(t0, t1, t0);
+    a.srli(t0, 53, t0);         // t0 in [0, 320)
+    a.addi(t0, 20, s6);         // s6 = position index
+
+    // Own colour from the low random bit: 1 or 2.
+    a.andi(s2, 1, t7);
+    a.addi(t7, 1, t7);          // t7 = colour
+
+    // Classify the four neighbours (-19, -1, +1, +19).
+    // score in t6: empty +1, friend +3, foe -2.
+    a.li(t6, 0);
+    for (int offset : {-(int)board_dim, -1, 1, (int)board_dim}) {
+        Label is_empty = a.newLabel();
+        Label is_friend = a.newLabel();
+        Label next = a.newLabel();
+        a.addi(s6, offset, t0);
+        a.add(s0, t0, t0);
+        a.ldbu(t1, 0, t0);          // neighbour stone
+        a.beq(t1, is_empty);
+        a.cmpeq(t1, t7, t2);
+        a.bne(t2, is_friend);
+        a.addi(t6, -2, t6);         // foe
+        a.br(next);
+        a.bind(is_empty);
+        a.addi(t6, 1, t6);
+        a.br(next);
+        a.bind(is_friend);
+        a.addi(t6, 3, t6);
+        a.bind(next);
+    }
+
+    // Follow a run of same-coloured stones to the "east" (capture-search
+    // flavour): while board[pos + k] == colour, k < 6.
+    {
+        Label run_loop = a.newLabel();
+        Label run_end = a.newLabel();
+        a.li(t3, 1);                // k
+        a.bind(run_loop);
+        a.cmplei(t3, 5, t4);
+        a.beq(t4, run_end);
+        a.add(s6, t3, t0);
+        a.add(s0, t0, t0);
+        a.ldbu(t1, 0, t0);
+        a.cmpeq(t1, t7, t2);
+        a.beq(t2, run_end);
+        a.addi(t6, 2, t6);          // liberty bonus per stone in the run
+        a.addi(t3, 1, t3);
+        a.br(run_loop);
+        a.bind(run_end);
+    }
+
+    // Keep a running best move (data-dependent compare).
+    {
+        Label not_better = a.newLabel();
+        a.cmplt(s3, t6, t0);
+        a.beq(t0, not_better);
+        a.or_(t6, zero, s3);
+        a.or_(s6, zero, s4);
+        a.bind(not_better);
+    }
+    a.add(s5, t6, s5);              // accumulate influence
+
+    // Tactical heuristics keyed off fresh pseudo-random state: go's
+    // evaluation is full of branches that are coin flips to any
+    // history-based predictor.
+    {
+        Label no_h1 = a.newLabel();
+        a.andi(s2, 4, t0);
+        a.beq(t0, no_h1);
+        a.xor_(s5, s6, s5);
+        a.bind(no_h1);
+        Label no_h2 = a.newLabel();
+        a.andi(s2, 8, t0);
+        a.beq(t0, no_h2);
+        a.addi(s5, 13, s5);
+        a.bind(no_h2);
+        Label no_h3 = a.newLabel();
+        a.andi(s2, 16, t0);
+        a.beq(t0, no_h3);
+        a.sub(s5, s6, s5);
+        a.bind(no_h3);
+        Label no_h4 = a.newLabel();
+        a.andi(s2, 32, t0);
+        a.beq(t0, no_h4);
+        a.addi(s5, -7, s5);
+        a.bind(no_h4);
+        Label no_h5 = a.newLabel();
+        a.andi(s2, 64, t0);
+        a.beq(t0, no_h5);
+        a.xor_(s5, t6, s5);
+        a.bind(no_h5);
+        Label no_h6 = a.newLabel();
+        a.andi(s2, 128, t0);
+        a.beq(t0, no_h6);
+        a.addi(s5, 3, s5);
+        a.bind(no_h6);
+    }
+
+    // Frequently place a stone (mutates future evaluations, keeping
+    // the branch outcomes from ever stabilising).
+    {
+        Label no_place = a.newLabel();
+        a.andi(s2, 7, t0);
+        a.bne(t0, no_place);
+        a.add(s0, s6, t1);
+        a.stb(t7, 0, t1);
+        a.bind(no_place);
+    }
+    a.br(loop);
+
+    a.bind(done);
+    a.li(t0, result_addr);
+    a.stq(s5, 0, t0);
+    a.stq(s4, 8, t0);
+    a.halt();
+
+    return a.assemble("go");
+}
+
+} // namespace polypath

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * "jpeg" workload: blocked integer DCT-style transform, quantisation
+ * and zero-run-length coding of a synthetic image.
+ *
+ * SPEC's 132.ijpeg compresses images: long straight-line arithmetic
+ * (high ILP) punctuated by data-dependent quantisation-threshold and
+ * run-length branches whose outcomes follow image noise (Table 1:
+ * 8.37% misprediction).
+ */
+
+#include "common/prng.hh"
+#include "workloads/workload_util.hh"
+#include "workloads/workloads.hh"
+
+namespace polypath
+{
+
+Program
+buildJpeg(const WorkloadParams &params)
+{
+    using namespace wreg;
+
+    Assembler a;
+    Prng prng(params.seed ^ 0x09e60000ull);
+
+    const unsigned blocks = static_cast<unsigned>(360 * params.scale);
+    constexpr unsigned block_words = 64;
+
+    // Synthetic image blocks: a smooth gradient plus noise, stored as
+    // 64 signed 16-bit samples per block (embedded as 64-bit words for
+    // simple guest addressing).
+    std::vector<u8> image_bytes;
+    image_bytes.reserve(static_cast<size_t>(blocks) * block_words * 8);
+    for (unsigned blk = 0; blk < blocks; ++blk) {
+        u64 base = prng.nextBelow(160);
+        u64 slope_x = prng.nextBelow(7);
+        u64 slope_y = prng.nextBelow(7);
+        for (unsigned y = 0; y < 8; ++y) {
+            for (unsigned x = 0; x < 8; ++x) {
+                s64 sample = static_cast<s64>(base + slope_x * x +
+                                              slope_y * y) +
+                             static_cast<s64>(prng.nextBelow(25)) - 12;
+                for (int b = 0; b < 8; ++b)
+                    image_bytes.push_back(static_cast<u8>(
+                        static_cast<u64>(sample) >> (8 * b)));
+            }
+        }
+    }
+
+    Addr image_addr = a.dBytes(image_bytes);
+    a.dataAlign(8);
+    Addr work_addr = a.dZero(block_words * 8);
+    Addr out_addr = a.dZero(static_cast<size_t>(blocks) * 128 + 64);
+    Addr result_addr = a.d64(0);
+    a.d64(0);
+
+    // Register plan:
+    //   s0 image cursor   s1 blocks left   s2 work buffer
+    //   s3 out ptr        s4 nonzero count s5 checksum
+    emitWorkloadInit(a);
+    a.li(s0, image_addr);
+    a.li(s1, blocks);
+    a.li(s2, work_addr);
+    a.li(s3, out_addr);
+    a.li(s4, 0);
+    a.li(s5, 0);
+
+    Label block_loop = a.newLabel();
+    Label all_done = a.newLabel();
+
+    a.bind(block_loop);
+    a.beq(s1, all_done);
+    a.addi(s1, -1, s1);
+
+    // --- 1D "DCT" over each of the 8 rows: a 4-point butterfly pair
+    // (straight-line adds/subs/shifts, no branches) -------------------
+    {
+        Label row_loop = a.newLabel();
+        Label row_done = a.newLabel();
+        a.li(t0, 0);                    // row index
+        a.bind(row_loop);
+        a.cmplti(t0, 8, t1);
+        a.beq(t1, row_done);
+        a.slli(t0, 6, t1);              // row * 8 words * 8 bytes
+        a.add(s0, t1, t2);              // src row
+        a.add(s2, t1, t3);              // dst row
+
+        // Load the eight samples.
+        a.ldq(t4, 0, t2);
+        a.ldq(t5, 8, t2);
+        a.ldq(t6, 16, t2);
+        a.ldq(t7, 24, t2);
+        a.ldq(t8, 32, t2);
+        a.ldq(t9, 40, t2);
+        a.ldq(t10, 48, t2);
+        a.ldq(s6, 56, t2);
+
+        // Butterfly stage 1: sums into the low half, diffs into the
+        // high half (Walsh-Hadamard flavoured integer transform).
+        a.add(t4, s6, k0);              // a0 = x0 + x7
+        a.sub(t4, s6, k1);              // d0 = x0 - x7
+        a.add(t5, t10, k2);             // a1 = x1 + x6
+        a.sub(t5, t10, k3);            // d1 = x1 - x6
+        a.add(t6, t9, t4);              // a2 = x2 + x5
+        a.sub(t6, t9, t5);              // d2 = x2 - x5
+        a.add(t7, t8, t6);              // a3 = x3 + x4
+        a.sub(t7, t8, t7);              // d3 = x3 - x4
+
+        // Stage 2 + output (scaled sums/differences).
+        a.add(k0, t6, t8);              // s0 = a0 + a3
+        a.sub(k0, t6, t9);              // s1 = a0 - a3
+        a.add(k2, t4, t10);             // s2 = a1 + a2
+        a.sub(k2, t4, s6);              // s3 = a1 - a2
+
+        a.add(t8, t10, k0);             // F0 = s0 + s2
+        a.stq(k0, 0, t3);
+        a.sub(t8, t10, k0);             // F4 = s0 - s2
+        a.stq(k0, 32, t3);
+        a.slli(t9, 1, t9);
+        a.add(t9, s6, k0);              // F2 = 2*s1 + s3
+        a.stq(k0, 16, t3);
+        a.sub(t9, s6, k0);              // F6
+        a.stq(k0, 48, t3);
+
+        a.slli(k1, 1, k1);
+        a.add(k1, k3, k0);             // F1 = 2*d0 + d1
+        a.stq(k0, 8, t3);
+        a.add(t5, t7, k0);              // F3 = d2 + d3
+        a.stq(k0, 24, t3);
+        a.sub(k3, t5, k0);             // F5
+        a.stq(k0, 40, t3);
+        a.sub(k1, t7, k0);              // F7
+        a.stq(k0, 56, t3);
+
+        a.addi(t0, 1, t0);
+        a.br(row_loop);
+        a.bind(row_done);
+    }
+
+    // --- Quantise + zero-run-length encode the 64 coefficients -------
+    {
+        Label coef_loop = a.newLabel();
+        Label coef_done = a.newLabel();
+        Label is_zero = a.newLabel();
+        Label next_coef = a.newLabel();
+        Label no_flush = a.newLabel();
+
+        a.li(t0, 0);                    // coefficient index
+        a.li(t9, 0);                    // current zero-run length
+        a.bind(coef_loop);
+        a.cmplti(t0, 64, t1);
+        a.beq(t1, coef_done);
+        a.slli(t0, 3, t1);
+        a.add(s2, t1, t1);
+        a.ldq(t2, 0, t1);               // coefficient
+
+        // Quantisation shift grows with frequency: q = coef >> (2 + i/16).
+        a.srli(t0, 4, t3);
+        a.addi(t3, 2, t3);
+        a.sra(t2, t3, t2);
+
+        a.beq(t2, is_zero);
+        // Non-zero: flush the pending run, emit (run, level).
+        a.addi(s4, 1, s4);
+        a.stq(t9, 0, s3);
+        a.stq(t2, 8, s3);
+        a.addi(s3, 16, s3);
+        a.add(s5, t2, s5);
+        a.li(t9, 0);
+        a.br(next_coef);
+
+        a.bind(is_zero);
+        a.addi(t9, 1, t9);
+        // A run of 16 zeros emits a ZRL marker.
+        a.cmplti(t9, 16, t4);
+        a.bne(t4, no_flush);
+        a.stq(t9, 0, s3);
+        a.addi(s3, 8, s3);
+        a.li(t9, 0);
+        a.bind(no_flush);
+
+        a.bind(next_coef);
+        a.addi(t0, 1, t0);
+        a.br(coef_loop);
+        a.bind(coef_done);
+    }
+
+    a.addi(s0, block_words * 8, s0);    // next image block
+    a.br(block_loop);
+
+    a.bind(all_done);
+    a.li(t0, result_addr);
+    a.stq(s4, 0, t0);
+    a.stq(s5, 8, t0);
+    a.halt();
+
+    return a.assemble("jpeg");
+}
+
+} // namespace polypath

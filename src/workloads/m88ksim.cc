@@ -1,0 +1,289 @@
+/**
+ * @file
+ * "m88ksim" workload: an instruction-set simulator simulating a guest.
+ *
+ * SPEC's 124.m88ksim runs a Motorola 88k simulator whose own dispatch
+ * loop follows the (very repetitive) guest instruction stream — the
+ * most predictable benchmark in the suite (Table 1: 4.2%). This kernel
+ * interprets a tiny register-machine guest: the guest program is a
+ * loop, so the host's dispatch branches repeat with a period gshare can
+ * learn; a guest "load" of pseudo-random data injects the residual
+ * unpredictability.
+ */
+
+#include "common/prng.hh"
+#include "workloads/workload_util.hh"
+#include "workloads/workloads.hh"
+
+namespace polypath
+{
+
+namespace
+{
+
+// Guest instruction encoding (one u64 per instruction):
+//   bits [2:0] opcode, [6:3] rd, [10:7] rs, [31:16] imm (signed 16).
+enum GuestOp : u64
+{
+    GAdd = 0,   // rd += rs
+    GAddi = 1,  // rd += imm
+    GLd = 2,    // rd = data[(rs + imm) & mask]
+    GSt = 3,    // data[(rs + imm) & mask] = rd
+    GBltz = 4,  // if rd < 0: gpc += imm (relative, in instructions)
+    GBnez = 5,  // if rd != 0: gpc += imm
+    GXor = 6,   // rd ^= rs
+    GEnd = 7,   // end of one guest pass
+};
+
+u64
+guest(GuestOp op, unsigned rd, unsigned rs, int imm)
+{
+    return static_cast<u64>(op) | (static_cast<u64>(rd & 15) << 3) |
+           (static_cast<u64>(rs & 15) << 7) |
+           (static_cast<u64>(static_cast<u16>(imm)) << 16);
+}
+
+} // anonymous namespace
+
+Program
+buildM88ksim(const WorkloadParams &params)
+{
+    using namespace wreg;
+
+    Assembler a;
+    Prng prng(params.seed ^ 0x88888888ull);
+
+    const u64 guest_passes = static_cast<u64>(140 * params.scale);
+    constexpr unsigned guest_data_words = 256;  // power of two
+
+    // The guest program: an inner loop summing and hashing guest data.
+    // g0 = accumulator, g1 = index, g2 = loop count, g3 = scratch,
+    // g4 = random-ish value loaded from data.
+    // g2 counts the inner loop; g5 advances the data window between
+    // passes (updated by the host's GEnd handler) so successive passes
+    // read fresh values.
+    std::vector<u64> guest_code = {
+        guest(GAddi, 2, 0, 24),          //  0: g2 = 24 (loop count)
+        guest(GXor, 1, 1, 0),            //  1: g1 = 0
+        guest(GAdd, 1, 5, 0),            //  2: g1 = g5 (window base)
+        // loop:
+        guest(GLd, 4, 1, 0),             //  3: g4 = data[g1 & mask]
+        guest(GAdd, 0, 4, 0),            //  4: g0 += g4
+        guest(GXor, 3, 4, 0),            //  5: g3 ^= g4
+        guest(GBltz, 4, 0, 2),           //  6: if g4 < 0 skip 2
+        guest(GAddi, 0, 0, 3),           //  7: g0 += 3
+        guest(GAddi, 3, 0, 1),           //  8: g3 += 1
+        guest(GBltz, 3, 0, 1),           //  9: if g3 < 0 skip 1
+        guest(GXor, 0, 3, 0),            // 10: g0 ^= g3
+        guest(GLd, 4, 1, 48),            // 11: g4 = data[(g1+48) & mask]
+        guest(GBltz, 4, 0, 1),           // 12: if g4 < 0 skip 1
+        guest(GAddi, 0, 0, 7),           // 13: g0 += 7
+        guest(GAddi, 1, 0, 1),           // 14: g1 += 1
+        guest(GSt, 3, 1, 96),            // 15: data[(g1+96) & mask] = g3
+        guest(GAddi, 2, 0, -1),          // 16: g2 -= 1
+        guest(GBnez, 2, 0, -15),         // 17: back to loop head
+        guest(GEnd, 0, 0, 0),            // 18: end of pass
+    };
+
+    // Guest data: mostly positive, ~30% negative values, so the guest
+    // GBltz branches are the (mildly) unpredictable ones.
+    std::vector<u8> guest_data;
+    guest_data.reserve(guest_data_words * 8);
+    for (unsigned i = 0; i < guest_data_words; ++i) {
+        s64 value = static_cast<s64>(prng.nextBelow(1000));
+        if (prng.chance(42, 100))
+            value = -value - 1;
+        for (int b = 0; b < 8; ++b)
+            guest_data.push_back(static_cast<u8>(
+                static_cast<u64>(value) >> (8 * b)));
+    }
+
+    std::vector<u8> code_bytes;
+    for (u64 word : guest_code)
+        for (int b = 0; b < 8; ++b)
+            code_bytes.push_back(static_cast<u8>(word >> (8 * b)));
+
+    Addr gcode_addr = a.dBytes(code_bytes);
+    a.dataAlign(8);
+    Addr gdata_addr = a.dBytes(guest_data);
+    a.dataAlign(8);
+    Addr gregs_addr = a.dZero(16 * 8);
+    Addr result_addr = a.d64(0);
+
+    // Host register plan:
+    //   s0 guest code base  s1 guest pc (index)   s2 guest regs base
+    //   s3 guest data base  s4 passes left        s5 checksum
+    //   t0 raw instr  t1 op  t2 rd  t3 rs  t4 imm  t5..t7 scratch
+    emitWorkloadInit(a);
+    a.li(s0, gcode_addr);
+    a.li(s2, gregs_addr);
+    a.li(s3, gdata_addr);
+    a.li(s4, guest_passes);
+    a.li(s5, 0);
+
+    Label pass_loop = a.newLabel();
+    Label dispatch = a.newLabel();
+    Label all_done = a.newLabel();
+    Label h_add = a.newLabel();
+    Label h_addi = a.newLabel();
+    Label h_ld = a.newLabel();
+    Label h_st = a.newLabel();
+    Label h_bltz = a.newLabel();
+    Label h_bnez = a.newLabel();
+    Label h_xor = a.newLabel();
+    Label h_end = a.newLabel();
+
+    a.bind(pass_loop);
+    a.beq(s4, all_done);
+    a.addi(s4, -1, s4);
+    a.li(s1, 0);                    // guest pc = 0
+
+    a.bind(dispatch);
+    // Fetch and crack the guest instruction.
+    a.slli(s1, 3, t0);
+    a.add(s0, t0, t0);
+    a.ldq(t0, 0, t0);
+    a.addi(s1, 1, s1);
+    a.andi(t0, 7, t1);              // opcode
+    a.srli(t0, 3, t2);
+    a.andi(t2, 15, t2);             // rd
+    a.srli(t0, 7, t3);
+    a.andi(t3, 15, t3);             // rs
+    a.srli(t0, 16, t4);
+    a.slli(t4, 48, t4);             // sign-extend imm16
+    a.srai(t4, 48, t4);
+
+    // Dispatch tree over the 8 guest opcodes.
+    a.cmplti(t1, 4, t5);
+    {
+        Label high = a.newLabel();
+        a.beq(t5, high);
+        a.cmplti(t1, 2, t5);
+        {
+            Label two3 = a.newLabel();
+            a.beq(t5, two3);
+            a.beq(t1, h_add);
+            a.br(h_addi);
+            a.bind(two3);
+            a.cmpeqi(t1, 2, t5);
+            a.bne(t5, h_ld);
+            a.br(h_st);
+        }
+        a.bind(high);
+        a.cmplti(t1, 6, t5);
+        {
+            Label six7 = a.newLabel();
+            a.beq(t5, six7);
+            a.cmpeqi(t1, 4, t5);
+            a.bne(t5, h_bltz);
+            a.br(h_bnez);
+            a.bind(six7);
+            a.cmpeqi(t1, 6, t5);
+            a.bne(t5, h_xor);
+            a.br(h_end);
+        }
+    }
+
+    // Helper fragments; guest register file accesses go through memory
+    // like a real ISS.
+    a.bind(h_add);
+    a.slli(t2, 3, t5);
+    a.add(s2, t5, t5);
+    a.slli(t3, 3, t6);
+    a.add(s2, t6, t6);
+    a.ldq(t7, 0, t5);
+    a.ldq(t6, 0, t6);
+    a.add(t7, t6, t7);
+    a.stq(t7, 0, t5);
+    a.br(dispatch);
+
+    a.bind(h_addi);
+    a.slli(t2, 3, t5);
+    a.add(s2, t5, t5);
+    a.ldq(t7, 0, t5);
+    a.add(t7, t4, t7);
+    a.stq(t7, 0, t5);
+    a.br(dispatch);
+
+    a.bind(h_ld);
+    a.slli(t3, 3, t5);
+    a.add(s2, t5, t5);
+    a.ldq(t6, 0, t5);               // rs value
+    a.add(t6, t4, t6);
+    a.andi(t6, guest_data_words - 1, t6);
+    a.slli(t6, 3, t6);
+    a.add(s3, t6, t6);
+    a.ldq(t7, 0, t6);               // guest data value
+    a.slli(t2, 3, t5);
+    a.add(s2, t5, t5);
+    a.stq(t7, 0, t5);
+    a.br(dispatch);
+
+    a.bind(h_st);
+    a.slli(t3, 3, t5);
+    a.add(s2, t5, t5);
+    a.ldq(t6, 0, t5);
+    a.add(t6, t4, t6);
+    a.andi(t6, guest_data_words - 1, t6);
+    a.slli(t6, 3, t6);
+    a.add(s3, t6, t6);
+    a.slli(t2, 3, t5);
+    a.add(s2, t5, t5);
+    a.ldq(t7, 0, t5);
+    a.stq(t7, 0, t6);
+    a.br(dispatch);
+
+    a.bind(h_bltz);
+    a.slli(t2, 3, t5);
+    a.add(s2, t5, t5);
+    a.ldq(t7, 0, t5);
+    {
+        Label not_taken = a.newLabel();
+        a.bge(t7, not_taken);
+        a.add(s1, t4, s1);
+        a.bind(not_taken);
+    }
+    a.br(dispatch);
+
+    a.bind(h_bnez);
+    a.slli(t2, 3, t5);
+    a.add(s2, t5, t5);
+    a.ldq(t7, 0, t5);
+    {
+        Label not_taken = a.newLabel();
+        a.beq(t7, not_taken);
+        a.add(s1, t4, s1);
+        a.bind(not_taken);
+    }
+    a.br(dispatch);
+
+    a.bind(h_xor);
+    a.slli(t2, 3, t5);
+    a.add(s2, t5, t5);
+    a.slli(t3, 3, t6);
+    a.add(s2, t6, t6);
+    a.ldq(t7, 0, t5);
+    a.ldq(t6, 0, t6);
+    a.xor_(t7, t6, t7);
+    a.stq(t7, 0, t5);
+    a.br(dispatch);
+
+    a.bind(h_end);
+    // Fold guest g0 into the checksum and advance the data window (g5)
+    // so successive passes see different values.
+    a.ldq(t7, 0, s2);
+    a.add(s5, t7, s5);
+    a.ldq(t7, 40, s2);              // g5
+    a.addi(t7, 24, t7);
+    a.stq(t7, 40, s2);
+    a.br(pass_loop);
+
+    a.bind(all_done);
+    a.li(t0, result_addr);
+    a.stq(s5, 0, t0);
+    a.halt();
+
+    return a.assemble("m88ksim");
+}
+
+} // namespace polypath

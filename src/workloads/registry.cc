@@ -1,0 +1,38 @@
+#include "workloads.hh"
+
+#include "common/logging.hh"
+
+namespace polypath
+{
+
+const std::vector<WorkloadInfo> &
+workloadRegistry()
+{
+    static const std::vector<WorkloadInfo> registry = {
+        {"compress", buildCompress, 9.13, 113.8},
+        {"gcc", buildGcc, 11.09, 334.1},
+        {"perl", buildPerl, 8.27, 249.1},
+        {"go", buildGo, 24.80, 549.1},
+        {"m88ksim", buildM88ksim, 4.20, 552.7},
+        {"xlisp", buildXlisp, 5.20, 216.1},
+        {"vortex", buildVortex, 1.85, 234.4},
+        {"jpeg", buildJpeg, 8.37, 347.0},
+    };
+    return registry;
+}
+
+Program
+buildWorkload(const std::string &name, const WorkloadParams &params)
+{
+    for (const WorkloadInfo &info : workloadRegistry()) {
+        if (info.name == name)
+            return info.build(params);
+    }
+    for (const WorkloadInfo &info : fpWorkloadRegistry()) {
+        if (info.name == name)
+            return info.build(params);
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace polypath

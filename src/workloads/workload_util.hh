@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the workload builders: the software register
+ * conventions, stack setup, and an in-guest xorshift PRNG emitter.
+ */
+
+#ifndef POLYPATH_WORKLOADS_WORKLOAD_UTIL_HH
+#define POLYPATH_WORKLOADS_WORKLOAD_UTIL_HH
+
+#include "asmkit/assembler.hh"
+#include "common/types.hh"
+
+namespace polypath
+{
+
+/** Software register conventions (Alpha-flavoured). */
+namespace wreg
+{
+constexpr u8 v0 = 0;                            //!< return value
+constexpr u8 t0 = 1, t1 = 2, t2 = 3, t3 = 4;    //!< temporaries
+constexpr u8 t4 = 5, t5 = 6, t6 = 7, t7 = 8;
+constexpr u8 s0 = 9, s1 = 10, s2 = 11, s3 = 12; //!< long-lived values
+constexpr u8 s4 = 13, s5 = 14, s6 = 15;
+constexpr u8 a0 = 16, a1 = 17, a2 = 18, a3 = 19;//!< arguments
+constexpr u8 a4 = 20, a5 = 21;
+constexpr u8 k0 = 22, k1 = 23, k2 = 24, k3 = 25;
+constexpr u8 ra = 26;                           //!< return address
+constexpr u8 t8 = 27, t9 = 28, t10 = 29;
+constexpr u8 sp = 30;                           //!< stack pointer
+constexpr u8 zero = 31;
+} // namespace wreg
+
+/** Stack top used by every workload (grows down; far above data). */
+constexpr Addr workloadStackTop = 0x4000000;
+
+/** Emit the standard entry sequence (stack pointer setup). */
+inline void
+emitWorkloadInit(Assembler &a)
+{
+    a.li(wreg::sp, workloadStackTop);
+}
+
+/**
+ * Emit x = xorshift64(x) in-place (13/7/17 variant).
+ * @p tmp is clobbered.
+ */
+inline void
+emitXorshift(Assembler &a, u8 x, u8 tmp)
+{
+    a.slli(x, 13, tmp);
+    a.xor_(x, tmp, x);
+    a.srli(x, 7, tmp);
+    a.xor_(x, tmp, x);
+    a.slli(x, 17, tmp);
+    a.xor_(x, tmp, x);
+}
+
+/** Function prologue: push the return address. */
+inline void
+emitPrologue(Assembler &a)
+{
+    a.addi(wreg::sp, -16, wreg::sp);
+    a.stq(wreg::ra, 0, wreg::sp);
+}
+
+/** Function epilogue: pop the return address and return. */
+inline void
+emitEpilogue(Assembler &a)
+{
+    a.ldq(wreg::ra, 0, wreg::sp);
+    a.addi(wreg::sp, 16, wreg::sp);
+    a.ret(wreg::ra);
+}
+
+} // namespace polypath
+
+#endif // POLYPATH_WORKLOADS_WORKLOAD_UTIL_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The SPECint95-like workload suite (Table 1 of the paper).
+ *
+ * The paper evaluates on the eight SPECint95 benchmarks compiled for
+ * Alpha. Those binaries (and the AINT toolchain) are not reproducible
+ * here, so each benchmark is replaced by a synthetic PPR program that
+ * implements an *actual algorithm* with the control-flow character of
+ * its namesake, calibrated so the gshare misprediction-rate spectrum
+ * matches Table 1 (see DESIGN.md for the substitution rationale):
+ *
+ *   compress  LZW compressor with hash-probe collision branches
+ *   gcc       lexer/state-machine over synthetic source text
+ *   perl      bytecode-interpreter dispatch loop
+ *   go        game-tree position evaluation on random boards
+ *   m88ksim   CPU-simulator dispatch loop over a repetitive guest
+ *   xlisp     recursive cons-tree traversal and GC-style marking
+ *   vortex    in-memory database build + lookup loops
+ *   jpeg      blocked integer DCT with quantisation/RLE branches
+ *
+ * All workloads are fully deterministic (fixed PRNG seeds) and
+ * self-contained: they set up their own data in the image and HALT when
+ * done.
+ */
+
+#ifndef POLYPATH_WORKLOADS_WORKLOADS_HH
+#define POLYPATH_WORKLOADS_WORKLOADS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "asmkit/program.hh"
+#include "common/types.hh"
+
+namespace polypath
+{
+
+/** Workload generation parameters. */
+struct WorkloadParams
+{
+    /** Work multiplier: dynamic instruction count scales ~linearly. */
+    double scale = 1.0;
+
+    /** PRNG seed for data synthesis. */
+    u64 seed = 0x5eed5eed;
+};
+
+/** Registry entry for one benchmark. */
+struct WorkloadInfo
+{
+    std::string name;
+    std::function<Program(const WorkloadParams &)> build;
+
+    /** Table 1 reference values (for EXPERIMENTS.md comparisons). */
+    double paperMispredictPct;
+    double paperInstrMillions;
+};
+
+/** All eight benchmarks in the paper's Table 1 order. */
+const std::vector<WorkloadInfo> &workloadRegistry();
+
+/** Build one benchmark by name (fatal if unknown). */
+Program buildWorkload(const std::string &name,
+                      const WorkloadParams &params = {});
+
+/**
+ * Floating-point extension kernels (not part of Table 1): "wave" (a
+ * stencil sweep, nearly perfectly predictable) and "nbody" (pairwise
+ * forces with a cutoff branch). They test §5.1's conjecture that SEE
+ * also helps highly predictable FP code; see bench/fp_extension.
+ */
+const std::vector<WorkloadInfo> &fpWorkloadRegistry();
+
+// Individual builders.
+Program buildCompress(const WorkloadParams &params);
+Program buildGcc(const WorkloadParams &params);
+Program buildPerl(const WorkloadParams &params);
+Program buildGo(const WorkloadParams &params);
+Program buildM88ksim(const WorkloadParams &params);
+Program buildXlisp(const WorkloadParams &params);
+Program buildVortex(const WorkloadParams &params);
+Program buildJpeg(const WorkloadParams &params);
+Program buildWave(const WorkloadParams &params);
+Program buildNbody(const WorkloadParams &params);
+
+} // namespace polypath
+
+#endif // POLYPATH_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "arch/interpreter.hh"
+#include "asmkit/assembler.hh"
+
+namespace polypath
+{
+namespace
+{
+
+TEST(Interpreter, StraightLineArithmetic)
+{
+    Assembler a;
+    a.li(1, 10);
+    a.li(2, 32);
+    a.add(1, 2, 3);
+    a.halt();
+    InterpResult r = interpret(a.assemble("t"));
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.finalRegs.reg(3), 42u);
+    EXPECT_EQ(r.instructions, 4u);
+}
+
+TEST(Interpreter, CountdownLoop)
+{
+    Assembler a;
+    a.li(1, 100);
+    a.li(2, 0);
+    Label loop = a.here();
+    a.add(2, 1, 2);
+    a.addi(1, -1, 1);
+    a.bgt(1, loop);
+    a.halt();
+    InterpResult r = interpret(a.assemble("t"));
+    EXPECT_EQ(r.finalRegs.reg(2), 5050u);   // sum 1..100
+    EXPECT_EQ(r.condBranches, 100u);
+    EXPECT_EQ(r.takenBranches, 99u);
+}
+
+TEST(Interpreter, TraceRecordsBranchOutcomes)
+{
+    Assembler a;
+    a.li(1, 3);
+    Label loop = a.here();
+    a.addi(1, -1, 1);
+    a.bgt(1, loop);
+    a.halt();
+    Interpreter interp(a.assemble("t"));
+    InterpResult r = interp.run();
+    ASSERT_EQ(r.trace->size(), 3u);
+    EXPECT_TRUE((*r.trace)[0].taken);
+    EXPECT_TRUE((*r.trace)[1].taken);
+    EXPECT_FALSE((*r.trace)[2].taken);
+    for (const BranchRecord &rec : *r.trace)
+        EXPECT_FALSE(rec.isReturn);
+}
+
+TEST(Interpreter, MemoryRoundTrip)
+{
+    Assembler a;
+    Addr slot = a.d64(0);
+    a.li(1, slot);
+    a.li(2, 0xabcdef);
+    a.stq(2, 0, 1);
+    a.ldq(3, 0, 1);
+    a.ldbu(4, 0, 1);
+    a.halt();
+    InterpResult r = interpret(a.assemble("t"));
+    EXPECT_EQ(r.finalRegs.reg(3), 0xabcdefu);
+    EXPECT_EQ(r.finalRegs.reg(4), 0xefu);
+    EXPECT_EQ(r.loads, 2u);
+    EXPECT_EQ(r.stores, 1u);
+    EXPECT_EQ(r.finalMem->read64(slot), 0xabcdefu);
+}
+
+TEST(Interpreter, CallAndReturn)
+{
+    Assembler a;
+    Label fn = a.newLabel();
+    a.li(16, 5);
+    a.jsr(26, fn);
+    a.halt();
+    a.bind(fn);
+    a.slli(16, 1, 0);       // return 2 * arg
+    a.ret(26);
+    InterpResult r = interpret(a.assemble("t"));
+    EXPECT_EQ(r.finalRegs.reg(0), 10u);
+    EXPECT_EQ(r.calls, 1u);
+    // The return shows up in the control-flow trace.
+    ASSERT_EQ(r.trace->size(), 1u);
+    EXPECT_TRUE((*r.trace)[0].isReturn);
+}
+
+TEST(Interpreter, ZeroRegisterIgnoresWrites)
+{
+    Assembler a;
+    a.li(1, 7);
+    a.add(1, 1, 31);        // write to r31 vanishes
+    a.add(31, 31, 2);       // r2 = 0
+    a.halt();
+    InterpResult r = interpret(a.assemble("t"));
+    EXPECT_EQ(r.finalRegs.reg(31), 0u);
+    EXPECT_EQ(r.finalRegs.reg(2), 0u);
+}
+
+TEST(Interpreter, RecursiveFactorial)
+{
+    Assembler a;
+    Label fact = a.newLabel();
+    a.li(30, 0x4000000);    // stack pointer
+    a.li(16, 10);
+    a.jsr(26, fact);
+    a.halt();
+
+    // u64 fact(n): n <= 1 ? 1 : n * fact(n - 1)
+    a.bind(fact);
+    Label base = a.newLabel();
+    a.cmplei(16, 1, 1);
+    a.bne(1, base);
+    a.addi(30, -16, 30);
+    a.stq(26, 0, 30);
+    a.stq(16, 8, 30);
+    a.addi(16, -1, 16);
+    a.jsr(26, fact);
+    a.ldq(16, 8, 30);
+    a.ldq(26, 0, 30);
+    a.addi(30, 16, 30);
+    a.mul(16, 0, 0);
+    a.ret(26);
+    a.bind(base);
+    a.li(0, 1);
+    a.ret(26);
+
+    InterpResult r = interpret(a.assemble("t"));
+    EXPECT_EQ(r.finalRegs.reg(0), 3628800u);
+}
+
+TEST(Interpreter, FloatingPointPipeline)
+{
+    Assembler a;
+    Addr c1 = a.d64(std::bit_cast<u64>(1.5));
+    Addr c2 = a.d64(std::bit_cast<u64>(2.5));
+    a.li(1, c1);
+    a.li(2, c2);
+    a.fld(1, 0, 1);
+    a.fld(2, 0, 2);
+    a.fadd(1, 2, 3);
+    a.fmul(1, 2, 4);
+    a.fcmplt(1, 2, 5);
+    a.cvtfi(3, 6);
+    a.halt();
+    InterpResult r = interpret(a.assemble("t"));
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(r.finalRegs.reg(fpReg(3))),
+                     4.0);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(r.finalRegs.reg(fpReg(4))),
+                     3.75);
+    EXPECT_EQ(r.finalRegs.reg(5), 1u);
+    EXPECT_EQ(r.finalRegs.reg(6), 4u);
+}
+
+TEST(InterpreterDeath, RunawayProgramIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            Assembler a;
+            Label spin = a.here();
+            a.br(spin);
+            a.halt();
+            interpret(a.assemble("t"), 10000);
+        },
+        ::testing::ExitedWithCode(1), "exceeded");
+}
+
+TEST(InterpreterDeath, FallingOffCodeIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            Assembler a;
+            a.nop();        // no HALT: next fetch decodes INVALID
+            interpret(a.assemble("t"));
+        },
+        ::testing::ExitedWithCode(1), "INVALID");
+}
+
+} // anonymous namespace
+} // namespace polypath

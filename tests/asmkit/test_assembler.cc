@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hh"
+#include "isa/instr.hh"
+#include "isa/semantics.hh"
+#include "memsys/memory.hh"
+
+namespace polypath
+{
+namespace
+{
+
+TEST(Assembler, EmitsAtCodeBase)
+{
+    Assembler a(0x2000);
+    EXPECT_EQ(a.pc(), 0x2000u);
+    a.nop();
+    EXPECT_EQ(a.pc(), 0x2004u);
+    Program p = a.assemble("t");
+    EXPECT_EQ(p.entry, 0x2000u);
+    EXPECT_EQ(p.codeSize(), 1u);
+}
+
+TEST(Assembler, BackwardBranchDisplacement)
+{
+    Assembler a;
+    Label top = a.here();
+    a.nop();
+    a.nop();
+    a.bne(1, top);          // at index 2, target 0 -> disp -3
+    Program p = a.assemble("t");
+    Instr br = decodeInstr(p.code[2]);
+    EXPECT_EQ(br.op, Opcode::BNE);
+    EXPECT_EQ(br.imm, -3);
+    // targetFrom must land on the label.
+    Addr branch_pc = p.codeBase + 8;
+    EXPECT_EQ(br.targetFrom(branch_pc), p.codeBase);
+}
+
+TEST(Assembler, ForwardBranchDisplacement)
+{
+    Assembler a;
+    Label skip = a.newLabel();
+    a.beq(2, skip);
+    a.nop();
+    a.nop();
+    a.bind(skip);
+    a.halt();
+    Program p = a.assemble("t");
+    Instr br = decodeInstr(p.code[0]);
+    EXPECT_EQ(br.imm, 2);
+    EXPECT_EQ(br.targetFrom(p.codeBase), p.codeBase + 12);
+}
+
+TEST(Assembler, JsrAndBrUseLabels)
+{
+    Assembler a;
+    Label fn = a.newLabel();
+    a.jsr(26, fn);
+    a.halt();
+    a.bind(fn);
+    a.ret(26);
+    Program p = a.assemble("t");
+    Instr jsr = decodeInstr(p.code[0]);
+    EXPECT_EQ(jsr.op, Opcode::JSR);
+    EXPECT_EQ(jsr.targetFrom(p.codeBase), p.codeBase + 8);
+}
+
+TEST(Assembler, LiSmallImmediate)
+{
+    Assembler a;
+    a.li(1, 42);
+    Program p = a.assemble("t");
+    ASSERT_EQ(p.codeSize(), 1u);
+    Instr i = decodeInstr(p.code[0]);
+    EXPECT_EQ(i.op, Opcode::ADDI);
+    EXPECT_EQ(i.imm, 42);
+}
+
+TEST(Assembler, Li32BitUsesLdah)
+{
+    Assembler a;
+    a.li(1, 0x123456);
+    Program p = a.assemble("t");
+    EXPECT_LE(p.codeSize(), 2u);
+    Instr i = decodeInstr(p.code[0]);
+    EXPECT_EQ(i.op, Opcode::LDAH);
+}
+
+TEST(Assembler, DataSegmentLayout)
+{
+    Assembler a(0x1000, 0x100000);
+    Addr w = a.d64(0x1122334455667788ull);
+    EXPECT_EQ(w, 0x100000u);
+    Addr z = a.dZero(16);
+    EXPECT_EQ(z, 0x100008u);
+    Addr aligned = a.dataAlign(64);
+    EXPECT_EQ(aligned % 64, 0u);
+    a.halt();
+    Program p = a.assemble("t");
+    ASSERT_EQ(p.dataSegments.size(), 1u);
+
+    SparseMemory mem;
+    p.loadInto(mem);
+    EXPECT_EQ(mem.read64(w), 0x1122334455667788ull);
+    EXPECT_EQ(mem.read64(z), 0u);
+}
+
+TEST(Assembler, LoadIntoPlacesCode)
+{
+    Assembler a(0x4000);
+    a.addi(31, 7, 1);
+    a.halt();
+    Program p = a.assemble("t");
+    SparseMemory mem;
+    p.loadInto(mem);
+    Instr first = decodeInstr(mem.read32(0x4000));
+    EXPECT_EQ(first.op, Opcode::ADDI);
+    EXPECT_EQ(first.imm, 7);
+    Instr second = decodeInstr(mem.read32(0x4004));
+    EXPECT_TRUE(second.info().isHalt);
+}
+
+TEST(AssemblerDeath, UnboundLabelIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            Assembler a;
+            Label l = a.newLabel();
+            a.br(l);
+            a.assemble("t");
+        },
+        ::testing::ExitedWithCode(1), "unbound label");
+}
+
+TEST(AssemblerDeath, OversizedImmediateIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            Assembler a;
+            a.addi(1, 40000, 2);
+        },
+        ::testing::ExitedWithCode(1), "out of 16-bit range");
+}
+
+// li must materialise arbitrary constants exactly (checked through the
+// encode/decode round trip and manual evaluation).
+class LiValues : public ::testing::TestWithParam<u64> {};
+
+TEST_P(LiValues, MaterialisesExactValue)
+{
+    u64 want = GetParam();
+    Assembler a;
+    a.li(1, want);
+    Program p = a.assemble("t");
+
+    // Evaluate the emitted sequence on a tiny register file.
+    u64 regs[32] = {};
+    Addr pc = p.codeBase;
+    for (u32 word : p.code) {
+        Instr i = decodeInstr(word);
+        u64 va = (i.ra == 31) ? 0 : regs[i.ra];
+        regs[i.rc] = computeResult(i, va, 0, pc);
+        pc += 4;
+    }
+    EXPECT_EQ(regs[1], want) << std::hex << want;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Constants, LiValues,
+    ::testing::Values(0ull, 1ull, 42ull, 0x7fffull, 0x8000ull, 0xffffull,
+                      0x10000ull, 0x123456ull, 0x7fffffffull,
+                      0x80000000ull, 0xffffffffull, 0x100000000ull,
+                      0x123456789abcdef0ull, ~0ull,
+                      0x8000000000000000ull));
+
+} // anonymous namespace
+} // namespace polypath

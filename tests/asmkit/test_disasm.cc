@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Disassembler tests, including the full round-trip property: for every
+ * bundled workload, disassembling and reassembling reproduces the exact
+ * binary image (code words and data bytes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hh"
+#include "asmkit/disasm.hh"
+#include "asmkit/parser.hh"
+#include "workloads/workloads.hh"
+
+namespace polypath
+{
+namespace
+{
+
+/** Reassemble a dump with the original program's bases. */
+Program
+reassemble(const Program &original)
+{
+    Addr data_base = original.dataSegments.empty()
+                         ? 0x100000
+                         : original.dataSegments[0].first;
+    return assembleText(disassembleProgram(original), original.name,
+                        original.codeBase, data_base);
+}
+
+TEST(Disasm, EmitsLabelsForBranchTargets)
+{
+    Assembler a;
+    Label loop = a.here();
+    a.addi(1, -1, 1);
+    a.bgt(1, loop);
+    a.halt();
+    std::string dump = disassembleProgram(a.assemble("t"));
+    EXPECT_NE(dump.find("L1000:"), std::string::npos);
+    EXPECT_NE(dump.find("bgt r1, L1000"), std::string::npos);
+}
+
+TEST(Disasm, DataSegmentAsQuads)
+{
+    Assembler a;
+    a.d64(0xdeadbeef);
+    a.halt();
+    std::string dump = disassembleProgram(a.assemble("t"));
+    EXPECT_NE(dump.find(".quad   0xdeadbeef"), std::string::npos);
+}
+
+TEST(Disasm, SimpleRoundTrip)
+{
+    Assembler a;
+    Addr slot = a.d64(7);
+    a.li(1, slot);
+    Label fn = a.newLabel();
+    a.jsr(26, fn);
+    a.halt();
+    a.bind(fn);
+    a.ldq(2, 0, 1);
+    a.stq(2, 8, 1);
+    a.ret(26);
+    Program original = a.assemble("simple");
+    Program copy = reassemble(original);
+    EXPECT_EQ(copy.code, original.code);
+    ASSERT_EQ(copy.dataSegments.size(), original.dataSegments.size());
+    EXPECT_EQ(copy.dataSegments[0], original.dataSegments[0]);
+}
+
+class WorkloadRoundTrip : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(WorkloadRoundTrip, DisassembleReassembleIsIdentity)
+{
+    WorkloadParams params;
+    params.scale = 0.02;
+    Program original = buildWorkload(GetParam(), params);
+    Program copy = reassemble(original);
+    ASSERT_EQ(copy.code.size(), original.code.size());
+    for (size_t i = 0; i < original.code.size(); ++i) {
+        ASSERT_EQ(copy.code[i], original.code[i])
+            << "instruction " << i << ": "
+            << decodeInstr(original.code[i]).toString() << " vs "
+            << decodeInstr(copy.code[i]).toString();
+    }
+    ASSERT_EQ(copy.dataSegments.size(), original.dataSegments.size());
+    for (size_t i = 0; i < original.dataSegments.size(); ++i) {
+        EXPECT_EQ(copy.dataSegments[i].first,
+                  original.dataSegments[i].first);
+        EXPECT_EQ(copy.dataSegments[i].second,
+                  original.dataSegments[i].second);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadRoundTrip,
+                         ::testing::Values("compress", "gcc", "perl",
+                                           "go", "m88ksim", "xlisp",
+                                           "vortex", "jpeg", "wave",
+                                           "nbody"));
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "arch/interpreter.hh"
+#include "asmkit/parser.hh"
+#include "sim/machine.hh"
+
+namespace polypath
+{
+namespace
+{
+
+TEST(TextAssembler, SumLoopRuns)
+{
+    Program p = assembleText(R"(
+        ; sum 1..100 into r2
+        li      r1, 100
+        li      r2, 0
+loop:   add     r2, r1, r2
+        addi    r1, -1, r1
+        bgt     r1, loop
+        halt
+    )", "sumloop");
+    InterpResult r = interpret(p);
+    EXPECT_EQ(r.finalRegs.reg(2), 5050u);
+}
+
+TEST(TextAssembler, DataSectionAndSymbols)
+{
+    Program p = assembleText(R"(
+        .data
+        .align  8
+answer: .quad   42, 43
+buf:    .space  16
+bytes:  .byte   1, 2, 0xff
+        .equ    magic, 0x1234
+
+        .text
+        li      r1, answer
+        ldq     r2, 0(r1)       ; 42
+        ldq     r3, 8(r1)       ; 43
+        li      r4, bytes
+        ldbu    r5, 2(r4)       ; 0xff
+        li      r6, magic
+        halt
+    )", "data_test");
+    InterpResult r = interpret(p);
+    EXPECT_EQ(r.finalRegs.reg(2), 42u);
+    EXPECT_EQ(r.finalRegs.reg(3), 43u);
+    EXPECT_EQ(r.finalRegs.reg(5), 0xffu);
+    EXPECT_EQ(r.finalRegs.reg(6), 0x1234u);
+}
+
+TEST(TextAssembler, CallsAndAliases)
+{
+    Program p = assembleText(R"(
+        li      sp, 0x4000000
+        li      r16, 21
+        jsr     ra, double
+        halt
+double: add     r16, r16, v0
+        ret     ra
+    )", "calls");
+    InterpResult r = interpret(p);
+    EXPECT_EQ(r.finalRegs.reg(0), 42u);
+}
+
+TEST(TextAssembler, StoresAndForwardBranches)
+{
+    Program p = assembleText(R"(
+        .data
+slot:   .quad   0
+        .text
+        li      r1, slot
+        li      r2, 7
+        beq     r31, skip       ; always taken (zero == 0)
+        li      r2, 99          ; skipped
+skip:   stq     r2, 0(r1)
+        halt
+    )", "fwd");
+    InterpResult r = interpret(p);
+    EXPECT_EQ(r.finalMem->read64(p.dataSegments[0].first), 7u);
+}
+
+TEST(TextAssembler, FloatingPoint)
+{
+    Program p = assembleText(R"(
+        .data
+c1:     .quad   0x3ff8000000000000      ; 1.5
+        .text
+        li      r1, c1
+        fld     f1, 0(r1)
+        fadd    f1, f1, f2              ; 3.0
+        fcmplt  f1, f2, r3              ; 1.5 < 3.0 -> 1
+        cvtfi   f2, r4                  ; 3
+        halt
+    )", "fp");
+    InterpResult r = interpret(p);
+    EXPECT_EQ(r.finalRegs.reg(3), 1u);
+    EXPECT_EQ(r.finalRegs.reg(4), 3u);
+}
+
+TEST(TextAssembler, RunsOnTheTimingCore)
+{
+    Program p = assembleText(R"(
+        li      r1, 64
+        li      r2, 1
+loop:   mul     r2, r1, r3
+        srli    r3, 3, r3
+        addi    r1, -1, r1
+        bgt     r1, loop
+        halt
+    )", "core_run");
+    SimResult r = simulate(p, SimConfig::seeJrs());
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(TextAssemblerDeath, UnknownMnemonic)
+{
+    EXPECT_EXIT(assembleText("frobnicate r1, r2\nhalt\n", "bad"),
+                ::testing::ExitedWithCode(1), "unknown mnemonic");
+}
+
+TEST(TextAssemblerDeath, UndefinedLabel)
+{
+    EXPECT_EXIT(assembleText("br nowhere\nhalt\n", "bad"),
+                ::testing::ExitedWithCode(1), "undefined label");
+}
+
+TEST(TextAssemblerDeath, RedefinedLabel)
+{
+    EXPECT_EXIT(assembleText("x: nop\nx: nop\nhalt\n", "bad"),
+                ::testing::ExitedWithCode(1), "redefined");
+}
+
+TEST(TextAssemblerDeath, BadRegister)
+{
+    EXPECT_EXIT(assembleText("add r1, r77, r2\nhalt\n", "bad"),
+                ::testing::ExitedWithCode(1), "register");
+}
+
+TEST(TextAssemblerDeath, WrongOperandCount)
+{
+    EXPECT_EXIT(assembleText("add r1, r2\nhalt\n", "bad"),
+                ::testing::ExitedWithCode(1), "expects 3 operands");
+}
+
+TEST(TextAssemblerDeath, UndefinedSymbolInLi)
+{
+    EXPECT_EXIT(assembleText("li r1, mystery\nhalt\n", "bad"),
+                ::testing::ExitedWithCode(1), "undefined symbol");
+}
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Exhaustive mnemonic coverage for the textual assembler: every opcode
+ * has at least one parseable spelling that encodes to the expected
+ * instruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asmkit/parser.hh"
+#include "isa/instr.hh"
+
+namespace polypath
+{
+namespace
+{
+
+struct MnemonicCase
+{
+    const char *line;
+    Opcode op;
+};
+
+class MnemonicCoverage : public ::testing::TestWithParam<MnemonicCase>
+{};
+
+TEST_P(MnemonicCoverage, ParsesToExpectedOpcode)
+{
+    const MnemonicCase &c = GetParam();
+    std::string src = std::string("target: ") + c.line + "\nhalt\n";
+    Program p = assembleText(src, "coverage");
+    ASSERT_GE(p.codeSize(), 1u);
+    Instr first = decodeInstr(p.code[0]);
+    EXPECT_EQ(first.op, c.op) << c.line;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMnemonics, MnemonicCoverage,
+    ::testing::Values(
+        MnemonicCase{"add r1, r2, r3", Opcode::ADD},
+        MnemonicCase{"sub r1, r2, r3", Opcode::SUB},
+        MnemonicCase{"mul r1, r2, r3", Opcode::MUL},
+        MnemonicCase{"and r1, r2, r3", Opcode::AND},
+        MnemonicCase{"or r1, r2, r3", Opcode::OR},
+        MnemonicCase{"xor r1, r2, r3", Opcode::XOR},
+        MnemonicCase{"sll r1, r2, r3", Opcode::SLL},
+        MnemonicCase{"srl r1, r2, r3", Opcode::SRL},
+        MnemonicCase{"sra r1, r2, r3", Opcode::SRA},
+        MnemonicCase{"cmpeq r1, r2, r3", Opcode::CMPEQ},
+        MnemonicCase{"cmplt r1, r2, r3", Opcode::CMPLT},
+        MnemonicCase{"cmple r1, r2, r3", Opcode::CMPLE},
+        MnemonicCase{"cmpult r1, r2, r3", Opcode::CMPULT},
+        MnemonicCase{"addi r1, -7, r3", Opcode::ADDI},
+        MnemonicCase{"andi r1, 0xffff, r3", Opcode::ANDI},
+        MnemonicCase{"ori r1, 255, r3", Opcode::ORI},
+        MnemonicCase{"xori r1, 1, r3", Opcode::XORI},
+        MnemonicCase{"slli r1, 4, r3", Opcode::SLLI},
+        MnemonicCase{"srli r1, 4, r3", Opcode::SRLI},
+        MnemonicCase{"srai r1, 4, r3", Opcode::SRAI},
+        MnemonicCase{"cmpeqi r1, 9, r3", Opcode::CMPEQI},
+        MnemonicCase{"cmplti r1, 9, r3", Opcode::CMPLTI},
+        MnemonicCase{"cmplei r1, 9, r3", Opcode::CMPLEI},
+        MnemonicCase{"cmpulti r1, 9, r3", Opcode::CMPULTI},
+        MnemonicCase{"ldah r1, 1, r3", Opcode::LDAH},
+        MnemonicCase{"ldq r1, 8(r2)", Opcode::LDQ},
+        MnemonicCase{"stq r1, 8(r2)", Opcode::STQ},
+        MnemonicCase{"ldbu r1, -1(r2)", Opcode::LDBU},
+        MnemonicCase{"stb r1, 3(r2)", Opcode::STB},
+        MnemonicCase{"fld f1, 0(r2)", Opcode::FLD},
+        MnemonicCase{"fst f1, 0(r2)", Opcode::FST},
+        MnemonicCase{"beq r1, target", Opcode::BEQ},
+        MnemonicCase{"bne r1, target", Opcode::BNE},
+        MnemonicCase{"blt r1, target", Opcode::BLT},
+        MnemonicCase{"bge r1, target", Opcode::BGE},
+        MnemonicCase{"ble r1, target", Opcode::BLE},
+        MnemonicCase{"bgt r1, target", Opcode::BGT},
+        MnemonicCase{"br target", Opcode::BR},
+        MnemonicCase{"jsr ra, target", Opcode::JSR},
+        MnemonicCase{"ret ra", Opcode::RET},
+        MnemonicCase{"ret", Opcode::RET},
+        MnemonicCase{"fadd f1, f2, f3", Opcode::FADD},
+        MnemonicCase{"fsub f1, f2, f3", Opcode::FSUB},
+        MnemonicCase{"fmul f1, f2, f3", Opcode::FMUL},
+        MnemonicCase{"fdiv f1, f2, f3", Opcode::FDIV},
+        MnemonicCase{"fcmpeq f1, f2, r3", Opcode::FCMPEQ},
+        MnemonicCase{"fcmplt f1, f2, r3", Opcode::FCMPLT},
+        MnemonicCase{"cvtif r1, f2", Opcode::CVTIF},
+        MnemonicCase{"cvtfi f1, r2", Opcode::CVTFI},
+        MnemonicCase{"nop", Opcode::NOP},
+        MnemonicCase{"li r1, 3", Opcode::ADDI},      // pseudo
+        MnemonicCase{"mov r1, r2", Opcode::OR}));    // pseudo
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "bpred/confidence.hh"
+
+namespace polypath
+{
+namespace
+{
+
+PredictionQuery
+query(Addr pc, u64 ghr = 0)
+{
+    PredictionQuery q;
+    q.pc = pc;
+    q.ghr = ghr;
+    return q;
+}
+
+TEST(FixedConfidence, AlwaysHighNeverDiverges)
+{
+    AlwaysHighConfidence conf;
+    EXPECT_TRUE(conf.estimate(query(0x100), true));
+    EXPECT_TRUE(conf.estimate(query(0x100), false));
+}
+
+TEST(FixedConfidence, AlwaysLowAlwaysDiverges)
+{
+    AlwaysLowConfidence conf;
+    EXPECT_FALSE(conf.estimate(query(0x100), true));
+}
+
+TEST(Jrs1Bit, LowAfterMispredictHighAfterCorrect)
+{
+    JrsConfidence conf(10, 1, 1, /*enhanced_index=*/false);
+    // Fresh counters are zero: low confidence.
+    EXPECT_FALSE(conf.estimate(query(0x100), true));
+    conf.update(0x100, 0, true, /*correct=*/true);
+    EXPECT_TRUE(conf.estimate(query(0x100), true));
+    conf.update(0x100, 0, true, /*correct=*/false);
+    EXPECT_FALSE(conf.estimate(query(0x100), true));
+}
+
+TEST(Jrs4Bit, NeedsThresholdCorrectInARow)
+{
+    JrsConfidence conf(10, 4, 15, false);
+    for (int i = 0; i < 14; ++i) {
+        conf.update(0x100, 0, true, true);
+        EXPECT_FALSE(conf.estimate(query(0x100), true)) << i;
+    }
+    conf.update(0x100, 0, true, true);
+    EXPECT_TRUE(conf.estimate(query(0x100), true));
+    // A single misprediction resets the counter (resetting counters).
+    conf.update(0x100, 0, true, false);
+    EXPECT_FALSE(conf.estimate(query(0x100), true));
+}
+
+TEST(Jrs, EnhancedIndexSeparatesPredictedOutcomes)
+{
+    // With enhanced indexing, the same (pc, history) maps to different
+    // counters for predicted-taken vs predicted-not-taken.
+    JrsConfidence conf(10, 1, 1, /*enhanced_index=*/true);
+    // Note: updates must use the same indexing inputs as estimates.
+    conf.update(0x100, 0, /*pred_taken=*/true, /*correct=*/true);
+    EXPECT_TRUE(conf.estimate(query(0x100), true));
+    EXPECT_FALSE(conf.estimate(query(0x100), false));
+}
+
+TEST(Jrs, OriginalIndexIgnoresPredictedOutcome)
+{
+    JrsConfidence conf(10, 1, 1, /*enhanced_index=*/false);
+    conf.update(0x100, 0, true, true);
+    EXPECT_TRUE(conf.estimate(query(0x100), true));
+    EXPECT_TRUE(conf.estimate(query(0x100), false));
+}
+
+TEST(Jrs, StateBytesMatchesCounterWidth)
+{
+    EXPECT_EQ(JrsConfidence(13, 1, 1).stateBytes(), 1024u);  // 8k 1-bit
+    EXPECT_EQ(JrsConfidence(10, 4, 15).stateBytes(), 512u);  // 1k 4-bit
+}
+
+TEST(Jrs, PvnBehaviour1BitVs4Bit)
+{
+    // Synthetic branch population: 80% of branches are always-correct,
+    // 20% are correct with probability 0.5. A 1-bit JRS flags "low
+    // confidence" right after a misprediction; those flags should hit
+    // actual mispredictions much more often than chance.
+    JrsConfidence conf(12, 1, 1, false);
+    u64 lcg = 777;
+    auto rnd = [&]() {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return (lcg >> 33);
+    };
+    u64 low = 0, low_and_wrong = 0;
+    for (int i = 0; i < 30000; ++i) {
+        Addr pc = 0x1000 + (rnd() % 50) * 4;
+        bool hard = (pc >> 2) % 5 == 0;     // every 5th branch is hard
+        bool correct = hard ? (rnd() % 2 == 0) : true;
+        bool high = conf.estimate(query(pc), true);
+        if (i > 5000 && !high) {
+            ++low;
+            low_and_wrong += !correct;
+        }
+        conf.update(pc, 0, true, correct);
+    }
+    ASSERT_GT(low, 100u);
+    double pvn = static_cast<double>(low_and_wrong) /
+                 static_cast<double>(low);
+    // Population misprediction rate is ~10%; PVN should be much higher.
+    EXPECT_GT(pvn, 0.35);
+}
+
+TEST(OracleConfidence, LowExactlyOnMispredictions)
+{
+    BranchTrace trace = {{0x100, false, true, 0}};
+    OracleConfidence conf;
+    PredictionQuery q;
+    q.pc = 0x100;
+    q.trace = &trace;
+    q.cursor.onCorrectPath = true;
+    q.cursor.index = 0;
+    EXPECT_TRUE(conf.estimate(q, true));    // predicted taken == actual
+    EXPECT_FALSE(conf.estimate(q, false));  // predicted NT: wrong -> low
+}
+
+TEST(OracleConfidence, HighOffPath)
+{
+    BranchTrace trace = {{0x100, false, true, 0}};
+    OracleConfidence conf;
+    PredictionQuery q;
+    q.pc = 0x100;
+    q.trace = &trace;
+    q.cursor.onCorrectPath = false;
+    EXPECT_TRUE(conf.estimate(q, false));
+}
+
+TEST(AdaptiveJrs, BehavesLikeJrsWhenPvnIsHigh)
+{
+    // Low-confidence calls that are mostly mispredictions keep eager
+    // mode enabled.
+    AdaptiveJrsConfidence conf(10, 1, 1, false, 0.25, 16);
+    for (int i = 0; i < 200; ++i) {
+        // Fresh (never-correct) branches: counters stay 0 -> low
+        // confidence, and they do mispredict.
+        Addr pc = 0x1000 + 4 * (i % 8);
+        conf.update(pc, 0, true, /*correct=*/false);
+    }
+    EXPECT_TRUE(conf.divergenceEnabled());
+    PredictionQuery q;
+    q.pc = 0x1000;
+    EXPECT_FALSE(conf.estimate(q, true));   // still signals low
+}
+
+TEST(AdaptiveJrs, RevertsToMonopathOnLowPvn)
+{
+    // Alternating correct/incorrect at the same index keeps the 1-bit
+    // counter flapping: half the calls are low-confidence but nearly
+    // all of those are actually correct predictions -> PVN collapses.
+    AdaptiveJrsConfidence conf(10, 1, 1, false, 0.25, 32);
+    for (int i = 0; i < 40; ++i) {
+        conf.update(0x100, 0, true, /*correct=*/false);
+        for (int j = 0; j < 8; ++j)
+            conf.update(0x100, 0, true, /*correct=*/true);
+    }
+    EXPECT_FALSE(conf.divergenceEnabled());
+    // Everything is reported high-confidence while reverted.
+    PredictionQuery q;
+    q.pc = 0x104;
+    EXPECT_TRUE(conf.estimate(q, true));
+}
+
+TEST(AdaptiveJrs, ReenablesWhenPvnRecovers)
+{
+    AdaptiveJrsConfidence conf(10, 1, 1, false, 0.25, 16);
+    // Phase 1: collapse PVN. A rare misprediction followed by a run of
+    // correct predictions makes almost every low-confidence call (the
+    // one right after the reset) a *correct* prediction.
+    for (int i = 0; i < 60; ++i) {
+        conf.update(0x100, 0, true, /*correct=*/false);
+        for (int j = 0; j < 8; ++j)
+            conf.update(0x100, 0, true, /*correct=*/true);
+    }
+    ASSERT_FALSE(conf.divergenceEnabled());
+    // Phase 2: low-confidence calls become real mispredictions again.
+    for (int i = 0; i < 200; ++i)
+        conf.update(0x200 + 4 * (i % 16), 0, true, false);
+    EXPECT_TRUE(conf.divergenceEnabled());
+}
+
+TEST(AdaptiveJrsDeath, BadFloorIsFatal)
+{
+    EXPECT_EXIT(AdaptiveJrsConfidence(10, 1, 1, true, 1.5, 16),
+                ::testing::ExitedWithCode(1), "PVN floor");
+    EXPECT_EXIT(AdaptiveJrsConfidence(10, 1, 1, true, 0.25, 0),
+                ::testing::ExitedWithCode(1), "window");
+}
+
+TEST(JrsDeath, BadParametersAreFatal)
+{
+    EXPECT_EXIT(JrsConfidence(10, 0, 1), ::testing::ExitedWithCode(1),
+                "counter width");
+    EXPECT_EXIT(JrsConfidence(10, 2, 4), ::testing::ExitedWithCode(1),
+                "threshold");
+}
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "bpred/gshare.hh"
+
+namespace polypath
+{
+namespace
+{
+
+PredictionQuery
+query(Addr pc, u64 ghr)
+{
+    PredictionQuery q;
+    q.pc = pc;
+    q.ghr = ghr;
+    return q;
+}
+
+TEST(Gshare, LearnsAlwaysTaken)
+{
+    GsharePredictor pred(10);
+    for (int i = 0; i < 4; ++i)
+        pred.update(0x1000, 0, true);
+    EXPECT_TRUE(pred.predict(query(0x1000, 0)));
+}
+
+TEST(Gshare, LearnsAlwaysNotTaken)
+{
+    GsharePredictor pred(10);
+    for (int i = 0; i < 4; ++i)
+        pred.update(0x1000, 0, false);
+    EXPECT_FALSE(pred.predict(query(0x1000, 0)));
+}
+
+TEST(Gshare, HysteresisNeedsTwoFlips)
+{
+    GsharePredictor pred(10);
+    for (int i = 0; i < 4; ++i)
+        pred.update(0x1000, 0, true);   // saturate taken
+    pred.update(0x1000, 0, false);      // one not-taken
+    EXPECT_TRUE(pred.predict(query(0x1000, 0)));    // still taken
+    pred.update(0x1000, 0, false);
+    EXPECT_FALSE(pred.predict(query(0x1000, 0)));
+}
+
+TEST(Gshare, HistoryDisambiguatesSameBranch)
+{
+    GsharePredictor pred(12);
+    // Same PC behaves oppositely under two different histories.
+    for (int i = 0; i < 4; ++i) {
+        pred.update(0x2000, 0b1010, true);
+        pred.update(0x2000, 0b0101, false);
+    }
+    EXPECT_TRUE(pred.predict(query(0x2000, 0b1010)));
+    EXPECT_FALSE(pred.predict(query(0x2000, 0b0101)));
+}
+
+TEST(Gshare, IndexUsesPcXorHistoryMasked)
+{
+    GsharePredictor pred(8);
+    EXPECT_EQ(pred.index(0x1000, 0), ((0x1000 >> 2) ^ 0u) & 0xff);
+    EXPECT_EQ(pred.index(0x1000, 0xff), ((0x1000 >> 2) ^ 0xffu) & 0xff);
+    // History beyond the table width is masked away.
+    EXPECT_EQ(pred.index(0, 0x1ff), 0xffu);
+}
+
+TEST(Gshare, StateBytesIsQuarterOfEntries)
+{
+    // 2 bits per counter.
+    EXPECT_EQ(GsharePredictor(10).stateBytes(), 256u);      // 1k counters
+    EXPECT_EQ(GsharePredictor(14).stateBytes(), 4096u);     // 16k counters
+}
+
+TEST(Gshare, LearnsAlternatingPatternThroughHistory)
+{
+    GsharePredictor pred(10);
+    // Alternating T/N/T/N with history: after warmup prediction should
+    // be nearly perfect since history disambiguates the two phases.
+    u64 ghr = 0;
+    int correct = 0;
+    for (int i = 0; i < 200; ++i) {
+        bool actual = (i % 2) == 0;
+        bool guess = pred.predict(query(0x3000, ghr));
+        correct += (guess == actual);
+        pred.update(0x3000, ghr, actual);
+        ghr = (ghr << 1) | actual;
+    }
+    EXPECT_GT(correct, 180);
+}
+
+TEST(TakenPredictor, AlwaysTaken)
+{
+    TakenPredictor pred;
+    EXPECT_TRUE(pred.predict(query(0x1234, 99)));
+    EXPECT_EQ(pred.stateBytes(), 0u);
+}
+
+TEST(OraclePredictor, FollowsTraceOnCorrectPath)
+{
+    BranchTrace trace = {{0x100, false, true, 0},
+                         {0x200, false, false, 0}};
+    OraclePredictor pred;
+    PredictionQuery q;
+    q.pc = 0x100;
+    q.trace = &trace;
+    q.cursor.onCorrectPath = true;
+    q.cursor.index = 0;
+    EXPECT_TRUE(pred.predict(q));
+    q.pc = 0x200;
+    q.cursor.index = 1;
+    EXPECT_FALSE(pred.predict(q));
+}
+
+TEST(OraclePredictor, FallsBackOffPath)
+{
+    BranchTrace trace = {{0x100, false, false, 0}};
+    OraclePredictor pred;
+    PredictionQuery q;
+    q.trace = &trace;
+    q.cursor.onCorrectPath = false;
+    q.cursor.index = 0;
+    EXPECT_TRUE(pred.predict(q));   // default taken off-path
+}
+
+TEST(TraceCursor, ReturnRecordsAreNotBranchOutcomes)
+{
+    BranchTrace trace = {{0x100, true, false, 0x500}};
+    TraceCursor cursor{true, 0};
+    EXPECT_FALSE(cursor.outcomeKnown(trace));
+    EXPECT_TRUE(cursor.returnKnown(trace));
+}
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+
+namespace polypath
+{
+namespace
+{
+
+TEST(BitUtils, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 7, 0), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(~u64(0), 63, 0), ~u64(0));
+}
+
+TEST(BitUtils, BitsSingleBit)
+{
+    EXPECT_EQ(bits(0b1000, 3, 3), 1u);
+    EXPECT_EQ(bits(0b1000, 2, 2), 0u);
+}
+
+TEST(BitUtils, InsertBitsPositionsField)
+{
+    EXPECT_EQ(insertBits(0xef, 7, 0), 0xefull);
+    EXPECT_EQ(insertBits(0xde, 15, 8), 0xde00ull);
+    EXPECT_EQ(insertBits(0x3f, 31, 26), u64(0x3f) << 26);
+}
+
+TEST(BitUtils, InsertBitsMasksOversizedField)
+{
+    // A field wider than the slot must be truncated.
+    EXPECT_EQ(insertBits(0x1ff, 7, 0), 0xffull);
+}
+
+TEST(BitUtils, SextPositive)
+{
+    EXPECT_EQ(sext(0x7fff, 16), 0x7fff);
+    EXPECT_EQ(sext(0x0001, 16), 1);
+}
+
+TEST(BitUtils, SextNegative)
+{
+    EXPECT_EQ(sext(0xffff, 16), -1);
+    EXPECT_EQ(sext(0x8000, 16), -32768);
+    EXPECT_EQ(sext(0x1fffff, 21), -1);
+    EXPECT_EQ(sext(0x100000, 21), -(s64(1) << 20));
+}
+
+TEST(BitUtils, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0ull);
+    EXPECT_EQ(lowMask(1), 1ull);
+    EXPECT_EQ(lowMask(16), 0xffffull);
+    EXPECT_EQ(lowMask(64), ~u64(0));
+}
+
+TEST(BitUtils, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(u64(1) << 63));
+    EXPECT_FALSE(isPowerOf2((u64(1) << 63) + 1));
+}
+
+TEST(BitUtils, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(u64(1) << 63), 63u);
+}
+
+// Round-trip property: sext(x & mask, n) recovers any signed n-bit value.
+class SextRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SextRoundTrip, RecoversSignedValues)
+{
+    int nbits = GetParam();
+    s64 lo = -(s64(1) << (nbits - 1));
+    s64 hi = (s64(1) << (nbits - 1)) - 1;
+    for (s64 v : {lo, lo + 1, s64(-1), s64(0), s64(1), hi - 1, hi}) {
+        u64 packed = static_cast<u64>(v) & lowMask(nbits);
+        EXPECT_EQ(sext(packed, nbits), v) << "nbits=" << nbits;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SextRoundTrip,
+                         ::testing::Values(8, 13, 16, 21, 26, 32, 48));
+
+} // anonymous namespace
+} // namespace polypath

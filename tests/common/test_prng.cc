@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+
+namespace polypath
+{
+namespace
+{
+
+TEST(Prng, DeterministicForSameSeed)
+{
+    Prng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge)
+{
+    Prng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Prng, ZeroSeedIsRemapped)
+{
+    Prng a(0);
+    EXPECT_NE(a.next(), 0u);
+}
+
+TEST(Prng, NextBelowStaysInRange)
+{
+    Prng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(13), 13u);
+}
+
+TEST(Prng, ChanceApproximatesProbability)
+{
+    Prng rng(99);
+    int hits = 0;
+    constexpr int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.chance(30, 100);
+    double rate = static_cast<double>(hits) / trials;
+    EXPECT_NEAR(rate, 0.30, 0.02);
+}
+
+TEST(Prng, NextDoubleInUnitInterval)
+{
+    Prng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "common/sat_counter.hh"
+
+namespace polypath
+{
+namespace
+{
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter ctr(2, 0);
+    for (int i = 0; i < 10; ++i)
+        ctr.increment();
+    EXPECT_EQ(ctr.raw(), 3);
+    EXPECT_TRUE(ctr.saturated());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter ctr(2, 3);
+    for (int i = 0; i < 10; ++i)
+        ctr.decrement();
+    EXPECT_EQ(ctr.raw(), 0);
+}
+
+TEST(SatCounter, MsbThreshold2Bit)
+{
+    SatCounter ctr(2, 0);
+    EXPECT_FALSE(ctr.msbSet());        // 0
+    ctr.increment();
+    EXPECT_FALSE(ctr.msbSet());        // 1
+    ctr.increment();
+    EXPECT_TRUE(ctr.msbSet());         // 2
+    ctr.increment();
+    EXPECT_TRUE(ctr.msbSet());         // 3
+}
+
+TEST(SatCounter, OneBitBehavesLikeLastOutcome)
+{
+    SatCounter ctr(1, 0);
+    EXPECT_EQ(ctr.max(), 1);
+    ctr.increment();
+    EXPECT_EQ(ctr.raw(), 1);
+    ctr.increment();
+    EXPECT_EQ(ctr.raw(), 1);
+    ctr.reset();
+    EXPECT_EQ(ctr.raw(), 0);
+}
+
+TEST(SatCounter, ResetZeroes)
+{
+    SatCounter ctr(4, 9);
+    ctr.reset();
+    EXPECT_EQ(ctr.raw(), 0);
+}
+
+class SatCounterWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SatCounterWidths, MaxMatchesWidth)
+{
+    unsigned width = GetParam();
+    SatCounter ctr(width, 0);
+    EXPECT_EQ(ctr.max(), (1u << width) - 1);
+    for (unsigned i = 0; i < (1u << width) + 5; ++i)
+        ctr.increment();
+    EXPECT_EQ(ctr.raw(), ctr.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, SatCounterWidths,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+} // anonymous namespace
+} // namespace polypath

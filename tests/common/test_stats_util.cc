@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "common/stats_util.hh"
+
+namespace polypath
+{
+namespace
+{
+
+TEST(StatsUtil, ArithmeticMean)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+}
+
+TEST(StatsUtil, HarmonicMean)
+{
+    // Classic: harmonic mean of 2 and 6 is 3.
+    EXPECT_DOUBLE_EQ(harmonicMean({2, 6}), 3.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({5, 5, 5}), 5.0);
+}
+
+TEST(StatsUtil, HarmonicMeanDominatedBySmallValues)
+{
+    double hm = harmonicMean({1, 100});
+    EXPECT_LT(hm, 2.0);
+    EXPECT_GT(hm, 1.0);
+}
+
+TEST(StatsUtil, HarmonicMeanRejectsNonPositive)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+}
+
+TEST(StatsUtil, GeometricMean)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4, 9}), 6.0);
+    EXPECT_NEAR(geometricMean({2, 2, 2}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geometricMean({1.0, -1.0}), 0.0);
+}
+
+TEST(StatsUtil, MeanOrderingInequality)
+{
+    // HM <= GM <= AM for positive values.
+    std::vector<double> values{1.3, 2.9, 4.1, 0.7, 8.8};
+    double hm = harmonicMean(values);
+    double gm = geometricMean(values);
+    double am = arithmeticMean(values);
+    EXPECT_LE(hm, gm + 1e-12);
+    EXPECT_LE(gm, am + 1e-12);
+}
+
+TEST(StatsUtil, PercentChange)
+{
+    EXPECT_DOUBLE_EQ(percentChange(2.0, 3.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentChange(4.0, 3.0), -25.0);
+    EXPECT_DOUBLE_EQ(percentChange(0.0, 3.0), 0.0);
+}
+
+} // anonymous namespace
+} // namespace polypath

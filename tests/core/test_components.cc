@@ -1,0 +1,262 @@
+/**
+ * @file
+ * White-box unit tests for the core's structural components: the
+ * instruction window's snoop operations, the FU pool, the return
+ * address stack, configuration presets and derived statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "core/fu_pool.hh"
+#include "core/iwindow.hh"
+#include "core/ras.hh"
+#include "core/stats.hh"
+
+namespace polypath
+{
+namespace
+{
+
+DynInstPtr
+makeInst(InstSeq seq, const CtxTag &tag)
+{
+    auto inst = std::make_shared<DynInst>();
+    inst->seq = seq;
+    inst->tag = tag;
+    return inst;
+}
+
+TEST(InstructionWindow, InsertAndCommitInOrder)
+{
+    InstructionWindow window(4);
+    CtxTag root;
+    window.insert(makeInst(1, root));
+    window.insert(makeInst(2, root));
+    EXPECT_EQ(window.size(), 2u);
+    EXPECT_EQ(window.head()->seq, 1u);
+    window.popHead();
+    EXPECT_EQ(window.head()->seq, 2u);
+}
+
+TEST(InstructionWindow, FullDetection)
+{
+    InstructionWindow window(2);
+    CtxTag root;
+    window.insert(makeInst(1, root));
+    EXPECT_FALSE(window.full());
+    window.insert(makeInst(2, root));
+    EXPECT_TRUE(window.full());
+}
+
+TEST(InstructionWindow, ResolutionBusKillsWrongSideOnly)
+{
+    InstructionWindow window(8);
+    CtxTag parent;
+    CtxTag taken = parent.child(3, true);
+    CtxTag not_taken = parent.child(3, false);
+    window.insert(makeInst(1, parent));
+    window.insert(makeInst(2, taken));
+    window.insert(makeInst(3, not_taken));
+    window.insert(makeInst(4, taken.child(5, true)));
+
+    std::vector<InstSeq> killed;
+    unsigned n = window.killWrongPath(3, /*actual_taken=*/false,
+                                      [&](const DynInstPtr &inst) {
+                                          killed.push_back(inst->seq);
+                                          inst->killed = true;
+                                      });
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(killed, (std::vector<InstSeq>{2, 4}));
+    EXPECT_EQ(window.size(), 2u);
+    EXPECT_EQ(window.head()->seq, 1u);
+}
+
+TEST(InstructionWindow, CommitBusClearsPositionEverywhere)
+{
+    InstructionWindow window(8);
+    CtxTag parent;
+    CtxTag child = parent.child(2, true);
+    DynInstPtr inst = makeInst(1, child);
+    window.insert(inst);
+    window.commitPosition(2);
+    EXPECT_FALSE(inst->tag.valid(2));
+    // After invalidation the entry can no longer be killed through
+    // position 2 (it has been recycled).
+    unsigned n = window.killWrongPath(2, false,
+                                      [](const DynInstPtr &) {});
+    EXPECT_EQ(n, 0u);
+}
+
+TEST(InstructionWindowDeath, OutOfOrderInsertPanics)
+{
+    InstructionWindow window(4);
+    CtxTag root;
+    window.insert(makeInst(5, root));
+    EXPECT_DEATH(window.insert(makeInst(4, root)), "out of fetch order");
+}
+
+TEST(InstructionWindowDeath, OverflowPanics)
+{
+    InstructionWindow window(1);
+    CtxTag root;
+    window.insert(makeInst(1, root));
+    EXPECT_DEATH(window.insert(makeInst(2, root)), "overflow");
+}
+
+TEST(FuPool, TracksPerClassSlots)
+{
+    SimConfig cfg;
+    cfg.numIntAlu0 = 2;
+    cfg.numMemPorts = 1;
+    FuPool pool(cfg);
+    EXPECT_EQ(pool.numUnits(ExecClass::IntAlu0), 2u);
+    EXPECT_TRUE(pool.available(ExecClass::IntAlu0));
+    pool.take(ExecClass::IntAlu0);
+    pool.take(ExecClass::IntAlu0);
+    EXPECT_FALSE(pool.available(ExecClass::IntAlu0));
+    // Other classes are unaffected.
+    EXPECT_TRUE(pool.available(ExecClass::Mem));
+    pool.take(ExecClass::Mem);
+    EXPECT_FALSE(pool.available(ExecClass::Mem));
+    // New cycle frees everything.
+    pool.newCycle();
+    EXPECT_TRUE(pool.available(ExecClass::IntAlu0));
+    EXPECT_TRUE(pool.available(ExecClass::Mem));
+}
+
+TEST(FuPoolDeath, OverIssuePanics)
+{
+    SimConfig cfg;
+    cfg.numFpMul = 1;
+    FuPool pool(cfg);
+    pool.take(ExecClass::FpMul);
+    EXPECT_DEATH(pool.take(ExecClass::FpMul), "over-issued");
+}
+
+TEST(Ras, LifoOrder)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.size(), 3u);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_EQ(ras.size(), 0u);
+}
+
+TEST(Ras, UnderflowPredictsZero)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.pop(), 0u);
+    EXPECT_EQ(ras.size(), 0u);
+}
+
+TEST(Ras, OverflowDropsOldest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(1);
+    ras.push(2);
+    ras.push(3);        // overwrites 1
+    EXPECT_EQ(ras.size(), 2u);
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 2u);
+    // The overwritten entry is gone; deeper pops mispredict.
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, CopySemanticsArePerPath)
+{
+    ReturnAddressStack parent(8);
+    parent.push(0x100);
+    ReturnAddressStack child = parent;  // path divergence clone
+    child.push(0x200);
+    EXPECT_EQ(parent.size(), 1u);
+    EXPECT_EQ(child.size(), 2u);
+    EXPECT_EQ(parent.pop(), 0x100u);
+    EXPECT_EQ(child.pop(), 0x200u);
+}
+
+TEST(Config, BaselineMatchesPaperSection42)
+{
+    SimConfig cfg;
+    EXPECT_EQ(cfg.fetchWidth, 8u);
+    EXPECT_EQ(cfg.windowSize, 256u);
+    EXPECT_EQ(cfg.totalPipelineStages(), 8u);
+    EXPECT_EQ(cfg.numIntAlu0, 4u);
+    EXPECT_EQ(cfg.numIntAlu1, 4u);
+    EXPECT_EQ(cfg.numFpAdd, 4u);
+    EXPECT_EQ(cfg.numFpMul, 4u);
+    EXPECT_EQ(cfg.numMemPorts, 4u);
+    EXPECT_EQ(cfg.historyBits, 14u);    // 16k counters
+    EXPECT_EQ(cfg.jrsCounterBits, 1u);
+}
+
+TEST(Config, PresetsDisagreeOnlyWhereIntended)
+{
+    SimConfig mono = SimConfig::monopath();
+    SimConfig see = SimConfig::seeJrs();
+    EXPECT_EQ(mono.windowSize, see.windowSize);
+    EXPECT_EQ(mono.predictor, see.predictor);
+    EXPECT_NE(static_cast<int>(mono.confidence),
+              static_cast<int>(see.confidence));
+    EXPECT_EQ(mono.maxDivergences, 0);
+    EXPECT_EQ(see.maxDivergences, -1);
+    EXPECT_EQ(SimConfig::dualPathJrs().maxDivergences, 1);
+}
+
+TEST(Config, DerivedValues)
+{
+    SimConfig cfg;
+    cfg.tagWidth = 8;
+    cfg.maxActivePaths = 0;
+    EXPECT_EQ(cfg.effectiveMaxPaths(), 9u);
+    cfg.maxActivePaths = 3;
+    EXPECT_EQ(cfg.effectiveMaxPaths(), 3u);
+    cfg.numPhysRegs = 0;
+    cfg.windowSize = 100;
+    EXPECT_EQ(cfg.effectivePhysRegs(), 1u + 64 + 100 + 16);
+}
+
+TEST(Stats, DerivedMetrics)
+{
+    SimStats stats;
+    stats.cycles = 100;
+    stats.committedInstrs = 250;
+    stats.fetchedInstrs = 400;
+    stats.committedBranches = 50;
+    stats.mispredictedBranches = 5;
+    stats.lowConfidenceBranches = 10;
+    stats.lowConfidenceMispredicts = 4;
+    EXPECT_DOUBLE_EQ(stats.ipc(), 2.5);
+    EXPECT_DOUBLE_EQ(stats.mispredictRate(), 0.1);
+    EXPECT_DOUBLE_EQ(stats.pvn(), 0.4);
+    EXPECT_DOUBLE_EQ(stats.fetchToCommitRatio(), 1.6);
+    EXPECT_EQ(stats.uselessInstrs(), 150u);
+}
+
+TEST(Stats, ZeroDenominatorsAreSafe)
+{
+    SimStats stats;
+    EXPECT_DOUBLE_EQ(stats.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.mispredictRate(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.pvn(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.avgLivePaths(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.fractionCyclesWithPathsAtMost(3), 0.0);
+    EXPECT_DOUBLE_EQ(stats.fuUtilization(ExecClass::Mem, 0), 0.0);
+}
+
+TEST(Stats, PathHistogramFractions)
+{
+    SimStats stats;
+    stats.cycles = 10;
+    stats.livePathsHistogram = {0, 4, 3, 2, 1};
+    EXPECT_DOUBLE_EQ(stats.fractionCyclesWithPathsAtMost(1), 0.4);
+    EXPECT_DOUBLE_EQ(stats.fractionCyclesWithPathsAtMost(3), 0.9);
+    EXPECT_DOUBLE_EQ(stats.fractionCyclesWithPathsAtMost(10), 1.0);
+}
+
+} // anonymous namespace
+} // namespace polypath

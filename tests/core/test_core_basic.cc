@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hh"
+#include "sim/machine.hh"
+
+namespace polypath
+{
+namespace
+{
+
+/** Straight-line program: r3 = 42, stored to memory. */
+Program
+straightLine()
+{
+    Assembler a;
+    Addr slot = a.d64(0);
+    a.li(1, 10);
+    a.li(2, 32);
+    a.add(1, 2, 3);
+    a.li(4, slot);
+    a.stq(3, 0, 4);
+    a.halt();
+    return a.assemble("straight");
+}
+
+TEST(CoreBasic, StraightLineVerifies)
+{
+    SimResult r = simulate(straightLine(), SimConfig::monopath());
+    EXPECT_TRUE(r.verified);
+    EXPECT_TRUE(r.stats.halted);
+    EXPECT_EQ(r.stats.committedInstrs, 6u);
+    EXPECT_GT(r.stats.cycles, 0u);
+}
+
+TEST(CoreBasic, IndependentOpsReachSuperscalarIpc)
+{
+    // 256 independent adds: IPC should approach the 8-wide limit and
+    // certainly exceed 3.
+    Assembler a;
+    for (int i = 0; i < 256; ++i)
+        a.addi(31, i % 100, static_cast<u8>(1 + (i % 8)));
+    a.halt();
+    SimResult r = simulate(a.assemble("ilp"), SimConfig::monopath());
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.ipc(), 3.0);
+}
+
+TEST(CoreBasic, DependentChainLimitedToOneIpc)
+{
+    // A 300-deep dependent add chain: one instruction per cycle at best.
+    Assembler a;
+    a.li(1, 0);
+    for (int i = 0; i < 300; ++i)
+        a.addi(1, 1, 1);
+    a.halt();
+    SimResult r = simulate(a.assemble("chain"), SimConfig::monopath());
+    EXPECT_TRUE(r.verified);
+    EXPECT_LT(r.ipc(), 1.3);
+    EXPECT_GE(r.stats.cycles, 300u);
+}
+
+TEST(CoreBasic, MulLatencyIsObservable)
+{
+    // Dependent multiply chain: ~8 cycles per MUL.
+    Assembler a;
+    a.li(1, 3);
+    for (int i = 0; i < 50; ++i)
+        a.mul(1, 1, 1);
+    a.halt();
+    SimResult r = simulate(a.assemble("mulchain"), SimConfig::monopath());
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.stats.cycles, 50u * 7);
+}
+
+TEST(CoreBasic, StoreToLoadForwarding)
+{
+    // A store immediately followed by an overlapping load must forward
+    // from the store queue and still verify.
+    Assembler a;
+    Addr slot = a.d64(0);
+    a.li(1, slot);
+    a.li(2, 0x1234);
+    a.stq(2, 0, 1);
+    a.ldq(3, 0, 1);
+    a.addi(3, 1, 4);
+    a.stq(4, 8, 1);
+    a.halt();
+    SimResult r = simulate(a.assemble("fwd"), SimConfig::monopath());
+    EXPECT_TRUE(r.verified);
+    EXPECT_GE(r.stats.loadsForwarded, 1u);
+}
+
+TEST(CoreBasic, LoopIpcAndFetchRatio)
+{
+    Assembler a;
+    a.li(1, 500);
+    a.li(2, 0);
+    Label loop = a.here();
+    a.add(2, 1, 2);
+    a.addi(1, -1, 1);
+    a.bgt(1, loop);
+    a.halt();
+    SimResult r = simulate(a.assemble("loop"), SimConfig::monopath());
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(r.stats.committedBranches, 500u);
+    // A predictable loop: very few mispredictions after warmup.
+    EXPECT_LT(r.stats.mispredictRate(), 0.05);
+    // Monopath fetches at least as much as it commits.
+    EXPECT_GE(r.stats.fetchedInstrs, r.stats.committedInstrs);
+}
+
+TEST(CoreBasic, MonopathNeverDiverges)
+{
+    Assembler a;
+    a.li(1, 100);
+    Label loop = a.here();
+    a.addi(1, -1, 1);
+    a.bgt(1, loop);
+    a.halt();
+    SimResult r = simulate(a.assemble("mono"), SimConfig::monopath());
+    EXPECT_EQ(r.stats.divergences, 0u);
+    // Exactly one live path at all times.
+    EXPECT_DOUBLE_EQ(r.stats.avgLivePaths(), 1.0);
+}
+
+TEST(CoreBasic, FpLatenciesRespected)
+{
+    Assembler a;
+    Addr c = a.d64(std::bit_cast<u64>(1.000001));
+    a.li(1, c);
+    a.fld(1, 0, 1);
+    for (int i = 0; i < 20; ++i)
+        a.fmul(1, 1, 1);            // dependent chain, 4 cycles each
+    a.fst(1, 8, 1);
+    a.halt();
+    SimResult r = simulate(a.assemble("fp"), SimConfig::monopath());
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.stats.cycles, 20u * 3);
+}
+
+TEST(CoreBasic, WindowOccupancyBounded)
+{
+    SimConfig cfg = SimConfig::monopath();
+    cfg.windowSize = 16;
+    Assembler a;
+    a.li(1, 200);
+    Label loop = a.here();
+    a.addi(1, -1, 1);
+    a.bgt(1, loop);
+    a.halt();
+    InterpResult golden = runGolden(a.assemble("small_window"));
+    PolyPathCore core(cfg, a.assemble("small_window"), golden);
+    while (!core.halted()) {
+        core.tick();
+        ASSERT_LE(core.windowOccupancy(), 16u);
+    }
+}
+
+TEST(CoreBasic, StatsStringContainsIpc)
+{
+    SimResult r = simulate(straightLine(), SimConfig::monopath());
+    EXPECT_NE(r.stats.toString().find("IPC"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace polypath

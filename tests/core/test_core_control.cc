@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hh"
+#include "sim/machine.hh"
+#include "workloads/workload_util.hh"
+
+namespace polypath
+{
+namespace
+{
+
+/**
+ * Program with data-dependent (xorshift-driven) branches: essentially
+ * unpredictable, so monopath must recover repeatedly and still verify.
+ */
+Program
+randomBranches(unsigned iters)
+{
+    using namespace wreg;
+    Assembler a;
+    emitWorkloadInit(a);
+    a.li(s0, iters);
+    a.li(s1, 0x1234567);            // xorshift state
+    a.li(s2, 0);                    // checksum
+    Label loop = a.newLabel();
+    Label done = a.newLabel();
+    Label skip = a.newLabel();
+    a.bind(loop);
+    a.beq(s0, done);
+    a.addi(s0, -1, s0);
+    emitXorshift(a, s1, t0);
+    a.andi(s1, 1, t1);
+    a.beq(t1, skip);                // ~50/50 unpredictable
+    a.addi(s2, 3, s2);
+    a.bind(skip);
+    a.addi(s2, 1, s2);
+    a.br(loop);
+    a.bind(done);
+    a.halt();
+    return a.assemble("randbr");
+}
+
+TEST(CoreControl, MispredictionRecoveryVerifies)
+{
+    SimResult r = simulate(randomBranches(400), SimConfig::monopath());
+    EXPECT_TRUE(r.verified);
+    // The 50/50 branch must actually mispredict a lot.
+    EXPECT_GT(r.stats.mispredictRate(), 0.10);
+    EXPECT_GT(r.stats.recoveries, 30u);
+    // Recovery implies wasted fetch: well above 1x.
+    EXPECT_GT(r.stats.fetchToCommitRatio(), 1.05);
+}
+
+TEST(CoreControl, MispredictionPenaltyScalesWithPipelineDepth)
+{
+    Program p = randomBranches(600);
+    InterpResult golden = runGolden(p);
+
+    SimConfig shallow = SimConfig::monopath();
+    shallow.frontendStages = 3;     // 6-stage pipe
+    SimConfig deep = SimConfig::monopath();
+    deep.frontendStages = 7;        // 10-stage pipe
+
+    SimResult r_shallow = simulate(p, shallow, golden);
+    SimResult r_deep = simulate(p, deep, golden);
+    EXPECT_GT(r_deep.stats.cycles, r_shallow.stats.cycles);
+}
+
+TEST(CoreControl, CallReturnPredictedByRas)
+{
+    using namespace wreg;
+    Assembler a;
+    emitWorkloadInit(a);
+    Label fn = a.newLabel();
+    a.li(s0, 200);
+    Label loop = a.here();
+    a.jsr(ra, fn);
+    a.addi(s0, -1, s0);
+    a.bgt(s0, loop);
+    a.halt();
+    a.bind(fn);
+    a.addi(s1, 1, s1);
+    a.ret(ra);
+
+    SimResult r = simulate(a.assemble("calls"), SimConfig::monopath());
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(r.stats.committedReturns, 200u);
+    EXPECT_EQ(r.stats.mispredictedReturns, 0u);
+}
+
+TEST(CoreControl, DeepRecursionWithinRasDepthIsPerfect)
+{
+    using namespace wreg;
+    Assembler a;
+    emitWorkloadInit(a);
+    Label fib = a.newLabel();
+    a.li(a0, 12);
+    a.jsr(ra, fib);
+    a.halt();
+
+    // Naive fibonacci: heavy call/return traffic, depth <= 12.
+    a.bind(fib);
+    Label base = a.newLabel();
+    a.cmplei(a0, 1, t0);
+    a.bne(t0, base);
+    emitPrologue(a);
+    a.addi(sp, -16, sp);
+    a.stq(a0, 0, sp);
+    a.addi(a0, -1, a0);
+    a.jsr(ra, fib);
+    a.stq(v0, 8, sp);
+    a.ldq(a0, 0, sp);
+    a.addi(a0, -2, a0);
+    a.jsr(ra, fib);
+    a.ldq(t0, 8, sp);
+    a.add(v0, t0, v0);
+    a.addi(sp, 16, sp);
+    emitEpilogue(a);
+    a.bind(base);
+    a.or_(a0, zero, v0);
+    a.ret(ra);
+
+    SimResult r = simulate(a.assemble("fib"), SimConfig::monopath());
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.stats.committedReturns, 100u);
+    EXPECT_EQ(r.stats.mispredictedReturns, 0u);
+}
+
+TEST(CoreControl, RasOverflowRecoversCorrectly)
+{
+    // Recursion depth 40 exceeds the default 32-entry RAS: the machine
+    // must mispredict some returns yet still verify.
+    using namespace wreg;
+    Assembler a;
+    emitWorkloadInit(a);
+    Label fn = a.newLabel();
+    a.li(a0, 40);
+    a.jsr(ra, fn);
+    a.halt();
+    a.bind(fn);
+    Label leaf = a.newLabel();
+    a.ble(a0, leaf);
+    emitPrologue(a);
+    a.addi(a0, -1, a0);
+    a.jsr(ra, fn);
+    a.addi(v0, 1, v0);
+    emitEpilogue(a);
+    a.bind(leaf);
+    a.li(v0, 0);
+    a.ret(ra);
+
+    SimResult r = simulate(a.assemble("deep"), SimConfig::monopath());
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.stats.mispredictedReturns, 0u);
+}
+
+TEST(CoreControl, OraclePredictionEliminatesMispredicts)
+{
+    Program p = randomBranches(400);
+    InterpResult golden = runGolden(p);
+    SimResult r = simulate(p, SimConfig::oraclePrediction(), golden);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(r.stats.mispredictedBranches, 0u);
+    EXPECT_EQ(r.stats.recoveries, 0u);
+
+    SimResult mono = simulate(p, SimConfig::monopath(), golden);
+    EXPECT_GT(r.ipc(), mono.ipc());
+}
+
+TEST(CoreControl, HistoryPositionLimitThrottlesButVerifies)
+{
+    // With only 2 history positions, at most 2 branches can be in
+    // flight; the program must still run correctly.
+    SimConfig cfg = SimConfig::monopath();
+    cfg.tagWidth = 2;
+    SimResult r = simulate(randomBranches(200), cfg);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.stats.fetchStallNoCtx, 0u);
+}
+
+TEST(CoreControl, TrainAtResolutionAlsoVerifies)
+{
+    SimConfig cfg = SimConfig::monopath();
+    cfg.trainAtResolution = true;
+    SimResult r = simulate(randomBranches(300), cfg);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(CoreControl, MispredictionPenaltyMatchesArchitectedLatency)
+{
+    // A chain of always-mispredicting branches, each preceded by enough
+    // independent filler that fetch is never the bottleneck. The
+    // per-branch cost relative to an oracle machine must be on the
+    // order of the architected misprediction latency (front-end refill
+    // + resolve + redirect), not wildly above or below it.
+    using namespace wreg;
+    Assembler a;
+    emitWorkloadInit(a);
+    a.li(s0, 200);
+    a.li(s1, 0x9f91102ull);
+    Label loop = a.newLabel();
+    Label done = a.newLabel();
+    Label target = a.newLabel();
+    a.bind(loop);
+    a.beq(s0, done);
+    a.addi(s0, -1, s0);
+    emitXorshift(a, s1, t0);
+    a.andi(s1, 1, t1);
+    a.beq(t1, target);          // ~50/50: mispredicts about half the time
+    a.bind(target);
+    a.br(loop);
+    a.bind(done);
+    a.halt();
+    Program p = a.assemble("penalty");
+    InterpResult golden = runGolden(p);
+
+    SimConfig mono = SimConfig::monopath();
+    SimResult base = simulate(p, mono, golden);
+    SimResult oracle = simulate(p, SimConfig::oraclePrediction(), golden);
+    ASSERT_GT(base.stats.mispredictedBranches, 50u);
+
+    double penalty =
+        static_cast<double>(base.stats.cycles - oracle.stats.cycles) /
+        static_cast<double>(base.stats.mispredictedBranches);
+    // 5-stage front end: recovery costs roughly fetch-to-resolve (~7
+    // cycles) plus redirect; allow generous slack but catch order-of-
+    // magnitude timing regressions.
+    EXPECT_GE(penalty, 4.0);
+    EXPECT_LE(penalty, 16.0);
+
+    // A deeper front end must raise the per-mispredict penalty.
+    SimConfig deep = SimConfig::monopath();
+    deep.frontendStages = 7;
+    SimResult deep_run = simulate(p, deep, golden);
+    double deep_penalty =
+        static_cast<double>(deep_run.stats.cycles -
+                            oracle.stats.cycles) /
+        static_cast<double>(deep_run.stats.mispredictedBranches);
+    EXPECT_GT(deep_penalty, penalty);
+}
+
+TEST(CoreControl, NonSpeculativeHistoryVerifies)
+{
+    SimConfig cfg = SimConfig::monopath();
+    cfg.speculativeHistoryUpdate = false;
+    SimResult r = simulate(randomBranches(300), cfg);
+    EXPECT_TRUE(r.verified);
+}
+
+} // anonymous namespace
+} // namespace polypath

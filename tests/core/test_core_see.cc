@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hh"
+#include "sim/machine.hh"
+#include "workloads/workload_util.hh"
+
+namespace polypath
+{
+namespace
+{
+
+/** Unpredictable 50/50 branch in a loop (worst case for monopath). */
+Program
+hardBranches(unsigned iters)
+{
+    using namespace wreg;
+    Assembler a;
+    emitWorkloadInit(a);
+    a.li(s0, iters);
+    a.li(s1, 0xfeedface);
+    a.li(s2, 0);
+    Label loop = a.newLabel();
+    Label done = a.newLabel();
+    Label other = a.newLabel();
+    Label join = a.newLabel();
+    a.bind(loop);
+    a.beq(s0, done);
+    a.addi(s0, -1, s0);
+    emitXorshift(a, s1, t0);
+    a.andi(s1, 1, t1);
+    a.beq(t1, other);
+    a.addi(s2, 3, s2);
+    a.mul(s2, s1, t2);
+    a.xor_(s2, t2, s2);
+    a.br(join);
+    a.bind(other);
+    a.addi(s2, 5, s2);
+    a.srli(s2, 1, s2);
+    a.bind(join);
+    a.br(loop);
+    a.bind(done);
+    a.halt();
+    return a.assemble("hard");
+}
+
+TEST(CoreSee, EagerExecutionDivergesAndVerifies)
+{
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.confidence = ConfidenceKind::AlwaysLow;     // diverge everywhere
+    SimResult r = simulate(hardBranches(400), cfg);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.stats.divergences, 100u);
+    EXPECT_GT(r.stats.avgLivePaths(), 1.2);
+}
+
+TEST(CoreSee, OracleConfidenceBeatsMonopathOnHardBranches)
+{
+    Program p = hardBranches(600);
+    InterpResult golden = runGolden(p);
+    SimResult mono = simulate(p, SimConfig::monopath(), golden);
+    SimResult see = simulate(p, SimConfig::seeOracleConfidence(), golden);
+    EXPECT_TRUE(see.verified);
+    // Half the branches mispredict; eager execution of both sides must
+    // be clearly faster.
+    EXPECT_GT(see.ipc(), mono.ipc() * 1.10);
+    EXPECT_GT(see.stats.divergences, 0u);
+}
+
+TEST(CoreSee, SeeOrderedBetweenMonopathAndOracle)
+{
+    // The paper's Fig. 8 ordering: monopath <= SEE(oracle conf) <=
+    // oracle prediction.
+    Program p = hardBranches(600);
+    InterpResult golden = runGolden(p);
+    double mono = simulate(p, SimConfig::monopath(), golden).ipc();
+    double see = simulate(p, SimConfig::seeOracleConfidence(),
+                          golden).ipc();
+    double oracle = simulate(p, SimConfig::oraclePrediction(),
+                             golden).ipc();
+    EXPECT_LE(mono, see * 1.02);
+    EXPECT_LE(see, oracle * 1.02);
+}
+
+TEST(CoreSee, DualPathLimitsThreePaths)
+{
+    SimConfig cfg = SimConfig::dualPathOracleConfidence();
+    Program p = hardBranches(500);
+    InterpResult golden = runGolden(p);
+    PolyPathCore core(cfg, p, golden);
+    while (!core.halted()) {
+        core.tick();
+        // One divergence point => at most 3 simultaneous paths (§5.2).
+        ASSERT_LE(core.numLivePaths(), 3u);
+    }
+    EXPECT_GT(core.stats().divergences, 0u);
+}
+
+TEST(CoreSee, DualPathBetweenMonopathAndFullSee)
+{
+    Program p = hardBranches(800);
+    InterpResult golden = runGolden(p);
+    double mono = simulate(p, SimConfig::monopath(), golden).ipc();
+    double dual =
+        simulate(p, SimConfig::dualPathOracleConfidence(), golden).ipc();
+    double full = simulate(p, SimConfig::seeOracleConfidence(),
+                           golden).ipc();
+    EXPECT_GE(dual, mono * 0.98);
+    EXPECT_LE(dual, full * 1.05);
+}
+
+TEST(CoreSee, DivergedBranchPaysNoRecoveryPenalty)
+{
+    // With oracle confidence every mispredicted *correct-path* branch
+    // diverges (unless path resources were exhausted at fetch time), so
+    // architected-path recoveries are bounded by the suppressed
+    // divergences. Wrong-path branches are unknowable to any oracle and
+    // may still recover; those do not touch the architected path.
+    SimResult r =
+        simulate(hardBranches(400), SimConfig::seeOracleConfidence());
+    EXPECT_TRUE(r.verified);
+    EXPECT_LE(r.stats.recoveriesCorrectPath,
+              r.stats.divergencesSuppressed);
+    EXPECT_GT(r.stats.divergences, 100u);
+    // Recoveries overall stay rare relative to divergences.
+    EXPECT_LT(r.stats.recoveries, r.stats.divergences / 10);
+}
+
+TEST(CoreSee, SuppressedDivergenceFallsBackToPrediction)
+{
+    // maxDivergences = 0 with a low-confidence estimator behaves like
+    // monopath but counts the suppressions.
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.confidence = ConfidenceKind::AlwaysLow;
+    cfg.maxDivergences = 0;
+    SimResult r = simulate(hardBranches(300), cfg);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(r.stats.divergences, 0u);
+    EXPECT_GT(r.stats.divergencesSuppressed, 200u);
+}
+
+TEST(CoreSee, JrsSeeVerifiesOnHardBranches)
+{
+    SimResult r = simulate(hardBranches(500), SimConfig::seeJrs());
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.stats.divergences, 0u);
+    EXPECT_GT(r.stats.pvn(), 0.2);      // 50/50 branch: decent PVN
+}
+
+TEST(CoreSee, NestedDivergenceStressVerifies)
+{
+    // Two unpredictable branches per iteration with dependent state:
+    // exercises divergence-under-divergence and out-of-order
+    // resolution.
+    using namespace wreg;
+    Assembler a;
+    emitWorkloadInit(a);
+    a.li(s0, 300);
+    a.li(s1, 0xabcdef12);
+    a.li(s2, 0);
+    Label loop = a.newLabel();
+    Label done = a.newLabel();
+    Label l1 = a.newLabel();
+    Label l2 = a.newLabel();
+    a.bind(loop);
+    a.beq(s0, done);
+    a.addi(s0, -1, s0);
+    emitXorshift(a, s1, t0);
+    a.andi(s1, 1, t1);
+    a.beq(t1, l1);
+    a.addi(s2, 1, s2);
+    a.bind(l1);
+    a.andi(s1, 2, t2);
+    a.beq(t2, l2);
+    a.addi(s2, 2, s2);
+    a.bind(l2);
+    a.br(loop);
+    a.bind(done);
+    a.halt();
+
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.confidence = ConfidenceKind::AlwaysLow;
+    SimResult r = simulate(a.assemble("nested"), cfg);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.stats.divergences, 200u);
+}
+
+TEST(CoreSee, PathHistogramSumsToCycles)
+{
+    SimResult r =
+        simulate(hardBranches(300), SimConfig::seeOracleConfidence());
+    u64 total = 0;
+    for (u64 count : r.stats.livePathsHistogram)
+        total += count;
+    EXPECT_EQ(total, r.stats.cycles);
+    EXPECT_DOUBLE_EQ(r.stats.fractionCyclesWithPathsAtMost(64), 1.0);
+}
+
+TEST(CoreSee, StoresOnWrongPathsNeverReachMemory)
+{
+    // Both sides of each divergence store to distinct addresses; the
+    // final-memory verification (inside simulate) proves wrong-path
+    // stores were contained by the CTX-tagged store queue.
+    using namespace wreg;
+    Assembler a;
+    Addr buf = a.dZero(16);
+    emitWorkloadInit(a);
+    a.li(s0, 200);
+    a.li(s1, 0x777);
+    a.li(s3, buf);
+    Label loop = a.newLabel();
+    Label done = a.newLabel();
+    Label other = a.newLabel();
+    Label join = a.newLabel();
+    a.bind(loop);
+    a.beq(s0, done);
+    a.addi(s0, -1, s0);
+    emitXorshift(a, s1, t0);
+    a.andi(s1, 1, t1);
+    a.beq(t1, other);
+    a.stq(s0, 0, s3);           // taken side writes slot 0
+    a.br(join);
+    a.bind(other);
+    a.stq(s0, 8, s3);           // fall-through side writes slot 1
+    a.bind(join);
+    a.ldq(t2, 0, s3);           // reads must see only committed stores
+    a.add(s2, t2, s2);
+    a.br(loop);
+    a.bind(done);
+    a.halt();
+
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.confidence = ConfidenceKind::AlwaysLow;
+    SimResult r = simulate(a.assemble("wrongstores"), cfg);
+    EXPECT_TRUE(r.verified);
+}
+
+} // anonymous namespace
+} // namespace polypath

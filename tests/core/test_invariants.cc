@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Runs the core's deep structural self-check (resource conservation,
+ * path-tree consistency) every cycle across stressful configurations.
+ * Any leak or double-allocation of physical registers or CTX history
+ * positions, any related pair of live leaf paths, or any orphaned
+ * store-queue entry panics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+namespace polypath
+{
+namespace
+{
+
+void
+runChecked(const Program &program, SimConfig cfg)
+{
+    cfg.selfCheckInterval = 1;      // every cycle
+    SimResult r = simulate(program, cfg);
+    EXPECT_TRUE(r.verified);
+}
+
+Program
+smallWorkload(const char *name)
+{
+    WorkloadParams params;
+    params.scale = 0.02;
+    return buildWorkload(name, params);
+}
+
+TEST(Invariants, MonopathEveryCycle)
+{
+    runChecked(smallWorkload("gcc"), SimConfig::monopath());
+}
+
+TEST(Invariants, SeeJrsEveryCycle)
+{
+    runChecked(smallWorkload("go"), SimConfig::seeJrs());
+}
+
+TEST(Invariants, EagerAlwaysEveryCycle)
+{
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.confidence = ConfidenceKind::AlwaysLow;
+    runChecked(smallWorkload("compress"), cfg);
+}
+
+TEST(Invariants, RecursionWithReturnsEveryCycle)
+{
+    runChecked(smallWorkload("xlisp"), SimConfig::seeJrs());
+}
+
+TEST(Invariants, TinyResourcesEveryCycle)
+{
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.windowSize = 16;
+    cfg.tagWidth = 3;
+    cfg.numPhysRegs = 1 + 64 + 16 + 2;
+    cfg.numIntAlu0 = 1;
+    cfg.numIntAlu1 = 1;
+    cfg.numFpAdd = 1;
+    cfg.numFpMul = 1;
+    cfg.numMemPorts = 1;
+    runChecked(smallWorkload("perl"), cfg);
+}
+
+TEST(Invariants, DualPathEveryCycle)
+{
+    runChecked(smallWorkload("m88ksim"), SimConfig::dualPathJrs());
+}
+
+} // anonymous namespace
+} // namespace polypath

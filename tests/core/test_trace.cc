@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the pipeline trace subsystem: per-instruction event
+ * ordering, kill/commit exclusivity, and divergence/recovery events.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hh"
+#include "sim/machine.hh"
+#include "workloads/workload_util.hh"
+
+namespace polypath
+{
+namespace
+{
+
+struct TracedRun
+{
+    VectorTraceSink sink;
+    SimStats stats;
+};
+
+TracedRun
+runTraced(const Program &program, const SimConfig &cfg)
+{
+    TracedRun run;
+    InterpResult golden = runGolden(program);
+    PolyPathCore core(cfg, program, golden);
+    core.setTraceSink(&run.sink);
+    while (!core.halted())
+        core.tick();
+    run.stats = core.stats();
+    return run;
+}
+
+Program
+branchyProgram()
+{
+    using namespace wreg;
+    Assembler a;
+    emitWorkloadInit(a);
+    a.li(s0, 50);
+    a.li(s1, 0xbeef);
+    Label loop = a.newLabel();
+    Label skip = a.newLabel();
+    Label done = a.newLabel();
+    a.bind(loop);
+    a.beq(s0, done);
+    a.addi(s0, -1, s0);
+    emitXorshift(a, s1, t0);
+    a.andi(s1, 1, t1);
+    a.beq(t1, skip);
+    a.addi(s2, 3, s2);
+    a.bind(skip);
+    a.br(loop);
+    a.bind(done);
+    a.halt();
+    return a.assemble("traced");
+}
+
+TEST(Trace, EventNamesAreStable)
+{
+    EXPECT_STREQ(pipeEventName(PipeEvent::Fetch), "fetch");
+    EXPECT_STREQ(pipeEventName(PipeEvent::Commit), "commit");
+    EXPECT_STREQ(pipeEventName(PipeEvent::Diverge), "diverge");
+    EXPECT_STREQ(pipeEventName(PipeEvent::Recover), "recover");
+}
+
+TEST(Trace, EveryCommittedInstructionHasOrderedLifecycle)
+{
+    TracedRun run = runTraced(branchyProgram(), SimConfig::monopath());
+
+    // Build per-seq event sequences.
+    std::map<InstSeq, std::vector<PipeEvent>> by_seq;
+    std::map<InstSeq, std::vector<Cycle>> cycles;
+    for (const TraceRecord &rec : run.sink.records) {
+        by_seq[rec.seq].push_back(rec.event);
+        cycles[rec.seq].push_back(rec.cycle);
+    }
+
+    unsigned committed = 0, killed = 0;
+    for (const auto &[seq, events] : by_seq) {
+        bool was_committed = false, was_killed = false;
+        for (PipeEvent e : events) {
+            was_committed |= (e == PipeEvent::Commit);
+            was_killed |= (e == PipeEvent::Kill);
+        }
+        // An instruction either commits or is killed, never both.
+        EXPECT_FALSE(was_committed && was_killed) << "seq " << seq;
+        committed += was_committed;
+        killed += was_killed;
+        if (was_committed) {
+            // Lifecycle order: fetch -> rename -> issue -> writeback ->
+            // commit (each present exactly once).
+            std::vector<PipeEvent> want = {
+                PipeEvent::Fetch, PipeEvent::Rename, PipeEvent::Issue,
+                PipeEvent::Writeback, PipeEvent::Commit};
+            std::vector<PipeEvent> got;
+            for (PipeEvent e : events) {
+                if (e != PipeEvent::Diverge && e != PipeEvent::Recover)
+                    got.push_back(e);
+            }
+            EXPECT_EQ(got, want) << "seq " << seq;
+            // Cycles never decrease along the lifecycle.
+            for (size_t i = 1; i < cycles[seq].size(); ++i)
+                EXPECT_LE(cycles[seq][i - 1], cycles[seq][i]);
+        }
+    }
+    EXPECT_EQ(committed, run.stats.committedInstrs);
+    EXPECT_EQ(killed,
+              run.stats.killedInstrs + run.stats.killedFrontend);
+}
+
+TEST(Trace, DivergenceAndKillEventsAppearUnderEagerExecution)
+{
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.confidence = ConfidenceKind::AlwaysLow;
+    TracedRun run = runTraced(branchyProgram(), cfg);
+
+    unsigned diverges = 0, kills = 0, recovers = 0;
+    for (const TraceRecord &rec : run.sink.records) {
+        diverges += rec.event == PipeEvent::Diverge;
+        kills += rec.event == PipeEvent::Kill;
+        recovers += rec.event == PipeEvent::Recover;
+    }
+    EXPECT_EQ(diverges, run.stats.divergences);
+    EXPECT_GT(diverges, 10u);
+    EXPECT_GT(kills, 10u);
+    EXPECT_EQ(recovers,
+              run.stats.recoveries + run.stats.retRecoveries);
+}
+
+TEST(Trace, MonopathMispredictionsEmitRecoverEvents)
+{
+    TracedRun run = runTraced(branchyProgram(), SimConfig::monopath());
+    unsigned recovers = 0;
+    for (const TraceRecord &rec : run.sink.records)
+        recovers += rec.event == PipeEvent::Recover;
+    EXPECT_EQ(recovers,
+              run.stats.recoveries + run.stats.retRecoveries);
+    EXPECT_GT(recovers, 5u);
+}
+
+TEST(Trace, DetailContainsDisassemblyAndTag)
+{
+    TracedRun run = runTraced(branchyProgram(), SimConfig::monopath());
+    ASSERT_FALSE(run.sink.records.empty());
+    bool found_halt = false;
+    for (const TraceRecord &rec : run.sink.records) {
+        if (rec.event == PipeEvent::Commit &&
+            rec.detail.find("halt") != std::string::npos) {
+            found_halt = true;
+        }
+        if (rec.event == PipeEvent::Fetch) {
+            EXPECT_NE(rec.detail.find('['), std::string::npos);
+        }
+    }
+    EXPECT_TRUE(found_halt);
+}
+
+TEST(Trace, NoSinkMeansNoOverheadOrCrash)
+{
+    // Just exercises the null-sink path end to end.
+    SimResult r = simulate(branchyProgram(), SimConfig::seeJrs());
+    EXPECT_TRUE(r.verified);
+}
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "ctx/ctx_tag.hh"
+
+namespace polypath
+{
+namespace
+{
+
+TEST(CtxTag, RootIsAllInvalid)
+{
+    CtxTag root;
+    EXPECT_EQ(root.depth(), 0u);
+    EXPECT_EQ(root.toString(4), "XXXX");
+}
+
+TEST(CtxTag, SetAndClearPositions)
+{
+    CtxTag tag;
+    tag.setPosition(0, true);
+    tag.setPosition(2, false);
+    EXPECT_TRUE(tag.valid(0));
+    EXPECT_TRUE(tag.taken(0));
+    EXPECT_FALSE(tag.valid(1));
+    EXPECT_TRUE(tag.valid(2));
+    EXPECT_FALSE(tag.taken(2));
+    EXPECT_EQ(tag.toString(4), "TXNX");
+    EXPECT_EQ(tag.depth(), 2u);
+
+    tag.clearPosition(0);
+    EXPECT_EQ(tag.toString(4), "XXNX");
+    EXPECT_EQ(tag.depth(), 1u);
+}
+
+TEST(CtxTag, PaperExampleDescendants)
+{
+    // §3.2.1: T(XXX) vs TNT(X): second-level descendant.
+    CtxTag t;
+    t.setPosition(0, true);
+    CtxTag tnt = t.child(1, false).child(2, true);
+    EXPECT_TRUE(t.isAncestorOrSelf(tnt));
+    EXPECT_FALSE(tnt.isAncestorOrSelf(t));
+    EXPECT_TRUE(t.isRelated(tnt));
+
+    // TT(XX) vs TNT(X): unrelated.
+    CtxTag tt = t.child(1, true);
+    EXPECT_FALSE(tt.isAncestorOrSelf(tnt));
+    EXPECT_FALSE(tnt.isAncestorOrSelf(tt));
+    EXPECT_FALSE(tt.isRelated(tnt));
+}
+
+TEST(CtxTag, PaperExampleRotatedPositions)
+{
+    // §3.2.1: "(XX)T(X) and T(X)TN are still considered related" — the
+    // comparison is independent of history-position order.
+    CtxTag a;
+    a.setPosition(2, true);
+    CtxTag b;
+    b.setPosition(0, true);
+    b.setPosition(2, true);
+    b.setPosition(3, false);
+    EXPECT_TRUE(a.isAncestorOrSelf(b));
+    EXPECT_TRUE(a.isRelated(b));
+}
+
+TEST(CtxTag, SelfIsAncestorOfSelf)
+{
+    CtxTag tag;
+    tag.setPosition(3, true);
+    tag.setPosition(5, false);
+    EXPECT_TRUE(tag.isAncestorOrSelf(tag));
+}
+
+TEST(CtxTag, SiblingsUnrelated)
+{
+    CtxTag parent;
+    parent.setPosition(1, true);
+    CtxTag taken = parent.child(4, true);
+    CtxTag not_taken = parent.child(4, false);
+    EXPECT_FALSE(taken.isRelated(not_taken));
+    EXPECT_TRUE(parent.isAncestorOrSelf(taken));
+    EXPECT_TRUE(parent.isAncestorOrSelf(not_taken));
+}
+
+TEST(CtxTag, DirectionMismatchBreaksAncestry)
+{
+    CtxTag a;
+    a.setPosition(0, true);
+    CtxTag b;
+    b.setPosition(0, false);
+    b.setPosition(1, true);
+    EXPECT_FALSE(a.isAncestorOrSelf(b));
+}
+
+TEST(CtxTag, OnWrongSideKillPredicate)
+{
+    CtxTag taken_side;
+    taken_side.setPosition(2, true);
+    CtxTag nt_side;
+    nt_side.setPosition(2, false);
+    CtxTag unrelated;
+    unrelated.setPosition(3, true);
+
+    // Branch at position 2 resolves not-taken: the taken side dies.
+    EXPECT_TRUE(taken_side.onWrongSide(2, false));
+    EXPECT_FALSE(nt_side.onWrongSide(2, false));
+    EXPECT_FALSE(unrelated.onWrongSide(2, false));
+
+    // ... and vice versa.
+    EXPECT_FALSE(taken_side.onWrongSide(2, true));
+    EXPECT_TRUE(nt_side.onWrongSide(2, true));
+}
+
+TEST(CtxTag, ClearPositionKeepsEqualityCanonical)
+{
+    CtxTag a;
+    a.setPosition(1, true);
+    a.clearPosition(1);
+    CtxTag b;
+    EXPECT_TRUE(a == b);
+}
+
+TEST(CtxTag, CommitInvalidationPreservesDescendance)
+{
+    // After the oldest branch commits and its position is cleared
+    // everywhere, remaining relationships must be unchanged.
+    CtxTag parent;
+    parent.setPosition(0, true);
+    CtxTag child = parent.child(1, false);
+    CtxTag grandchild = child.child(2, true);
+
+    parent.clearPosition(0);
+    child.clearPosition(0);
+    grandchild.clearPosition(0);
+
+    EXPECT_TRUE(parent.isAncestorOrSelf(child));
+    EXPECT_TRUE(child.isAncestorOrSelf(grandchild));
+    EXPECT_TRUE(parent.isAncestorOrSelf(grandchild));
+}
+
+TEST(CtxTagDeath, DoubleAssignPanics)
+{
+    CtxTag tag;
+    tag.setPosition(0, true);
+    EXPECT_DEATH(tag.setPosition(0, false), "assigned twice");
+}
+
+// Property sweep: for every (ancestor-pos, dir, descendant extension)
+// combination the comparator and kill predicate behave consistently.
+class CtxTagProperty
+    : public ::testing::TestWithParam<std::tuple<int, bool, int, bool>>
+{};
+
+TEST_P(CtxTagProperty, ChildIsAlwaysDescendantNeverAncestor)
+{
+    auto [pos1, dir1, pos2, dir2] = GetParam();
+    if (pos1 == pos2)
+        return;     // positions are unique to in-flight branches
+    CtxTag base;
+    base.setPosition(pos1, dir1);
+    CtxTag child = base.child(pos2, dir2);
+
+    EXPECT_TRUE(base.isAncestorOrSelf(child));
+    EXPECT_FALSE(child.isAncestorOrSelf(base));
+    EXPECT_EQ(child.depth(), 2u);
+
+    // The kill predicate targets exactly the wrong direction.
+    EXPECT_TRUE(child.onWrongSide(pos2, !dir2));
+    EXPECT_FALSE(child.onWrongSide(pos2, dir2));
+    // The parent never matches a kill on the child's position.
+    EXPECT_FALSE(base.onWrongSide(pos2, true));
+    EXPECT_FALSE(base.onWrongSide(pos2, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CtxTagProperty,
+    ::testing::Combine(::testing::Values(0, 3, 15, 31, 63),
+                       ::testing::Bool(),
+                       ::testing::Values(1, 7, 16, 62),
+                       ::testing::Bool()));
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "ctx/hist_alloc.hh"
+
+namespace polypath
+{
+namespace
+{
+
+TEST(HistAlloc, AllocatesLeftToRight)
+{
+    HistAlloc alloc(4);
+    EXPECT_EQ(alloc.width(), 4u);
+    EXPECT_EQ(alloc.alloc(), 0);
+    EXPECT_EQ(alloc.alloc(), 1);
+    EXPECT_EQ(alloc.alloc(), 2);
+    EXPECT_EQ(alloc.alloc(), 3);
+    EXPECT_FALSE(alloc.available());
+}
+
+TEST(HistAlloc, WrapAroundReuseInVacationOrder)
+{
+    HistAlloc alloc(3);
+    alloc.alloc();              // 0
+    alloc.alloc();              // 1
+    alloc.alloc();              // 2
+    alloc.release(1);
+    alloc.release(0);
+    // Reuse follows the order positions were vacated.
+    EXPECT_EQ(alloc.alloc(), 1);
+    EXPECT_EQ(alloc.alloc(), 0);
+    EXPECT_FALSE(alloc.available());
+}
+
+TEST(HistAlloc, CountsFreePositions)
+{
+    HistAlloc alloc(8);
+    EXPECT_EQ(alloc.numFree(), 8u);
+    alloc.alloc();
+    alloc.alloc();
+    EXPECT_EQ(alloc.numFree(), 6u);
+    alloc.release(0);
+    EXPECT_EQ(alloc.numFree(), 7u);
+}
+
+TEST(HistAllocDeath, DoubleReleasePanics)
+{
+    HistAlloc alloc(4);
+    u8 pos = alloc.alloc();
+    alloc.release(pos);
+    EXPECT_DEATH(alloc.release(pos), "double release");
+}
+
+TEST(HistAllocDeath, ExhaustionPanics)
+{
+    HistAlloc alloc(2);
+    alloc.alloc();
+    alloc.alloc();
+    EXPECT_DEATH(alloc.alloc(), "none free");
+}
+
+TEST(HistAllocDeath, BadPositionPanics)
+{
+    HistAlloc alloc(4);
+    EXPECT_DEATH(alloc.release(4), "bad position");
+}
+
+// Long alloc/release churn never produces duplicates in flight.
+TEST(HistAlloc, ChurnProperty)
+{
+    HistAlloc alloc(8);
+    std::vector<u8> held;
+    u64 lcg = 12345;
+    for (int step = 0; step < 10000; ++step) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        bool do_alloc = (lcg >> 33) % 2 == 0;
+        if (do_alloc && alloc.available()) {
+            u8 pos = alloc.alloc();
+            for (u8 h : held)
+                ASSERT_NE(h, pos);
+            held.push_back(pos);
+        } else if (!held.empty()) {
+            size_t idx = (lcg >> 40) % held.size();
+            alloc.release(held[idx]);
+            held.erase(held.begin() + idx);
+        }
+        ASSERT_EQ(alloc.numFree() + held.size(), 8u);
+    }
+}
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Integration: architectural-variation sweeps (the Fig. 9-12 axes plus
+ * ablation knobs) all verify against the golden reference. This is the
+ * broad correctness net for the experiment harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+namespace polypath
+{
+namespace
+{
+
+const Program &
+testProgram()
+{
+    static Program p = [] {
+        WorkloadParams params;
+        params.scale = 0.04;
+        return buildWorkload("gcc", params);
+    }();
+    return p;
+}
+
+const InterpResult &
+golden()
+{
+    static InterpResult g = runGolden(testProgram());
+    return g;
+}
+
+class WindowSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WindowSweep, SeeVerifiesAtEveryWindowSize)
+{
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.windowSize = GetParam();
+    SimResult r = simulate(testProgram(), cfg, golden());
+    EXPECT_TRUE(r.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig10Sizes, WindowSweep,
+                         ::testing::Values(64u, 128u, 256u, 512u, 1024u));
+
+class FuSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FuSweep, SeeVerifiesAtEveryFuCount)
+{
+    unsigned n = GetParam();
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.numIntAlu0 = n;
+    cfg.numIntAlu1 = n;
+    cfg.numFpAdd = n;
+    cfg.numFpMul = n;
+    cfg.numMemPorts = n;
+    SimResult r = simulate(testProgram(), cfg, golden());
+    EXPECT_TRUE(r.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig11Counts, FuSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+class DepthSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DepthSweep, SeeVerifiesAtEveryPipelineDepth)
+{
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.frontendStages = GetParam();
+    SimResult r = simulate(testProgram(), cfg, golden());
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(cfg.totalPipelineStages(), GetParam() + 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig12Depths, DepthSweep,
+                         ::testing::Values(3u, 4u, 5u, 6u, 7u));
+
+class PredictorSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PredictorSweep, SeeVerifiesAtEveryPredictorSize)
+{
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.historyBits = GetParam();
+    SimResult r = simulate(testProgram(), cfg, golden());
+    EXPECT_TRUE(r.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig9Sizes, PredictorSweep,
+                         ::testing::Values(10u, 12u, 14u, 16u));
+
+class TagWidthSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TagWidthSweep, SeeVerifiesAtEveryTagWidth)
+{
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.tagWidth = GetParam();
+    cfg.maxActivePaths = 0;     // auto
+    SimResult r = simulate(testProgram(), cfg, golden());
+    EXPECT_TRUE(r.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TagWidthSweep,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u));
+
+class FetchPolicySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FetchPolicySweep, SeeVerifiesUnderEveryPolicy)
+{
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.fetchPolicy = static_cast<FetchPolicy>(GetParam());
+    SimResult r = simulate(testProgram(), cfg, golden());
+    EXPECT_TRUE(r.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, FetchPolicySweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(ConfigIntegration, AllSixFig8CategoriesVerifyOnGo)
+{
+    WorkloadParams params;
+    params.scale = 0.04;
+    Program p = buildWorkload("go", params);
+    InterpResult g = runGolden(p);
+    for (const SimConfig &cfg :
+         {SimConfig::monopath(), SimConfig::seeJrs(),
+          SimConfig::seeOracleConfidence(), SimConfig::oraclePrediction(),
+          SimConfig::dualPathJrs(),
+          SimConfig::dualPathOracleConfidence()}) {
+        SimResult r = simulate(p, cfg, g);
+        EXPECT_TRUE(r.verified) << cfg.categoryName();
+    }
+}
+
+TEST(ConfigIntegration, AdaptiveJrsVerifies)
+{
+    SimResult r =
+        simulate(testProgram(), SimConfig::seeAdaptiveJrs(), golden());
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(SimConfig::seeAdaptiveJrs().categoryName(),
+              "gshare/JRS-adaptive");
+}
+
+TEST(ConfigIntegration, ImperfectDcacheVerifies)
+{
+    // The cache model is timing-only; correctness must be unaffected,
+    // and misses must actually occur and slow the machine down.
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.dcache.perfect = false;
+    cfg.dcache.sizeBytes = 512;         // tiny: force misses
+    cfg.dcache.lineBytes = 32;
+    cfg.dcache.ways = 2;
+    cfg.dcache.missLatency = 24;
+    cfg.selfCheckInterval = 64;
+    SimResult slow = simulate(testProgram(), cfg, golden());
+    EXPECT_TRUE(slow.verified);
+    EXPECT_GT(slow.stats.dcacheMisses, 50u);
+
+    SimResult fast =
+        simulate(testProgram(), SimConfig::seeJrs(), golden());
+    EXPECT_GT(slow.stats.cycles, fast.stats.cycles);
+    EXPECT_EQ(fast.stats.dcacheMisses, 0u);
+}
+
+TEST(ConfigIntegration, JrsCounterWidthVariantsVerify)
+{
+    for (unsigned bits : {1u, 2u, 4u}) {
+        SimConfig cfg = SimConfig::seeJrs();
+        cfg.jrsCounterBits = bits;
+        cfg.jrsThreshold = (1u << bits) - 1;
+        SimResult r = simulate(testProgram(), cfg, golden());
+        EXPECT_TRUE(r.verified) << bits;
+    }
+}
+
+TEST(ConfigIntegration, CategoryNamesMatchPaperLegends)
+{
+    EXPECT_EQ(SimConfig::monopath().categoryName(), "gshare/monopath");
+    EXPECT_EQ(SimConfig::seeJrs().categoryName(), "gshare/JRS");
+    EXPECT_EQ(SimConfig::seeOracleConfidence().categoryName(),
+              "gshare/oracle");
+    EXPECT_EQ(SimConfig::oraclePrediction().categoryName(), "oracle");
+    EXPECT_EQ(SimConfig::dualPathJrs().categoryName(),
+              "gshare/JRS/dual-path");
+    EXPECT_EQ(SimConfig::dualPathOracleConfidence().categoryName(),
+              "gshare/oracle/dual-path");
+}
+
+TEST(ConfigIntegration, RunParallelPreservesJobOrder)
+{
+    std::vector<std::function<SimResult()>> jobs;
+    for (unsigned w : {64u, 256u}) {
+        jobs.push_back([w] {
+            SimConfig cfg = SimConfig::monopath();
+            cfg.windowSize = w;
+            return simulate(testProgram(), cfg, golden());
+        });
+    }
+    std::vector<SimResult> results = runParallel(jobs, 2);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].verified);
+    EXPECT_TRUE(results[1].verified);
+    // Larger window cannot be slower in cycles.
+    EXPECT_GE(results[0].stats.cycles, results[1].stats.cycles);
+}
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Property-based stress test: randomly generated (but terminating by
+ * construction) programs must verify against the golden interpreter
+ * under every machine configuration. This is the broadest net for
+ * subtle timing-model bugs — wrong-path containment, store forwarding,
+ * out-of-order resolution, recovery — because the programs have no
+ * structure the implementation could accidentally depend on.
+ *
+ * Program shape: an outer counted loop whose body is a random DAG of
+ * straight-line ALU ops, data-dependent forward branches, loads and
+ * stores into a private arena, and occasional calls to a small leaf
+ * function. Only forward branches appear inside the body, so
+ * termination is structural.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hh"
+#include "common/prng.hh"
+#include "sim/machine.hh"
+#include "workloads/workload_util.hh"
+
+namespace polypath
+{
+namespace
+{
+
+Program
+randomProgram(u64 seed)
+{
+    using namespace wreg;
+    Prng prng(seed);
+    Assembler a;
+
+    Addr arena = a.dZero(2048);
+    // Pre-seed the arena with random data.
+    for (int i = 0; i < 64; ++i)
+        a.d64(prng.next());
+
+    emitWorkloadInit(a);
+    Label leaf_fn = a.newLabel();
+
+    a.li(s0, 150 + prng.nextBelow(100));    // outer trip count
+    a.li(s1, arena);
+    a.li(s2, prng.next() | 1);              // xorshift state
+    a.li(s3, 0);                            // checksum
+
+    Label outer = a.newLabel();
+    Label done = a.newLabel();
+    a.bind(outer);
+    a.beq(s0, done);
+    a.addi(s0, -1, s0);
+    emitXorshift(a, s2, t0);
+
+    // Random body: 20-40 operations.
+    unsigned body_len = 20 + prng.nextBelow(21);
+    std::vector<Label> pending;             // forward-branch joins
+    std::vector<unsigned> pending_dist;
+    auto bind_due = [&]() {
+        for (size_t i = 0; i < pending.size();) {
+            if (pending_dist[i] == 0) {
+                a.bind(pending[i]);
+                pending.erase(pending.begin() + i);
+                pending_dist.erase(pending_dist.begin() + i);
+            } else {
+                --pending_dist[i];
+                ++i;
+            }
+        }
+    };
+
+    for (unsigned i = 0; i < body_len; ++i) {
+        bind_due();
+        u8 r1 = static_cast<u8>(1 + prng.nextBelow(8));     // t regs
+        u8 r2 = static_cast<u8>(1 + prng.nextBelow(8));
+        u8 rd = static_cast<u8>(1 + prng.nextBelow(8));
+        switch (prng.nextBelow(12)) {
+          case 0: a.add(r1, r2, rd); break;
+          case 1: a.sub(r1, r2, rd); break;
+          case 2: a.xor_(r1, r2, rd); break;
+          case 3: a.mul(r1, r2, rd); break;
+          case 4: a.srli(r1, static_cast<s32>(prng.nextBelow(8)), rd);
+                  break;
+          case 5: a.cmplt(r1, r2, rd); break;
+          case 6: {
+            // Load from a random arena slot (register-indexed).
+            a.andi(r1, 2040 & ~7, rd);
+            a.add(s1, rd, rd);
+            a.ldq(rd, 0, rd);
+            break;
+          }
+          case 7: {
+            // Store to a random arena slot.
+            a.andi(r1, 2040 & ~7, rd);
+            a.add(s1, rd, rd);
+            a.stq(r2, 0, rd);
+            break;
+          }
+          case 8: {
+            // Data-dependent forward branch over the next few ops.
+            Label skip = a.newLabel();
+            switch (prng.nextBelow(3)) {
+              case 0: a.beq(r1, skip); break;
+              case 1: a.blt(r1, skip); break;
+              default: a.bgt(r1, skip); break;
+            }
+            pending.push_back(skip);
+            pending_dist.push_back(1 + prng.nextBelow(5));
+            break;
+          }
+          case 9: {
+            // Mix in fresh randomness so branches stay unpredictable.
+            a.xor_(r1, s2, rd);
+            break;
+          }
+          case 10: a.jsr(ra, leaf_fn); break;
+          default: a.add(s3, r1, s3); break;
+        }
+    }
+    // Bind any branches still pending past the body.
+    for (Label &label : pending)
+        a.bind(label);
+    a.add(s3, t0, s3);
+    a.br(outer);
+
+    a.bind(done);
+    a.stq(s3, 0, s1);
+    a.halt();
+
+    // Leaf function: a little work, no stack use.
+    a.bind(leaf_fn);
+    a.addi(v0, 3, v0);
+    a.xor_(v0, a0, v0);
+    a.ret(ra);
+
+    return a.assemble("fuzz_" + std::to_string(seed));
+}
+
+class FuzzPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzPrograms, AllConfigurationsVerify)
+{
+    Program program = randomProgram(0xf00d + 977 * GetParam());
+    InterpResult golden = runGolden(program, 100'000'000);
+    ASSERT_TRUE(golden.halted);
+
+    const SimConfig configs[] = {
+        SimConfig::monopath(),
+        SimConfig::seeJrs(),
+        SimConfig::seeOracleConfidence(),
+        SimConfig::oraclePrediction(),
+        SimConfig::dualPathJrs(),
+        SimConfig::seeAdaptiveJrs(),
+        [] {
+            SimConfig cfg = SimConfig::seeJrs();
+            cfg.confidence = ConfidenceKind::AlwaysLow;  // max divergence
+            return cfg;
+        }(),
+        [] {
+            SimConfig cfg = SimConfig::seeJrs();
+            cfg.windowSize = 32;        // tight resources
+            cfg.tagWidth = 4;
+            cfg.numIntAlu0 = 1;
+            cfg.numIntAlu1 = 1;
+            cfg.numFpAdd = 1;
+            cfg.numFpMul = 1;
+            cfg.numMemPorts = 1;
+            return cfg;
+        }(),
+    };
+    for (const SimConfig &cfg : configs) {
+        SimResult r = simulate(program, cfg, golden);
+        EXPECT_TRUE(r.verified) << cfg.categoryName();
+        EXPECT_EQ(r.stats.committedInstrs, golden.instructions)
+            << cfg.categoryName();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPrograms, ::testing::Range(0, 12));
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Integration: every workload runs on the timing core and self-verifies
+ * (committed control flow against the golden trace, final registers and
+ * memory against the reference interpreter).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+namespace polypath
+{
+namespace
+{
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams p;
+    p.scale = 0.05;     // keep unit-test runtime low
+    return p;
+}
+
+class WorkloadRun : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(WorkloadRun, InterpreterCompletes)
+{
+    Program p = buildWorkload(GetParam(), smallParams());
+    InterpResult r = runGolden(p);
+    EXPECT_TRUE(r.halted);
+    EXPECT_GT(r.instructions, 1000u);
+    EXPECT_GT(r.condBranches, 50u);
+}
+
+TEST_P(WorkloadRun, MonopathVerifies)
+{
+    Program p = buildWorkload(GetParam(), smallParams());
+    SimResult r = simulate(p, SimConfig::monopath());
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.ipc(), 0.2);
+}
+
+TEST_P(WorkloadRun, SeeJrsVerifies)
+{
+    Program p = buildWorkload(GetParam(), smallParams());
+    SimResult r = simulate(p, SimConfig::seeJrs());
+    EXPECT_TRUE(r.verified);
+}
+
+TEST_P(WorkloadRun, SeeOracleConfidenceVerifies)
+{
+    Program p = buildWorkload(GetParam(), smallParams());
+    InterpResult golden = runGolden(p);
+    SimResult r = simulate(p, SimConfig::seeOracleConfidence(), golden);
+    EXPECT_TRUE(r.verified);
+    // Perfect confidence only diverges on real mispredictions, which
+    // always beats paying the full recovery penalty: SEE(oracle) must
+    // never lose to monopath on any benchmark (Fig. 8's ordering).
+    SimResult mono = simulate(p, SimConfig::monopath(), golden);
+    EXPECT_GE(r.ipc(), mono.ipc() * 0.99) << GetParam();
+}
+
+TEST_P(WorkloadRun, DeterministicAcrossBuilds)
+{
+    WorkloadParams params = smallParams();
+    Program p1 = buildWorkload(GetParam(), params);
+    Program p2 = buildWorkload(GetParam(), params);
+    EXPECT_EQ(p1.code, p2.code);
+    ASSERT_EQ(p1.dataSegments.size(), p2.dataSegments.size());
+    for (size_t i = 0; i < p1.dataSegments.size(); ++i) {
+        EXPECT_EQ(p1.dataSegments[i].first, p2.dataSegments[i].first);
+        EXPECT_EQ(p1.dataSegments[i].second, p2.dataSegments[i].second);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadRun,
+                         ::testing::Values("compress", "gcc", "perl",
+                                           "go", "m88ksim", "xlisp",
+                                           "vortex", "jpeg"));
+
+class FpWorkloadRun : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(FpWorkloadRun, VerifiesUnderMonopathAndSee)
+{
+    WorkloadParams params;
+    params.scale = 0.1;
+    Program p = buildWorkload(GetParam(), params);
+    InterpResult golden = runGolden(p);
+    EXPECT_TRUE(golden.halted);
+    SimResult mono = simulate(p, SimConfig::monopath(), golden);
+    SimResult see = simulate(p, SimConfig::seeJrs(), golden);
+    SimResult see_orc =
+        simulate(p, SimConfig::seeOracleConfidence(), golden);
+    SimResult adaptive =
+        simulate(p, SimConfig::seeAdaptiveJrs(), golden);
+    EXPECT_TRUE(mono.verified);
+    EXPECT_TRUE(see.verified);
+    EXPECT_TRUE(see_orc.verified);
+    EXPECT_TRUE(adaptive.verified);
+    // The §5.1 conjecture in its pure form: with perfect confidence,
+    // SEE never hurts predictable FP code.
+    EXPECT_GE(see_orc.ipc(), mono.ipc() * 0.99);
+    // The real JRS estimator may lose a little (low PVN); the adaptive
+    // wrapper must cap that loss.
+    EXPECT_GE(see.ipc(), mono.ipc() * 0.88);
+    EXPECT_GE(adaptive.ipc(), mono.ipc() * 0.96);
+}
+
+INSTANTIATE_TEST_SUITE_P(FpKernels, FpWorkloadRun,
+                         ::testing::Values("wave", "nbody"));
+
+TEST(FpWorkloads, ExerciseFpUnits)
+{
+    WorkloadParams params;
+    params.scale = 0.1;
+    SimResult r =
+        simulate(buildWorkload("wave", params), SimConfig::monopath());
+    EXPECT_GT(r.stats.fuIssued[static_cast<size_t>(ExecClass::FpAdd)],
+              1000u);
+    EXPECT_GT(r.stats.fuIssued[static_cast<size_t>(ExecClass::FpMul)],
+              500u);
+}
+
+TEST(WorkloadRegistry, HasAllEightInTableOrder)
+{
+    const auto &reg = workloadRegistry();
+    ASSERT_EQ(reg.size(), 8u);
+    EXPECT_EQ(reg[0].name, "compress");
+    EXPECT_EQ(reg[3].name, "go");
+    EXPECT_EQ(reg[7].name, "jpeg");
+}
+
+TEST(WorkloadRegistry, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(buildWorkload("doom"), ::testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+TEST(WorkloadRegistry, ScaleGrowsInstructionCount)
+{
+    WorkloadParams small, large;
+    small.scale = 0.05;
+    large.scale = 0.10;
+    u64 n_small =
+        runGolden(buildWorkload("compress", small)).instructions;
+    u64 n_large =
+        runGolden(buildWorkload("compress", large)).instructions;
+    EXPECT_GT(n_large, n_small * 3 / 2);
+}
+
+TEST(WorkloadCharacter, GoIsHardestVortexIsEasiest)
+{
+    // The Table 1 spectrum: go must mispredict far more than vortex.
+    WorkloadParams params;
+    params.scale = 0.1;
+    SimResult go =
+        simulate(buildWorkload("go", params), SimConfig::monopath());
+    SimResult vortex =
+        simulate(buildWorkload("vortex", params), SimConfig::monopath());
+    EXPECT_GT(go.stats.mispredictRate(),
+              3 * vortex.stats.mispredictRate());
+    EXPECT_GT(go.stats.mispredictRate(), 0.10);
+    EXPECT_LT(vortex.stats.mispredictRate(), 0.06);
+}
+
+} // anonymous namespace
+} // namespace polypath

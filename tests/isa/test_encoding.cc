@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "isa/instr.hh"
+
+namespace polypath
+{
+namespace
+{
+
+Instr
+makeR(Opcode op, u8 ra, u8 rb, u8 rc)
+{
+    Instr i;
+    i.op = op;
+    i.ra = ra;
+    i.rb = rb;
+    i.rc = rc;
+    return i;
+}
+
+Instr
+makeImm(Opcode op, u8 ra, s32 imm, u8 rc)
+{
+    Instr i;
+    i.op = op;
+    i.ra = ra;
+    i.rc = rc;
+    i.imm = imm;
+    return i;
+}
+
+TEST(Encoding, RTypeRoundTrip)
+{
+    Instr in = makeR(Opcode::ADD, 3, 7, 12);
+    Instr out = decodeInstr(encodeInstr(in));
+    EXPECT_EQ(out.op, Opcode::ADD);
+    EXPECT_EQ(out.ra, 3);
+    EXPECT_EQ(out.rb, 7);
+    EXPECT_EQ(out.rc, 12);
+}
+
+TEST(Encoding, ITypeRoundTripNegativeImm)
+{
+    Instr in = makeImm(Opcode::ADDI, 5, -32768, 9);
+    Instr out = decodeInstr(encodeInstr(in));
+    EXPECT_EQ(out.op, Opcode::ADDI);
+    EXPECT_EQ(out.ra, 5);
+    EXPECT_EQ(out.rc, 9);
+    EXPECT_EQ(out.imm, -32768);
+}
+
+TEST(Encoding, BranchDisplacementRoundTrip)
+{
+    for (s32 disp : {-(1 << 20), -1, 0, 1, (1 << 20) - 1}) {
+        Instr in;
+        in.op = Opcode::BEQ;
+        in.ra = 4;
+        in.imm = disp;
+        Instr out = decodeInstr(encodeInstr(in));
+        EXPECT_EQ(out.imm, disp) << "disp=" << disp;
+        EXPECT_EQ(out.ra, 4);
+    }
+}
+
+TEST(Encoding, JumpDisplacementRoundTrip)
+{
+    for (s32 disp : {-(1 << 25), -123456, 0, 99999, (1 << 25) - 1}) {
+        Instr in;
+        in.op = Opcode::BR;
+        in.imm = disp;
+        Instr out = decodeInstr(encodeInstr(in));
+        EXPECT_EQ(out.op, Opcode::BR);
+        EXPECT_EQ(out.imm, disp) << "disp=" << disp;
+    }
+}
+
+TEST(Encoding, ZeroWordDecodesInvalid)
+{
+    Instr out = decodeInstr(0);
+    EXPECT_EQ(out.op, Opcode::INVALID);
+    EXPECT_TRUE(out.info().isInvalid);
+}
+
+TEST(Encoding, OutOfRangeOpcodeDecodesInvalid)
+{
+    u32 word = 0x3fu << 26;     // opcode field 63
+    EXPECT_EQ(decodeInstr(word).op, Opcode::INVALID);
+}
+
+TEST(Encoding, TargetFromComputesWordRelative)
+{
+    Instr br;
+    br.op = Opcode::BEQ;
+    br.imm = 3;
+    EXPECT_EQ(br.targetFrom(0x1000), 0x1000u + 4 + 12);
+    br.imm = -1;
+    EXPECT_EQ(br.targetFrom(0x1000), 0x1000u);
+}
+
+// Exhaustive encode/decode round-trip across every opcode.
+class OpcodeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpcodeRoundTrip, AllFieldsSurvive)
+{
+    Opcode op = static_cast<Opcode>(GetParam());
+    const OpInfo &info = opInfo(op);
+    Instr in;
+    in.op = op;
+    switch (info.format) {
+      case Format::R:
+        in.ra = 31;
+        in.rb = 17;
+        in.rc = 1;
+        break;
+      case Format::I:
+      case Format::M:
+        in.ra = 30;
+        in.rc = 2;
+        // Logical immediates are zero-extended; use a value that decodes
+        // identically under both conventions when positive.
+        if (op == Opcode::ANDI || op == Opcode::ORI ||
+            op == Opcode::XORI) {
+            in.imm = 0xbeef;    // exercises the unsigned range
+        } else {
+            in.imm = -1234;
+        }
+        break;
+      case Format::B:
+        in.ra = 26;
+        in.imm = -4096;
+        break;
+      case Format::J:
+        in.imm = 1 << 20;
+        break;
+      case Format::N:
+        break;
+    }
+    Instr out = decodeInstr(encodeInstr(in));
+    EXPECT_EQ(out.op, in.op);
+    switch (info.format) {
+      case Format::R:
+        EXPECT_EQ(out.ra, in.ra);
+        EXPECT_EQ(out.rb, in.rb);
+        EXPECT_EQ(out.rc, in.rc);
+        break;
+      case Format::I:
+      case Format::M:
+        EXPECT_EQ(out.ra, in.ra);
+        EXPECT_EQ(out.rc, in.rc);
+        EXPECT_EQ(out.imm, in.imm);
+        break;
+      case Format::B:
+        EXPECT_EQ(out.ra, in.ra);
+        EXPECT_EQ(out.imm, in.imm);
+        break;
+      case Format::J:
+        EXPECT_EQ(out.imm, in.imm);
+        break;
+      case Format::N:
+        break;
+    }
+    // Disassembly never crashes and never returns empty.
+    EXPECT_FALSE(out.toString().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeRoundTrip,
+    ::testing::Range(0, static_cast<int>(Opcode::NumOpcodes)));
+
+TEST(OperandMapping, StoreDataIsSecondSource)
+{
+    Instr st = makeImm(Opcode::STQ, 4, 16, 7);  // stq r7, 16(r4)
+    EXPECT_EQ(st.src1(), intReg(4));
+    EXPECT_EQ(st.src2(), intReg(7));
+    EXPECT_EQ(st.dst(), noReg);
+}
+
+TEST(OperandMapping, LoadWritesDest)
+{
+    Instr ld = makeImm(Opcode::LDQ, 4, 16, 7);
+    EXPECT_EQ(ld.src1(), intReg(4));
+    EXPECT_EQ(ld.src2(), noReg);
+    EXPECT_EQ(ld.dst(), intReg(7));
+}
+
+TEST(OperandMapping, WritesToZeroRegisterDiscarded)
+{
+    Instr add = makeR(Opcode::ADD, 1, 2, 31);
+    EXPECT_EQ(add.dst(), noReg);
+    Instr fadd = makeR(Opcode::FADD, 1, 2, 31);
+    EXPECT_EQ(fadd.dst(), noReg);
+}
+
+TEST(OperandMapping, FpOpsUseFpNamespace)
+{
+    Instr fadd = makeR(Opcode::FADD, 1, 2, 3);
+    EXPECT_EQ(fadd.src1(), fpReg(1));
+    EXPECT_EQ(fadd.src2(), fpReg(2));
+    EXPECT_EQ(fadd.dst(), fpReg(3));
+}
+
+TEST(OperandMapping, FpCompareWritesIntReg)
+{
+    Instr fcmp = makeR(Opcode::FCMPLT, 1, 2, 3);
+    EXPECT_EQ(fcmp.src1(), fpReg(1));
+    EXPECT_EQ(fcmp.src2(), fpReg(2));
+    EXPECT_EQ(fcmp.dst(), intReg(3));
+}
+
+TEST(OperandMapping, JsrWritesLinkReadsNothing)
+{
+    Instr jsr;
+    jsr.op = Opcode::JSR;
+    jsr.ra = 26;
+    jsr.imm = 10;
+    EXPECT_EQ(jsr.src1(), noReg);
+    EXPECT_EQ(jsr.dst(), intReg(26));
+}
+
+TEST(OperandMapping, RetReadsTarget)
+{
+    Instr ret;
+    ret.op = Opcode::RET;
+    ret.ra = 26;
+    EXPECT_EQ(ret.src1(), intReg(26));
+    EXPECT_EQ(ret.dst(), noReg);
+    EXPECT_TRUE(ret.info().isReturn);
+}
+
+TEST(OperandMapping, AccessSizes)
+{
+    Instr ldq = makeImm(Opcode::LDQ, 1, 0, 2);
+    Instr ldbu = makeImm(Opcode::LDBU, 1, 0, 2);
+    EXPECT_EQ(ldq.accessSize(), 8u);
+    EXPECT_EQ(ldbu.accessSize(), 1u);
+}
+
+} // anonymous namespace
+} // namespace polypath

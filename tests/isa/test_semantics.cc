@@ -1,0 +1,199 @@
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "isa/semantics.hh"
+
+namespace polypath
+{
+namespace
+{
+
+Instr
+rop(Opcode op)
+{
+    Instr i;
+    i.op = op;
+    return i;
+}
+
+Instr
+iop(Opcode op, s32 imm)
+{
+    Instr i;
+    i.op = op;
+    i.imm = imm;
+    return i;
+}
+
+u64
+fbits(double d)
+{
+    return std::bit_cast<u64>(d);
+}
+
+double
+fval(u64 b)
+{
+    return std::bit_cast<double>(b);
+}
+
+TEST(Semantics, IntegerArithmetic)
+{
+    EXPECT_EQ(computeResult(rop(Opcode::ADD), 5, 7, 0), 12u);
+    EXPECT_EQ(computeResult(rop(Opcode::SUB), 5, 7, 0),
+              static_cast<u64>(-2));
+    EXPECT_EQ(computeResult(rop(Opcode::MUL), 1000000, 1000000, 0),
+              1000000000000ull);
+}
+
+TEST(Semantics, WrapAroundIsTwosComplement)
+{
+    EXPECT_EQ(computeResult(rop(Opcode::ADD), ~u64(0), 1, 0), 0u);
+    EXPECT_EQ(computeResult(rop(Opcode::MUL), u64(1) << 63, 2, 0), 0u);
+}
+
+TEST(Semantics, Logic)
+{
+    EXPECT_EQ(computeResult(rop(Opcode::AND), 0b1100, 0b1010, 0), 0b1000u);
+    EXPECT_EQ(computeResult(rop(Opcode::OR), 0b1100, 0b1010, 0), 0b1110u);
+    EXPECT_EQ(computeResult(rop(Opcode::XOR), 0b1100, 0b1010, 0), 0b0110u);
+}
+
+TEST(Semantics, ShiftsMaskAmountTo6Bits)
+{
+    EXPECT_EQ(computeResult(rop(Opcode::SLL), 1, 64, 0), 1u);
+    EXPECT_EQ(computeResult(rop(Opcode::SLL), 1, 65, 0), 2u);
+    EXPECT_EQ(computeResult(rop(Opcode::SRL), 0x8000000000000000ull, 63, 0),
+              1u);
+}
+
+TEST(Semantics, ArithmeticShiftKeepsSign)
+{
+    u64 minus8 = static_cast<u64>(-8);
+    EXPECT_EQ(computeResult(rop(Opcode::SRA), minus8, 1, 0),
+              static_cast<u64>(-4));
+    EXPECT_EQ(computeResult(rop(Opcode::SRL), minus8, 1, 0),
+              0x7ffffffffffffffcull);
+}
+
+TEST(Semantics, Compares)
+{
+    EXPECT_EQ(computeResult(rop(Opcode::CMPEQ), 3, 3, 0), 1u);
+    EXPECT_EQ(computeResult(rop(Opcode::CMPEQ), 3, 4, 0), 0u);
+    // Signed vs unsigned comparison of -1 and 1.
+    u64 minus1 = static_cast<u64>(-1);
+    EXPECT_EQ(computeResult(rop(Opcode::CMPLT), minus1, 1, 0), 1u);
+    EXPECT_EQ(computeResult(rop(Opcode::CMPULT), minus1, 1, 0), 0u);
+    EXPECT_EQ(computeResult(rop(Opcode::CMPLE), 4, 4, 0), 1u);
+}
+
+TEST(Semantics, Immediates)
+{
+    EXPECT_EQ(computeResult(iop(Opcode::ADDI, -5), 3, 0, 0),
+              static_cast<u64>(-2));
+    EXPECT_EQ(computeResult(iop(Opcode::ANDI, 0xff), 0x1234, 0, 0), 0x34u);
+    EXPECT_EQ(computeResult(iop(Opcode::CMPLTI, 0), static_cast<u64>(-1),
+                            0, 0),
+              1u);
+    EXPECT_EQ(computeResult(iop(Opcode::LDAH, 1), 0x10, 0, 0), 0x10010u);
+    EXPECT_EQ(computeResult(iop(Opcode::LDAH, -1), 0, 0, 0),
+              static_cast<u64>(-65536));
+}
+
+TEST(Semantics, JsrLinksReturnAddress)
+{
+    EXPECT_EQ(computeResult(rop(Opcode::JSR), 0, 0, 0x2000), 0x2004u);
+}
+
+TEST(Semantics, FloatingPoint)
+{
+    u64 r = computeResult(rop(Opcode::FADD), fbits(1.5), fbits(2.25), 0);
+    EXPECT_DOUBLE_EQ(fval(r), 3.75);
+    r = computeResult(rop(Opcode::FMUL), fbits(3.0), fbits(-2.0), 0);
+    EXPECT_DOUBLE_EQ(fval(r), -6.0);
+    r = computeResult(rop(Opcode::FDIV), fbits(1.0), fbits(4.0), 0);
+    EXPECT_DOUBLE_EQ(fval(r), 0.25);
+}
+
+TEST(Semantics, FpDivideByZeroIsTotal)
+{
+    u64 r = computeResult(rop(Opcode::FDIV), fbits(1.0), fbits(0.0), 0);
+    EXPECT_TRUE(std::isinf(fval(r)));
+    r = computeResult(rop(Opcode::FDIV), fbits(0.0), fbits(0.0), 0);
+    EXPECT_TRUE(std::isnan(fval(r)));
+}
+
+TEST(Semantics, FpCompares)
+{
+    EXPECT_EQ(computeResult(rop(Opcode::FCMPLT), fbits(1.0), fbits(2.0), 0),
+              1u);
+    EXPECT_EQ(computeResult(rop(Opcode::FCMPEQ), fbits(2.0), fbits(2.0), 0),
+              1u);
+    EXPECT_EQ(computeResult(rop(Opcode::FCMPEQ), fbits(2.0), fbits(3.0), 0),
+              0u);
+}
+
+TEST(Semantics, Conversions)
+{
+    EXPECT_DOUBLE_EQ(fval(computeResult(rop(Opcode::CVTIF),
+                                        static_cast<u64>(-7), 0, 0)),
+                     -7.0);
+    EXPECT_EQ(computeResult(rop(Opcode::CVTFI), fbits(-3.7), 0, 0),
+              static_cast<u64>(-3));
+}
+
+TEST(Semantics, CvtfiSaturatesOnNonFinite)
+{
+    double inf = std::numeric_limits<double>::infinity();
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(static_cast<s64>(computeResult(rop(Opcode::CVTFI),
+                                             fbits(inf), 0, 0)),
+              std::numeric_limits<s64>::max());
+    EXPECT_EQ(static_cast<s64>(computeResult(rop(Opcode::CVTFI),
+                                             fbits(-inf), 0, 0)),
+              std::numeric_limits<s64>::min());
+    EXPECT_EQ(computeResult(rop(Opcode::CVTFI), fbits(nan), 0, 0), 0u);
+}
+
+struct BranchCase
+{
+    Opcode op;
+    s64 value;
+    bool taken;
+};
+
+class BranchEval : public ::testing::TestWithParam<BranchCase> {};
+
+TEST_P(BranchEval, MatchesSignedComparisonWithZero)
+{
+    const BranchCase &c = GetParam();
+    Instr br;
+    br.op = c.op;
+    EXPECT_EQ(evalCondBranch(br, static_cast<u64>(c.value)), c.taken);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConditions, BranchEval,
+    ::testing::Values(
+        BranchCase{Opcode::BEQ, 0, true}, BranchCase{Opcode::BEQ, 1, false},
+        BranchCase{Opcode::BEQ, -1, false},
+        BranchCase{Opcode::BNE, 0, false}, BranchCase{Opcode::BNE, 5, true},
+        BranchCase{Opcode::BLT, -1, true}, BranchCase{Opcode::BLT, 0, false},
+        BranchCase{Opcode::BGE, 0, true}, BranchCase{Opcode::BGE, -1, false},
+        BranchCase{Opcode::BLE, 0, true}, BranchCase{Opcode::BLE, 1, false},
+        BranchCase{Opcode::BGT, 1, true}, BranchCase{Opcode::BGT, 0, false},
+        BranchCase{Opcode::BGT, -1, false}));
+
+TEST(Semantics, EffectiveAddr)
+{
+    Instr ld = iop(Opcode::LDQ, -16);
+    EXPECT_EQ(effectiveAddr(ld, 0x1000), 0xff0u);
+    Instr st = iop(Opcode::STQ, 32);
+    EXPECT_EQ(effectiveAddr(st, 0x1000), 0x1020u);
+}
+
+} // anonymous namespace
+} // namespace polypath

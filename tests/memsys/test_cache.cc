@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "memsys/cache.hh"
+
+namespace polypath
+{
+namespace
+{
+
+CacheConfig
+smallCache(unsigned ways = 2)
+{
+    CacheConfig cfg;
+    cfg.perfect = false;
+    cfg.sizeBytes = 1024;
+    cfg.lineBytes = 32;
+    cfg.ways = ways;
+    cfg.missLatency = 20;
+    return cfg;
+}
+
+TEST(Cache, PerfectAlwaysHits)
+{
+    CacheModel cache{CacheConfig{}};
+    u64 accesses = 0;
+    for (Addr addr = 0; addr < 100 * 4096; addr += 4093) {
+        EXPECT_EQ(cache.access(addr), 0u);
+        ++accesses;
+    }
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.hits(), accesses);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    CacheModel cache(smallCache());
+    EXPECT_EQ(cache.access(0x1000), 20u);       // cold miss
+    EXPECT_EQ(cache.access(0x1000), 0u);        // hit
+    EXPECT_EQ(cache.access(0x101f), 0u);        // same 32-byte line
+    EXPECT_EQ(cache.access(0x1020), 20u);       // next line
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(Cache, SetConflictEviction)
+{
+    // 1024 B / 32 B / 2 ways = 16 sets; addresses 16*32 = 512 bytes
+    // apart with the same line offset map to the same set.
+    CacheModel cache(smallCache());
+    Addr a = 0x0000, b = 0x0200, c = 0x0400;    // same set, 3 lines
+    cache.access(a);
+    cache.access(b);
+    EXPECT_TRUE(cache.contains(a));
+    EXPECT_TRUE(cache.contains(b));
+    cache.access(c);                            // evicts LRU = a
+    EXPECT_FALSE(cache.contains(a));
+    EXPECT_TRUE(cache.contains(b));
+    EXPECT_TRUE(cache.contains(c));
+}
+
+TEST(Cache, LruReplacement)
+{
+    CacheModel cache(smallCache());
+    Addr a = 0x0000, b = 0x0200, c = 0x0400;
+    cache.access(a);
+    cache.access(b);
+    cache.access(a);        // a is now most recently used
+    cache.access(c);        // evicts b, not a
+    EXPECT_TRUE(cache.contains(a));
+    EXPECT_FALSE(cache.contains(b));
+    EXPECT_TRUE(cache.contains(c));
+}
+
+TEST(Cache, DirectMappedWorks)
+{
+    CacheModel cache(smallCache(1));
+    Addr a = 0x0000, b = 0x0400;    // 1024 apart: same set in 32 sets
+    cache.access(a);
+    cache.access(b);
+    EXPECT_FALSE(cache.contains(a));
+    EXPECT_TRUE(cache.contains(b));
+}
+
+TEST(Cache, WorkingSetFitsAfterWarmup)
+{
+    CacheModel cache(smallCache());
+    // 1 KiB working set touched twice: second pass all hits.
+    for (Addr addr = 0; addr < 1024; addr += 8)
+        cache.access(addr);
+    u64 misses_after_warmup = cache.misses();
+    for (Addr addr = 0; addr < 1024; addr += 8)
+        cache.access(addr);
+    EXPECT_EQ(cache.misses(), misses_after_warmup);
+}
+
+TEST(CacheDeath, BadGeometryIsFatal)
+{
+    CacheConfig cfg = smallCache();
+    cfg.lineBytes = 24;             // not a power of two
+    EXPECT_EXIT(CacheModel cache(cfg), ::testing::ExitedWithCode(1),
+                "line");
+}
+
+} // anonymous namespace
+} // namespace polypath

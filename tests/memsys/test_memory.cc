@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "memsys/memory.hh"
+
+namespace polypath
+{
+namespace
+{
+
+TEST(SparseMemory, UntouchedReadsZero)
+{
+    SparseMemory mem;
+    EXPECT_EQ(mem.readByte(0), 0u);
+    EXPECT_EQ(mem.read64(0xdeadbeef000ull), 0u);
+    EXPECT_EQ(mem.numPages(), 0u);
+}
+
+TEST(SparseMemory, ByteRoundTrip)
+{
+    SparseMemory mem;
+    mem.writeByte(0x1234, 0xab);
+    EXPECT_EQ(mem.readByte(0x1234), 0xabu);
+    EXPECT_EQ(mem.readByte(0x1235), 0u);
+    EXPECT_EQ(mem.numPages(), 1u);
+}
+
+TEST(SparseMemory, LittleEndianMultiByte)
+{
+    SparseMemory mem;
+    mem.write(0x100, 0x1122334455667788ull, 8);
+    EXPECT_EQ(mem.readByte(0x100), 0x88u);
+    EXPECT_EQ(mem.readByte(0x107), 0x11u);
+    EXPECT_EQ(mem.read(0x100, 4), 0x55667788u);
+    EXPECT_EQ(mem.read64(0x100), 0x1122334455667788ull);
+}
+
+TEST(SparseMemory, CrossPageAccess)
+{
+    SparseMemory mem;
+    Addr boundary = SparseMemory::pageBytes - 4;
+    mem.write64(boundary, 0x0102030405060708ull);
+    EXPECT_EQ(mem.read64(boundary), 0x0102030405060708ull);
+    EXPECT_EQ(mem.numPages(), 2u);
+}
+
+TEST(SparseMemory, HighAddressesWork)
+{
+    SparseMemory mem;
+    Addr wild = 0xfedcba9876543210ull;   // wrong-path style address
+    mem.write64(wild, 42);
+    EXPECT_EQ(mem.read64(wild), 42u);
+}
+
+TEST(SparseMemory, ContentsEqualIgnoresZeroPages)
+{
+    SparseMemory a, b;
+    a.write64(0x1000, 7);
+    b.write64(0x1000, 7);
+    // Materialise an extra all-zero page in a only.
+    a.writeByte(0x99000, 1);
+    a.writeByte(0x99000, 0);
+    EXPECT_TRUE(a.contentsEqual(b));
+    EXPECT_TRUE(b.contentsEqual(a));
+}
+
+TEST(SparseMemory, ContentsEqualDetectsDifferences)
+{
+    SparseMemory a, b;
+    a.write64(0x1000, 7);
+    b.write64(0x1000, 8);
+    EXPECT_FALSE(a.contentsEqual(b));
+
+    SparseMemory c, d;
+    c.write64(0x2000, 1);
+    // d untouched.
+    EXPECT_FALSE(c.contentsEqual(d));
+    EXPECT_FALSE(d.contentsEqual(c));
+}
+
+TEST(SparseMemoryDeath, OversizedAccessPanics)
+{
+    SparseMemory mem;
+    EXPECT_DEATH(mem.read(0, 9), "size");
+    EXPECT_DEATH(mem.write(0, 0, 0), "size");
+}
+
+} // anonymous namespace
+} // namespace polypath

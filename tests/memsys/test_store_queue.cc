@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "ctx/ctx_tag.hh"
+#include "memsys/store_queue.hh"
+
+namespace polypath
+{
+namespace
+{
+
+class StoreQueueTest : public ::testing::Test
+{
+  protected:
+    StoreQueue sq;
+    SparseMemory mem;
+    CtxTag root;
+
+    void
+    addStore(InstSeq seq, const CtxTag &tag, Addr addr, u64 data,
+             u8 size = 8)
+    {
+        sq.insert(seq, tag, size);
+        sq.setAddress(seq, addr);
+        sq.setData(seq, data);
+    }
+};
+
+TEST_F(StoreQueueTest, ForwardsFullOverlap)
+{
+    addStore(10, root, 0x100, 0xdeadbeef);
+    LoadQueryResult r = sq.queryLoad(20, root, 0x100, 8, mem);
+    EXPECT_EQ(r.status, LoadQueryStatus::Ready);
+    EXPECT_TRUE(r.forwarded);
+    EXPECT_EQ(r.value, 0xdeadbeefull);
+}
+
+TEST_F(StoreQueueTest, LoadOlderThanStoreIgnoresIt)
+{
+    addStore(10, root, 0x100, 0xdeadbeef);
+    LoadQueryResult r = sq.queryLoad(5, root, 0x100, 8, mem);
+    EXPECT_EQ(r.status, LoadQueryStatus::Ready);
+    EXPECT_FALSE(r.forwarded);
+    EXPECT_EQ(r.value, 0u);
+}
+
+TEST_F(StoreQueueTest, YoungestMatchingStoreWins)
+{
+    addStore(10, root, 0x100, 1);
+    addStore(11, root, 0x100, 2);
+    LoadQueryResult r = sq.queryLoad(20, root, 0x100, 8, mem);
+    EXPECT_EQ(r.value, 2u);
+}
+
+TEST_F(StoreQueueTest, UnknownAddressBlocks)
+{
+    sq.insert(10, root, 8);     // address not yet published
+    LoadQueryResult r = sq.queryLoad(20, root, 0x100, 8, mem);
+    EXPECT_EQ(r.status, LoadQueryStatus::MustWait);
+    sq.setAddress(10, 0x900);   // disjoint: load may now proceed
+    r = sq.queryLoad(20, root, 0x100, 8, mem);
+    EXPECT_EQ(r.status, LoadQueryStatus::Ready);
+}
+
+TEST_F(StoreQueueTest, KnownAddressUnknownDataBlocksOnlyOverlap)
+{
+    sq.insert(10, root, 8);
+    sq.setAddress(10, 0x100);
+    // Overlapping load must wait for the data.
+    EXPECT_EQ(sq.queryLoad(20, root, 0x100, 8, mem).status,
+              LoadQueryStatus::MustWait);
+    // Disjoint load sails past.
+    EXPECT_EQ(sq.queryLoad(20, root, 0x200, 8, mem).status,
+              LoadQueryStatus::Ready);
+}
+
+TEST_F(StoreQueueTest, PartialOverlapComposesBytes)
+{
+    mem.write64(0x100, 0x1111111111111111ull);
+    addStore(10, root, 0x100, 0xab, 1);     // one byte at 0x100
+    LoadQueryResult r = sq.queryLoad(20, root, 0x100, 8, mem);
+    EXPECT_EQ(r.status, LoadQueryStatus::Ready);
+    EXPECT_TRUE(r.forwarded);
+    EXPECT_EQ(r.value, 0x11111111111111abull);
+}
+
+TEST_F(StoreQueueTest, TwoPartialStoresCompose)
+{
+    addStore(10, root, 0x100, 0xaa, 1);
+    addStore(11, root, 0x101, 0xbb, 1);
+    LoadQueryResult r = sq.queryLoad(20, root, 0x100, 8, mem);
+    EXPECT_EQ(r.value, 0xbbaaull);
+}
+
+TEST_F(StoreQueueTest, ByteLoadInsideQuadStore)
+{
+    addStore(10, root, 0x100, 0x8877665544332211ull, 8);
+    LoadQueryResult r = sq.queryLoad(20, root, 0x103, 1, mem);
+    EXPECT_EQ(r.value, 0x44u);
+}
+
+// --- CTX path filtering (§3.2.4) -----------------------------------
+
+TEST_F(StoreQueueTest, ForwardsFromAncestorPath)
+{
+    CtxTag parent;
+    parent.setPosition(0, true);
+    CtxTag child = parent.child(1, false);
+    addStore(10, parent, 0x100, 77);
+    LoadQueryResult r = sq.queryLoad(20, child, 0x100, 8, mem);
+    EXPECT_TRUE(r.forwarded);
+    EXPECT_EQ(r.value, 77u);
+}
+
+TEST_F(StoreQueueTest, NeverForwardsFromSiblingPath)
+{
+    CtxTag parent;
+    CtxTag taken = parent.child(0, true);
+    CtxTag not_taken = parent.child(0, false);
+    addStore(10, taken, 0x100, 77);
+    LoadQueryResult r = sq.queryLoad(20, not_taken, 0x100, 8, mem);
+    EXPECT_EQ(r.status, LoadQueryStatus::Ready);
+    EXPECT_FALSE(r.forwarded);
+    EXPECT_EQ(r.value, 0u);     // memory, not the sibling's store
+}
+
+TEST_F(StoreQueueTest, SiblingUnknownAddressDoesNotBlock)
+{
+    CtxTag parent;
+    CtxTag taken = parent.child(0, true);
+    CtxTag not_taken = parent.child(0, false);
+    sq.insert(10, taken, 8);    // unknown address on the other path
+    EXPECT_EQ(sq.queryLoad(20, not_taken, 0x100, 8, mem).status,
+              LoadQueryStatus::Ready);
+}
+
+TEST_F(StoreQueueTest, DescendantStoreInvisibleToAncestorLoad)
+{
+    CtxTag parent;
+    CtxTag child = parent.child(0, true);
+    addStore(10, child, 0x100, 77);
+    // An (older... younger seq but ancestor path) load on the parent
+    // path must not see the child's store even with a younger seq.
+    LoadQueryResult r = sq.queryLoad(20, parent, 0x100, 8, mem);
+    EXPECT_FALSE(r.forwarded);
+}
+
+// --- lifecycle ------------------------------------------------------
+
+TEST_F(StoreQueueTest, CommitWritesMemoryInOrder)
+{
+    addStore(10, root, 0x100, 1);
+    addStore(11, root, 0x108, 2);
+    sq.commit(10, mem);
+    EXPECT_EQ(mem.read64(0x100), 1u);
+    EXPECT_EQ(mem.read64(0x108), 0u);
+    sq.commit(11, mem);
+    EXPECT_EQ(mem.read64(0x108), 2u);
+    EXPECT_TRUE(sq.empty());
+}
+
+TEST_F(StoreQueueTest, KillRemovesEntry)
+{
+    addStore(10, root, 0x100, 1);
+    sq.kill(10);
+    EXPECT_TRUE(sq.empty());
+    EXPECT_FALSE(sq.queryLoad(20, root, 0x100, 8, mem).forwarded);
+}
+
+TEST_F(StoreQueueTest, KillWrongPathDropsOnlyWrongSide)
+{
+    CtxTag parent;
+    CtxTag taken = parent.child(3, true);
+    CtxTag not_taken = parent.child(3, false);
+    addStore(10, parent, 0x100, 1);
+    addStore(11, taken, 0x108, 2);
+    addStore(12, not_taken, 0x110, 3);
+    unsigned killed = sq.killWrongPath(3, /*actual_taken=*/false);
+    EXPECT_EQ(killed, 1u);
+    EXPECT_EQ(sq.size(), 2u);
+    EXPECT_NE(sq.find(10), nullptr);
+    EXPECT_EQ(sq.find(11), nullptr);
+    EXPECT_NE(sq.find(12), nullptr);
+}
+
+TEST_F(StoreQueueTest, CommitPositionClearsTags)
+{
+    CtxTag parent;
+    CtxTag child = parent.child(2, true);
+    addStore(10, child, 0x100, 1);
+    sq.commitPosition(2);
+    // After invalidation the entry's tag no longer matches kills on
+    // position 2.
+    EXPECT_EQ(sq.killWrongPath(2, false), 0u);
+    EXPECT_EQ(sq.size(), 1u);
+}
+
+TEST_F(StoreQueueTest, DeathOnOutOfOrderCommit)
+{
+    addStore(10, root, 0x100, 1);
+    addStore(11, root, 0x108, 2);
+    EXPECT_DEATH(sq.commit(11, mem), "out of order");
+}
+
+} // anonymous namespace
+} // namespace polypath

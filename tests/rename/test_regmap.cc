@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "rename/phys_regfile.hh"
+#include "rename/regmap.hh"
+
+namespace polypath
+{
+namespace
+{
+
+TEST(PhysRegFile, ZeroRegisterProperties)
+{
+    PhysRegFile prf(16);
+    EXPECT_TRUE(prf.ready(zeroPhysReg));
+    EXPECT_EQ(prf.value(zeroPhysReg), 0u);
+    // Releasing the zero register is a no-op, never corrupts the pool.
+    unsigned before = prf.numFree();
+    prf.release(zeroPhysReg);
+    EXPECT_EQ(prf.numFree(), before);
+}
+
+TEST(PhysRegFile, AllocStartsNotReady)
+{
+    PhysRegFile prf(16);
+    PhysReg r = prf.alloc();
+    EXPECT_NE(r, zeroPhysReg);
+    EXPECT_FALSE(prf.ready(r));
+    prf.setValue(r, 99);
+    EXPECT_TRUE(prf.ready(r));
+    EXPECT_EQ(prf.value(r), 99u);
+}
+
+TEST(PhysRegFile, AllocReleaseRoundTrip)
+{
+    PhysRegFile prf(4);     // regs 1..3 allocatable
+    EXPECT_EQ(prf.numFree(), 3u);
+    PhysReg a = prf.alloc();
+    PhysReg b = prf.alloc();
+    PhysReg c = prf.alloc();
+    EXPECT_FALSE(prf.hasFree());
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    prf.release(b);
+    EXPECT_EQ(prf.alloc(), b);
+}
+
+TEST(PhysRegFile, ReallocResetsReadiness)
+{
+    PhysRegFile prf(4);
+    PhysReg r = prf.alloc();
+    prf.setValue(r, 7);
+    prf.release(r);
+    // Cycle through to get the same register back.
+    PhysReg x = prf.alloc();
+    PhysReg y = prf.alloc();
+    PhysReg z = prf.alloc();
+    EXPECT_TRUE(x == r || y == r || z == r);
+    for (PhysReg reg : {x, y, z}) {
+        if (reg == r) {
+            EXPECT_FALSE(prf.ready(reg));
+        }
+    }
+}
+
+TEST(PhysRegFileDeath, ExhaustionPanics)
+{
+    PhysRegFile prf(2);
+    prf.alloc();
+    EXPECT_DEATH(prf.alloc(), "exhausted");
+}
+
+TEST(PhysRegFileDeath, WritingZeroRegPanics)
+{
+    PhysRegFile prf(4);
+    EXPECT_DEATH(prf.setValue(zeroPhysReg, 1), "constant-zero");
+}
+
+TEST(RegMap, FreshMapReadsZeroPhys)
+{
+    RegMap map;
+    for (LogReg r = 0; r < numLogRegs; ++r)
+        EXPECT_EQ(map.lookup(r), zeroPhysReg);
+    EXPECT_EQ(map.lookup(noReg), invalidPhysReg);
+}
+
+TEST(RegMap, RenameReturnsOldMapping)
+{
+    RegMap map;
+    EXPECT_EQ(map.rename(5, 10), zeroPhysReg);
+    EXPECT_EQ(map.lookup(5), 10);
+    EXPECT_EQ(map.rename(5, 11), 10);
+    EXPECT_EQ(map.lookup(5), 11);
+}
+
+TEST(RegMap, CheckpointIsIndependentCopy)
+{
+    RegMap map;
+    map.rename(3, 7);
+    RegMap checkpoint = map;        // branch checkpoint (§3.1)
+    map.rename(3, 9);
+    map.rename(4, 12);
+    EXPECT_EQ(map.lookup(3), 9);
+    EXPECT_EQ(checkpoint.lookup(3), 7);
+    EXPECT_EQ(checkpoint.lookup(4), zeroPhysReg);
+
+    // Misprediction recovery: restore from the checkpoint.
+    map = checkpoint;
+    EXPECT_EQ(map.lookup(3), 7);
+    EXPECT_EQ(map.lookup(4), zeroPhysReg);
+}
+
+TEST(RegMap, DivergenceClonesStayIndependent)
+{
+    // §3.2.5: one RegMap copy per successor path of a divergent branch.
+    RegMap parent;
+    parent.rename(1, 5);
+    RegMap taken_path = parent;
+    RegMap nt_path = parent;
+    taken_path.rename(1, 6);
+    nt_path.rename(1, 7);
+    EXPECT_EQ(taken_path.lookup(1), 6);
+    EXPECT_EQ(nt_path.lookup(1), 7);
+    EXPECT_EQ(parent.lookup(1), 5);
+}
+
+TEST(RegMapDeath, ZeroRegisterRenamePanics)
+{
+    RegMap map;
+    EXPECT_DEATH(map.rename(intZeroReg, 3), "bad logical reg");
+    EXPECT_DEATH(map.rename(fpZeroReg, 3), "bad logical reg");
+    EXPECT_DEATH(map.rename(noReg, 3), "bad logical reg");
+}
+
+} // anonymous namespace
+} // namespace polypath

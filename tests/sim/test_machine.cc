@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests of the simulation-driver layer: golden-run reuse, verification
+ * controls, cycle caps, result metadata, and per-branch profiling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hh"
+#include "sim/machine.hh"
+#include "workloads/workload_util.hh"
+
+namespace polypath
+{
+namespace
+{
+
+Program
+countdown(unsigned n)
+{
+    Assembler a;
+    a.li(1, static_cast<u64>(n));
+    Label loop = a.here();
+    a.addi(1, -1, 1);
+    a.bgt(1, loop);
+    a.halt();
+    return a.assemble("countdown");
+}
+
+TEST(Machine, GoldenRunIsReusableAcrossConfigs)
+{
+    Program p = countdown(200);
+    InterpResult golden = runGolden(p);
+    SimResult a = simulate(p, SimConfig::monopath(), golden);
+    SimResult b = simulate(p, SimConfig::seeJrs(), golden);
+    EXPECT_TRUE(a.verified);
+    EXPECT_TRUE(b.verified);
+    EXPECT_EQ(a.stats.committedInstrs, golden.instructions);
+    EXPECT_EQ(b.stats.committedInstrs, golden.instructions);
+}
+
+TEST(Machine, ResultCarriesMetadata)
+{
+    SimResult r = simulate(countdown(50), SimConfig::seeJrs());
+    EXPECT_EQ(r.workload, "countdown");
+    EXPECT_EQ(r.category, "gshare/JRS");
+    EXPECT_TRUE(r.stats.halted);
+    EXPECT_GT(r.ipc(), 0.0);
+}
+
+TEST(Machine, VerificationCanBeDisabled)
+{
+    SimConfig cfg = SimConfig::monopath();
+    cfg.verify = false;
+    SimResult r = simulate(countdown(50), cfg);
+    EXPECT_FALSE(r.verified);       // not checked, reported as such
+    EXPECT_TRUE(r.stats.halted);
+}
+
+TEST(Machine, DeterministicCycleCounts)
+{
+    Program p = countdown(500);
+    InterpResult golden = runGolden(p);
+    SimResult a = simulate(p, SimConfig::seeJrs(), golden);
+    SimResult b = simulate(p, SimConfig::seeJrs(), golden);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.fetchedInstrs, b.stats.fetchedInstrs);
+    EXPECT_EQ(a.stats.divergences, b.stats.divergences);
+}
+
+TEST(MachineDeath, CycleCapIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            SimConfig cfg = SimConfig::monopath();
+            cfg.maxCycles = 10;     // absurdly tight
+            simulate(countdown(100000), cfg);
+        },
+        ::testing::ExitedWithCode(1), "exceeded");
+}
+
+TEST(Machine, BranchProfilesMatchAggregateStats)
+{
+    using namespace wreg;
+    Assembler a;
+    emitWorkloadInit(a);
+    a.li(s0, 300);
+    a.li(s1, 0x777);
+    Label loop = a.newLabel();
+    Label skip = a.newLabel();
+    Label done = a.newLabel();
+    a.bind(loop);
+    a.beq(s0, done);
+    a.addi(s0, -1, s0);
+    emitXorshift(a, s1, t0);
+    a.andi(s1, 1, t1);
+    a.beq(t1, skip);
+    a.addi(s2, 1, s2);
+    a.bind(skip);
+    a.br(loop);
+    a.bind(done);
+    a.halt();
+    Program p = a.assemble("profiled");
+
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.profileBranches = true;
+    InterpResult golden = runGolden(p);
+    PolyPathCore core(cfg, p, golden);
+    while (!core.halted())
+        core.tick();
+
+    u64 execs = 0, mispred = 0, low = 0, diverged = 0;
+    for (const auto &[pc, prof] : core.branchProfiles()) {
+        execs += prof.execs;
+        mispred += prof.mispredicts;
+        low += prof.lowConfidence;
+        diverged += prof.divergences;
+    }
+    const SimStats &stats = core.stats();
+    EXPECT_EQ(execs, stats.committedBranches);
+    EXPECT_EQ(mispred, stats.mispredictedBranches);
+    EXPECT_EQ(low, stats.lowConfidenceBranches);
+    EXPECT_GT(diverged, 0u);
+    // Exactly two static conditional branches in this program.
+    EXPECT_EQ(core.branchProfiles().size(), 2u);
+}
+
+TEST(Machine, ProfilingOffByDefault)
+{
+    Program p = countdown(50);
+    InterpResult golden = runGolden(p);
+    PolyPathCore core(SimConfig::seeJrs(), p, golden);
+    while (!core.halted())
+        core.tick();
+    EXPECT_TRUE(core.branchProfiles().empty());
+}
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ppdis — disassemble a bundled workload (or an assembled .s file) to
+ * reassemblable PPR source on stdout.
+ *
+ *     ppdis --workload compress [--scale 0.1]
+ *     ppdis program.s              # assemble, then dump (round trip)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "asmkit/disasm.hh"
+#include "asmkit/parser.hh"
+#include "common/logging.hh"
+#include "workloads/workloads.hh"
+
+using namespace polypath;
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::string source_path;
+    double scale = 1.0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--workload" && i + 1 < argc) {
+            workload = argv[++i];
+        } else if (arg == "--scale" && i + 1 < argc) {
+            scale = std::atof(argv[++i]);
+        } else if (arg.rfind("--", 0) != 0) {
+            source_path = arg;
+        } else {
+            std::fprintf(stderr,
+                         "usage: ppdis --workload NAME [--scale X]\n"
+                         "       ppdis program.s\n");
+            return 1;
+        }
+    }
+
+    Program program;
+    if (!workload.empty()) {
+        WorkloadParams params;
+        params.scale = scale;
+        program = buildWorkload(workload, params);
+    } else if (!source_path.empty()) {
+        std::ifstream in(source_path);
+        fatal_if(!in, "cannot open '%s'", source_path.c_str());
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        program = assembleText(buffer.str(), source_path);
+    } else {
+        fatal("nothing to disassemble (see usage)");
+    }
+
+    std::fputs(disassembleProgram(program).c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * ppsim — the command-line PolyPath simulator.
+ *
+ * Runs a PPR assembly file or a bundled workload on a configurable
+ * machine and prints the run statistics.
+ *
+ *     ppsim program.s
+ *     ppsim --workload go --scale 0.5
+ *     ppsim --config see --window 128 --tag-width 8 program.s
+ *     ppsim --config monopath --trace program.s
+ *     ppsim --compare program.s            # all main categories
+ *
+ * Options:
+ *     --workload NAME     run a bundled benchmark instead of a file
+ *     --scale X           workload scale factor (default 1.0)
+ *     --config NAME       monopath | see | see-oracle | oracle |
+ *                         dual-path | see-adaptive   (default: see)
+ *     --window N          instruction window entries
+ *     --tag-width N       CTX history positions
+ *     --frontend N        front-end stages (total pipe = N + 3)
+ *     --history-bits N    predictor/confidence table size (log2)
+ *     --predictor NAME    gshare | bimodal | combining | taken
+ *     --fu N              functional units of each type
+ *     --imperfect-dcache  enable the D-cache timing model
+ *     --trace             print every pipeline event
+ *     --compare           run all six paper categories and summarise
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asmkit/parser.hh"
+#include "common/logging.hh"
+#include "common/stats_util.hh"
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+using namespace polypath;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: ppsim [options] [program.s]\n"
+                 "       ppsim --workload NAME [options]\n"
+                 "run 'ppsim --help' sources for the option list\n");
+    std::exit(1);
+}
+
+SimConfig
+namedConfig(const std::string &name)
+{
+    if (name == "monopath")
+        return SimConfig::monopath();
+    if (name == "see")
+        return SimConfig::seeJrs();
+    if (name == "see-oracle")
+        return SimConfig::seeOracleConfidence();
+    if (name == "oracle")
+        return SimConfig::oraclePrediction();
+    if (name == "dual-path")
+        return SimConfig::dualPathJrs();
+    if (name == "see-adaptive")
+        return SimConfig::seeAdaptiveJrs();
+    fatal("unknown --config '%s'", name.c_str());
+}
+
+PredictorKind
+namedPredictor(const std::string &name)
+{
+    if (name == "gshare")
+        return PredictorKind::Gshare;
+    if (name == "bimodal")
+        return PredictorKind::Bimodal;
+    if (name == "combining")
+        return PredictorKind::Combining;
+    if (name == "taken")
+        return PredictorKind::AlwaysTaken;
+    fatal("unknown --predictor '%s'", name.c_str());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::string source_path;
+    double scale = 1.0;
+    SimConfig cfg = SimConfig::seeJrs();
+    bool trace = false;
+    bool compare = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs an argument", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--scale") {
+            scale = std::atof(next().c_str());
+        } else if (arg == "--config") {
+            // Preserve structural overrides given before --config by
+            // applying the preset first, so order: preset then knobs.
+            cfg = namedConfig(next());
+        } else if (arg == "--window") {
+            cfg.windowSize = std::atoi(next().c_str());
+        } else if (arg == "--tag-width") {
+            cfg.tagWidth = std::atoi(next().c_str());
+        } else if (arg == "--frontend") {
+            cfg.frontendStages = std::atoi(next().c_str());
+        } else if (arg == "--history-bits") {
+            cfg.historyBits = std::atoi(next().c_str());
+        } else if (arg == "--predictor") {
+            cfg.predictor = namedPredictor(next());
+        } else if (arg == "--fu") {
+            unsigned n = std::atoi(next().c_str());
+            cfg.numIntAlu0 = cfg.numIntAlu1 = n;
+            cfg.numFpAdd = cfg.numFpMul = cfg.numMemPorts = n;
+        } else if (arg == "--imperfect-dcache") {
+            cfg.dcache.perfect = false;
+        } else if (arg == "--trace") {
+            trace = true;
+        } else if (arg == "--profile") {
+            cfg.profileBranches = true;
+        } else if (arg == "--compare") {
+            compare = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+        } else {
+            source_path = arg;
+        }
+    }
+
+    // --- load the program ----------------------------------------------
+    Program program;
+    if (!workload.empty()) {
+        WorkloadParams params;
+        params.scale = scale;
+        program = buildWorkload(workload, params);
+    } else if (!source_path.empty()) {
+        std::ifstream in(source_path);
+        fatal_if(!in, "cannot open '%s'", source_path.c_str());
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        program = assembleText(buffer.str(), source_path);
+    } else {
+        usage();
+    }
+
+    std::printf("program '%s': %zu static instructions\n",
+                program.name.c_str(), program.codeSize());
+    InterpResult golden = runGolden(program);
+    std::printf("reference: %llu dynamic instructions, %llu branches, "
+                "%llu returns\n\n",
+                static_cast<unsigned long long>(golden.instructions),
+                static_cast<unsigned long long>(golden.condBranches),
+                static_cast<unsigned long long>(golden.trace->size() -
+                                                golden.condBranches));
+
+    if (compare) {
+        double mono = 0;
+        for (const SimConfig &category :
+             {SimConfig::monopath(), SimConfig::dualPathJrs(),
+              SimConfig::seeJrs(), SimConfig::seeAdaptiveJrs(),
+              SimConfig::seeOracleConfidence(),
+              SimConfig::oraclePrediction()}) {
+            SimResult r = simulate(program, category, golden);
+            if (category.categoryName() == "gshare/monopath")
+                mono = r.ipc();
+            std::printf("%-24s IPC %6.3f  (%+6.1f%%)  cycles %llu\n",
+                        r.category.c_str(), r.ipc(),
+                        mono > 0 ? percentChange(mono, r.ipc()) : 0.0,
+                        static_cast<unsigned long long>(r.stats.cycles));
+        }
+        return 0;
+    }
+
+    if (trace) {
+        FileTraceSink sink(stdout);
+        PolyPathCore core(cfg, program, golden);
+        core.setTraceSink(&sink);
+        while (!core.halted())
+            core.tick();
+        std::printf("\n%s", core.stats().toString().c_str());
+        return 0;
+    }
+
+    if (cfg.profileBranches) {
+        // Profiling wants direct core access for the per-PC table.
+        PolyPathCore core(cfg, program, golden);
+        while (!core.halted())
+            core.tick();
+        std::printf("configuration: %s\n%s\n",
+                    cfg.categoryName().c_str(),
+                    core.stats().toString().c_str());
+
+        std::vector<std::pair<Addr, BranchProfile>> rows(
+            core.branchProfiles().begin(), core.branchProfiles().end());
+        std::sort(rows.begin(), rows.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second.mispredicts > b.second.mispredicts;
+                  });
+        std::printf("%10s %10s %10s %9s %10s %10s\n", "pc", "execs",
+                    "mispred", "rate%", "low-conf", "diverged");
+        size_t shown = 0;
+        for (const auto &[pc, prof] : rows) {
+            if (++shown > 20)
+                break;
+            std::printf("%#10llx %10llu %10llu %8.1f%% %10llu %10llu\n",
+                        static_cast<unsigned long long>(pc),
+                        static_cast<unsigned long long>(prof.execs),
+                        static_cast<unsigned long long>(
+                            prof.mispredicts),
+                        100.0 * prof.mispredicts /
+                            std::max<u64>(1, prof.execs),
+                        static_cast<unsigned long long>(
+                            prof.lowConfidence),
+                        static_cast<unsigned long long>(
+                            prof.divergences));
+        }
+        return 0;
+    }
+
+    SimResult r = simulate(program, cfg, golden);
+    std::printf("configuration: %s\n%s", r.category.c_str(),
+                r.stats.toString().c_str());
+    std::printf("verified: %s\n", r.verified ? "yes" : "NO");
+    return 0;
+}
