@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: how many *simulated* committed
+ * instructions the timing core retires per host second (KIPS).
+ *
+ * This measures the simulator itself, not the simulated machine — the
+ * number the pooled-DynInst / lazy-squash work moves. Every workload in
+ * the suite is run under the paper's main configuration (gshare/JRS
+ * SEE); each run is repeated and the fastest repetition is kept, since
+ * host-side noise only ever slows a run down. Workloads are timed
+ * sequentially so runs never compete for cores.
+ *
+ * Output:
+ *   bench_results/sim_speed.txt   human-readable table (appended dirs ok)
+ *   BENCH_sim_speed.json          machine-readable, one workload per
+ *                                 line (consumed by run_sim_speed.sh)
+ *
+ * Environment:
+ *   PP_BENCH_SCALE   workload scale factor (default 1.0)
+ *   PP_BENCH_REPS    repetitions per workload (default 2, min 1)
+ *
+ * NOTE: this file deliberately uses only long-stable APIs (loadWorkloads,
+ * simulate) so it can be dropped into an older checkout unchanged to
+ * produce baseline numbers with an identical harness.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+
+using namespace polypath;
+
+namespace
+{
+
+struct SpeedRow
+{
+    std::string workload;
+    u64 committed = 0;
+    u64 cycles = 0;
+    double seconds = 0;     //!< best (fastest) repetition
+
+    double kips() const { return committed / seconds / 1e3; }
+};
+
+unsigned
+benchReps()
+{
+    const char *env = std::getenv("PP_BENCH_REPS");
+    if (!env)
+        return 2;
+    long reps = std::atol(env);
+    return reps > 0 ? static_cast<unsigned>(reps) : 1;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    double scale = benchScale(1.0);
+    unsigned reps = benchReps();
+    SimConfig cfg = SimConfig::seeJrs();
+
+    std::printf("sim_speed: simulator throughput, config %s, scale %g, "
+                "%u rep(s)\n\n",
+                cfg.categoryName().c_str(), scale, reps);
+
+    WorkloadSet suite = loadWorkloads(scale);
+
+    std::vector<SpeedRow> rows;
+    for (size_t w = 0; w < suite.size(); ++w) {
+        SpeedRow row;
+        row.workload = suite.infos[w].name;
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            auto start = std::chrono::steady_clock::now();
+            SimResult r =
+                simulate(suite.programs[w], cfg, suite.goldens[w]);
+            auto stop = std::chrono::steady_clock::now();
+            double secs =
+                std::chrono::duration<double>(stop - start).count();
+            fatal_if(!r.verified, "%s failed verification",
+                     row.workload.c_str());
+            row.committed = r.stats.committedInstrs;
+            row.cycles = r.stats.cycles;
+            if (rep == 0 || secs < row.seconds)
+                row.seconds = secs;
+        }
+        std::printf("  %-10s %9llu instrs  %8.3f s  %8.1f KIPS\n",
+                    row.workload.c_str(),
+                    static_cast<unsigned long long>(row.committed),
+                    row.seconds, row.kips());
+        std::fflush(stdout);
+        rows.push_back(row);
+    }
+
+    // Harmonic mean of per-workload KIPS (the suite-level figure of
+    // merit: total work over total time if every workload committed the
+    // same instruction count).
+    double inv_sum = 0;
+    for (const SpeedRow &row : rows)
+        inv_sum += 1.0 / row.kips();
+    double hmean = rows.size() / inv_sum;
+    std::printf("\nharmonic mean: %.1f KIPS\n", hmean);
+
+    // --- human-readable report ----------------------------------------
+    std::filesystem::create_directories("bench_results");
+    FILE *txt = std::fopen("bench_results/sim_speed.txt", "w");
+    fatal_if(!txt, "cannot write bench_results/sim_speed.txt");
+    std::fprintf(txt,
+                 "sim_speed: simulator throughput\n"
+                 "config %s, scale %g, %u rep(s), best-of timing\n\n"
+                 "%-10s %12s %12s %10s %10s\n",
+                 cfg.categoryName().c_str(), scale, reps, "workload",
+                 "committed", "cycles", "seconds", "KIPS");
+    for (const SpeedRow &row : rows) {
+        std::fprintf(txt, "%-10s %12llu %12llu %10.3f %10.1f\n",
+                     row.workload.c_str(),
+                     static_cast<unsigned long long>(row.committed),
+                     static_cast<unsigned long long>(row.cycles),
+                     row.seconds, row.kips());
+    }
+    std::fprintf(txt, "\nharmonic mean %.1f KIPS\n", hmean);
+    std::fclose(txt);
+
+    // --- machine-readable report (one workload object per line so the
+    // comparison script can parse it with awk) -------------------------
+    FILE *json = std::fopen("BENCH_sim_speed.json", "w");
+    fatal_if(!json, "cannot write BENCH_sim_speed.json");
+    std::fprintf(json,
+                 "{\"bench\": \"sim_speed\", \"config\": \"%s\", "
+                 "\"scale\": %g, \"reps\": %u,\n \"workloads\": [\n",
+                 cfg.categoryName().c_str(), scale, reps);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const SpeedRow &row = rows[i];
+        std::fprintf(json,
+                     "  {\"workload\": \"%s\", \"committed\": %llu, "
+                     "\"cycles\": %llu, \"seconds\": %.6f, "
+                     "\"kips\": %.3f}%s\n",
+                     row.workload.c_str(),
+                     static_cast<unsigned long long>(row.committed),
+                     static_cast<unsigned long long>(row.cycles),
+                     row.seconds, row.kips(),
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, " ],\n \"harmonic_mean_kips\": %.3f}\n", hmean);
+    std::fclose(json);
+
+    std::printf("wrote bench_results/sim_speed.txt and "
+                "BENCH_sim_speed.json\n");
+    return 0;
+}

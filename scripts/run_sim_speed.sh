@@ -1,0 +1,70 @@
+#!/bin/sh
+# Build the simulator in Release mode, run the sim_speed throughput
+# benchmark, and report the speedup against the previous run.
+#
+# The benchmark rewrites BENCH_sim_speed.json (repo root) and
+# bench_results/sim_speed.txt; the previous JSON, if any, is used as the
+# comparison baseline. To compare against an older commit, check it out,
+# run this script once to produce its JSON, then return and run again.
+#
+# Environment:
+#   PP_BENCH_SCALE       workload scale (default 1)
+#   PP_BENCH_REPS        repetitions per workload (default 2)
+#   PP_SPEED_BUILD_DIR   build directory (default build-release)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+build_dir=${PP_SPEED_BUILD_DIR:-build-release}
+
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build_dir" --target sim_speed -j "$(nproc 2>/dev/null || echo 2)" >/dev/null
+
+prev_json=""
+if [ -f BENCH_sim_speed.json ]; then
+    prev_json=$(mktemp)
+    cp BENCH_sim_speed.json "$prev_json"
+fi
+
+PP_BENCH_SCALE=${PP_BENCH_SCALE:-1} "$build_dir/bench/sim_speed"
+
+if [ -n "$prev_json" ]; then
+    echo ""
+    echo "=== comparison vs previous BENCH_sim_speed.json ==="
+    awk '
+        # One workload object per line: pull out the name and kips.
+        function field(line, key,    s) {
+            s = line
+            sub(".*\"" key "\": *", "", s)
+            sub("[,}].*", "", s)
+            gsub("\"", "", s)
+            return s
+        }
+        /"workload":/ {
+            w = field($0, "workload"); k = field($0, "kips") + 0
+            if (FILENAME == ARGV[1]) { old[w] = k }
+            else { new[w] = k; if (!(w in seen)) { order[++n] = w; seen[w] = 1 } }
+        }
+        /"harmonic_mean_kips":/ {
+            h = field($0, "harmonic_mean_kips") + 0
+            if (FILENAME == ARGV[1]) old_h = h; else new_h = h
+        }
+        END {
+            printf "%-10s %10s %10s %9s\n", "workload", "old KIPS", "new KIPS", "speedup"
+            for (i = 1; i <= n; ++i) {
+                w = order[i]
+                if (w in old && old[w] > 0)
+                    printf "%-10s %10.1f %10.1f %8.2fx\n", w, old[w], new[w], new[w] / old[w]
+                else
+                    printf "%-10s %10s %10.1f %9s\n", w, "-", new[w], "-"
+            }
+            if (old_h > 0)
+                printf "%-10s %10.1f %10.1f %8.2fx\n", "hmean", old_h, new_h, new_h / old_h
+        }
+    ' "$prev_json" BENCH_sim_speed.json | tee -a bench_results/sim_speed.txt
+    rm -f "$prev_json"
+else
+    echo ""
+    echo "no previous BENCH_sim_speed.json; baseline recorded"
+fi

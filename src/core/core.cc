@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <unordered_set>
 
 #include "bpred/combining.hh"
 #include "bpred/confidence.hh"
@@ -56,16 +57,13 @@ makeConfidence(const SimConfig &cfg)
     panic("unknown confidence kind");
 }
 
-/** Maximum cycles with no commit before we declare the core wedged. */
-constexpr Cycle deadlockThreshold = 100'000;
-
 } // anonymous namespace
 
 PolyPathCore::PolyPathCore(const SimConfig &config, const Program &program,
                            const InterpResult &golden_result)
     : cfg(config), golden(golden_result), trace(*golden_result.trace),
       physFile(cfg.effectivePhysRegs()), histAlloc(cfg.tagWidth),
-      window(cfg.windowSize), fuPool(cfg), dcache(cfg.dcache),
+      window(cfg.windowSize, &clearLog), fuPool(cfg), dcache(cfg.dcache),
       predictor(makePredictor(cfg)), confidence(makeConfidence(cfg))
 {
     fatal_if(cfg.fetchWidth == 0 || cfg.renameWidth == 0 ||
@@ -89,7 +87,7 @@ PolyPathCore::PolyPathCore(const SimConfig &config, const Program &program,
         CtxTag{}, program.entry, 0,
         std::make_unique<ReturnAddressStack>(cfg.rasDepth), root_cursor,
         std::make_unique<RegMap>());
-    fetchStartCycle[root->id] = 0;
+    root->fetchStart = 0;
 }
 
 PolyPathCore::~PolyPathCore() = default;
@@ -97,9 +95,12 @@ PolyPathCore::~PolyPathCore() = default;
 PathContext &
 PolyPathCore::contextById(u32 id)
 {
-    auto it = contexts.find(id);
-    panic_if(it == contexts.end(), "context %u does not exist", id);
-    return *it->second;
+    // A handful of contexts at most: a linear scan beats hashing.
+    for (const PathContextPtr &ctx : contexts) {
+        if (ctx->id == id)
+            return *ctx;
+    }
+    panic("context %u does not exist", id);
 }
 
 PathContextPtr
@@ -117,17 +118,20 @@ PolyPathCore::makeContext(const CtxTag &tag, Addr fetch_pc, u64 ghr,
     ctx->cursor = cursor;
     ctx->regMap = std::move(reg_map);
     ctx->createSeq = nextCtxSeq++;
-    contexts.emplace(ctx->id, ctx);
-    leaves.push_back(ctx->id);
     // Redirect latency: a freshly created path starts fetching next cycle.
-    fetchStartCycle[ctx->id] = currentCycle + 1;
+    ctx->fetchStart = currentCycle + 1;
+    contexts.push_back(ctx);
+    leaves.push_back(ctx.get());
     return ctx;
 }
 
 void
 PolyPathCore::removeLeaf(u32 id)
 {
-    auto it = std::find(leaves.begin(), leaves.end(), id);
+    auto it = std::find_if(leaves.begin(), leaves.end(),
+                           [id](const PathContext *ctx) {
+                               return ctx->id == id;
+                           });
     if (it != leaves.end())
         leaves.erase(it);
 }
@@ -145,6 +149,9 @@ PolyPathCore::emitTrace(PipeEvent event, const DynInstPtr &inst,
     if (!traceSink)
         return;
     if (detail.empty()) {
+        // Absorb deferred commit broadcasts so the printed tag matches
+        // the eager implementation bit for bit.
+        clearLog.apply(inst->tag, inst->clearsSeen);
         detail = inst->instr.toString() + "  [" +
                  inst->tag.toString(std::min(cfg.tagWidth, 16u)) + "]";
     }
@@ -195,10 +202,14 @@ PolyPathCore::tick()
     }
 
     panic_if(!isHalted && currentCycle - lastCommitCycle > deadlockThreshold,
-             "core deadlock: no commit since cycle %llu (window %zu, "
-             "front-end %zu, paths %zu, free hist %u)",
+             "core deadlock guard: no commit for %llu cycles (threshold "
+             "%llu, last commit at cycle %llu; window %zu, front-end %zu, "
+             "paths %zu, free hist %u)",
+             static_cast<unsigned long long>(currentCycle -
+                                             lastCommitCycle),
+             static_cast<unsigned long long>(deadlockThreshold),
              static_cast<unsigned long long>(lastCommitCycle),
-             window.size(), frontEnd.size(), leaves.size(),
+             window.size(), frontEndLive, leaves.size(),
              histAlloc.numFree());
 }
 
@@ -212,14 +223,10 @@ PolyPathCore::fetchPhase()
     // Gather the paths that may fetch this cycle.
     std::vector<PathContext *> cands;
     cands.reserve(leaves.size());
-    for (u32 id : leaves) {
-        PathContext &ctx = contextById(id);
-        if (ctx.fetchStopped)
+    for (PathContext *ctx : leaves) {
+        if (ctx->fetchStopped || ctx->fetchStart > currentCycle)
             continue;
-        auto it = fetchStartCycle.find(id);
-        if (it != fetchStartCycle.end() && it->second > currentCycle)
-            continue;
-        cands.push_back(&ctx);
+        cands.push_back(ctx);
     }
     if (cands.empty())
         return;
@@ -273,7 +280,7 @@ PolyPathCore::fetchFromContext(PathContext &ctx, unsigned quota)
 {
     unsigned used = 0;
     while (used < quota && !ctx.fetchStopped) {
-        if (frontEnd.size() >= frontendCapacity) {
+        if (frontEndLive >= frontendCapacity) {
             ++simStats.fetchStallFrontendFull;
             break;
         }
@@ -290,12 +297,14 @@ PolyPathCore::fetchFromContext(PathContext &ctx, unsigned quota)
             break;
         }
 
-        auto inst = std::make_shared<DynInst>();
+        DynInstPtr inst = instPool.acquire();
         inst->seq = nextSeq++;
         inst->pc = ctx.fetchPc;
         inst->instr = instr;
         inst->tag = ctx.tag;
         inst->ctxId = ctx.id;
+        inst->ctx = &ctx;
+        inst->clearsSeen = clearLog.watermark();
         inst->fetchCycle = currentCycle;
 
         bool diverged = false;
@@ -315,6 +324,7 @@ PolyPathCore::fetchFromContext(PathContext &ctx, unsigned quota)
         }
 
         frontEnd.push_back(inst);
+        ++frontEndLive;
         ++simStats.fetchedInstrs;
         ++used;
         emitTrace(PipeEvent::Fetch, inst);
@@ -471,8 +481,13 @@ PolyPathCore::renamePhase()
 {
     unsigned count = 0;
     while (count < cfg.renameWidth && !frontEnd.empty()) {
+        // Lazily squashed entries drain here without consuming rename
+        // slots (the eager implementation removed them at the kill).
+        if (frontEnd.front()->killed) {
+            frontEnd.pop_front();
+            continue;
+        }
         DynInstPtr inst = frontEnd.front();
-        panic_if(inst->killed, "killed instruction left in front-end");
 
         // Front-end latency: an instruction fetched in cycle F (stage 1)
         // reaches rename (stage frontendStages) in cycle
@@ -484,11 +499,12 @@ PolyPathCore::renamePhase()
         if (inst->instr.dst() != noReg && !physFile.hasFree())
             break;
 
-        PathContext &ctx = contextById(inst->ctxId);
+        PathContext &ctx = *inst->ctx;
         panic_if(!ctx.regMap, "renaming with no path RegMap (ctx %u)",
                  ctx.id);
 
         frontEnd.pop_front();
+        --frontEndLive;
         renameInst(inst, ctx);
         window.insert(inst);
         ++count;
@@ -499,6 +515,10 @@ void
 PolyPathCore::renameInst(const DynInstPtr &inst, PathContext &ctx)
 {
     const Instr &instr = inst->instr;
+
+    // Bring the tag up to date before anything snapshots it (the store
+    // queue copies it; issue and resolution read it afterwards).
+    clearLog.apply(inst->tag, inst->clearsSeen);
 
     inst->physSrc1 = ctx.regMap->lookup(instr.src1());
     inst->physSrc2 = ctx.regMap->lookup(instr.src2());
@@ -539,10 +559,12 @@ PolyPathCore::renameInst(const DynInstPtr &inst, PathContext &ctx)
             PathContext &nt_child = contextById(bs.childNtCtx);
             taken_child.regMap = std::make_unique<RegMap>(*ctx.regMap);
             nt_child.regMap = std::move(ctx.regMap);
-            // The parked parent context is no longer needed.
+            // The parked parent context is no longer needed. (Safe even
+            // though `ctx` aliases it: this is the last use.)
             u32 parent_id = inst->ctxId;
-            fetchStartCycle.erase(parent_id);
-            contexts.erase(parent_id);
+            std::erase_if(contexts, [parent_id](const PathContextPtr &c) {
+                return c->id == parent_id;
+            });
         } else {
             bs.checkpoint = std::make_unique<RegMap>(*ctx.regMap);
         }
@@ -622,6 +644,9 @@ PolyPathCore::tryIssueLoad(const DynInstPtr &inst)
 {
     Addr ea = effectiveAddr(inst->instr, srcValue(inst->physSrc1));
     inst->effAddr = ea;
+    // The disambiguation query compares this tag against store tags;
+    // absorb deferred commit broadcasts first.
+    clearLog.apply(inst->tag, inst->clearsSeen);
     LoadQueryResult query = storeQueue.queryLoad(
         inst->seq, inst->tag, ea, inst->instr.accessSize(), mem);
     if (query.status == LoadQueryStatus::MustWait) {
@@ -787,28 +812,30 @@ PolyPathCore::killWrongSide(unsigned pos, bool actual_taken)
         killInst(i, true);
     });
 
-    // In-order front-end sweep.
-    std::deque<DynInstPtr> kept;
+    // In-order front-end sweep: victims are marked in place and drain
+    // at rename; only the live count changes now.
     for (DynInstPtr &inst : frontEnd) {
-        if (inst->tag.onWrongSide(pos, actual_taken))
+        if (inst->killed)
+            continue;
+        if (clearLog.pendingSince(inst->clearsSeen, pos))
+            continue;   // stale bit: the position was recycled
+        if (inst->tag.onWrongSide(pos, actual_taken)) {
             killInst(inst, false);
-        else
-            kept.push_back(std::move(inst));
+            --frontEndLive;
+        }
     }
-    frontEnd.swap(kept);
 
     // Path contexts on the wrong subtree die with their instructions.
-    std::vector<u32> dead;
-    for (auto &[id, ctx] : contexts) {
-        if (ctx->tag.onWrongSide(pos, actual_taken))
-            dead.push_back(id);
+    // (Context tags are kept eagerly cleared, so no staleness check.)
+    for (const PathContextPtr &ctx : contexts) {
+        if (ctx->tag.onWrongSide(pos, actual_taken)) {
+            ctx->live = false;
+            removeLeaf(ctx->id);
+        }
     }
-    for (u32 id : dead) {
-        contextById(id).live = false;
-        removeLeaf(id);
-        fetchStartCycle.erase(id);
-        contexts.erase(id);
-    }
+    std::erase_if(contexts, [](const PathContextPtr &ctx) {
+        return !ctx->live;
+    });
 }
 
 void
@@ -858,6 +885,10 @@ PolyPathCore::spawnRecoveryContext(const DynInstPtr &inst, bool tag_dir,
                   ? bs.ghrAtPredict
                   : ((bs.ghrAtPredict << 1) | (bs.actualTaken ? 1 : 0));
 
+    // The new context's tag derives from this instruction's tag, which
+    // is lazily maintained: absorb deferred commit broadcasts so no
+    // stale bit from a recycled position leaks into the child.
+    clearLog.apply(inst->tag, inst->clearsSeen);
     PathContextPtr ctx = makeContext(
         inst->tag.child(inst->histPos, tag_dir), target_pc, ghr,
         std::move(bs.rasCheckpoint), cursor, std::move(bs.checkpoint));
@@ -987,14 +1018,38 @@ void
 PolyPathCore::broadcastCommitPosition(unsigned pos)
 {
     // §3.2.2: the committing branch's history position is dead state in
-    // every live tag; one valid-bit reset per carrier recycles it.
-    window.commitPosition(pos);
-    for (DynInstPtr &inst : frontEnd)
-        inst->tag.clearPosition(pos);
+    // every live tag. Window and front-end entries absorb the broadcast
+    // lazily through the clear log; the store queue and the handful of
+    // path contexts are cleared eagerly (their tags are compared against
+    // by other agents, so they must always be current).
+    clearLog.record(static_cast<u8>(pos));
     storeQueue.commitPosition(pos);
-    for (auto &[id, ctx] : contexts)
+    for (const PathContextPtr &ctx : contexts)
         ctx->tag.clearPosition(pos);
     histAlloc.release(static_cast<u8>(pos));
+
+    // Bound log growth on very long runs.
+    static constexpr u32 rebaseThreshold = 1u << 20;
+    if (clearLog.watermark() >= rebaseThreshold)
+        rebaseClearLog();
+}
+
+void
+PolyPathCore::rebaseClearLog()
+{
+    for (const DynInstPtr &inst : window.contents()) {
+        if (inst->inWindow)
+            clearLog.apply(inst->tag, inst->clearsSeen);
+        else
+            inst->clearsSeen = 0;   // tag never read again
+    }
+    for (const DynInstPtr &inst : frontEnd) {
+        if (!inst->killed)
+            clearLog.apply(inst->tag, inst->clearsSeen);
+        else
+            inst->clearsSeen = 0;
+    }
+    clearLog.rebase();
 }
 
 void
@@ -1013,17 +1068,33 @@ PolyPathCore::trainPredictors(const DynInstPtr &inst)
 void
 PolyPathCore::checkInvariants() const
 {
-    // --- gather the in-flight instruction population ------------------
+    // --- gather the live in-flight instruction population --------------
+    // (Lazily squashed entries linger in both structures; they have
+    // already released their resources and are excluded.)
     std::vector<DynInstPtr> in_flight;
-    for (const DynInstPtr &inst : window.contents())
+    window.forEachLive([&](const DynInstPtr &inst) {
         in_flight.push_back(inst);
-    for (const DynInstPtr &inst : frontEnd)
-        in_flight.push_back(inst);
+    });
+    size_t window_live = in_flight.size();
+    panic_if(window_live != window.size(),
+             "window live-count mismatch: %zu counted vs %zu cached",
+             window_live, window.size());
+    size_t fe_live = 0;
+    for (const DynInstPtr &inst : frontEnd) {
+        if (!inst->killed) {
+            in_flight.push_back(inst);
+            ++fe_live;
+        }
+    }
+    panic_if(fe_live != frontEndLive,
+             "front-end live-count mismatch: %zu counted vs %zu cached",
+             fe_live, frontEndLive);
 
-    // Window is in fetch order with no killed entries.
+    // Live window entries are in fetch order and not killed.
     InstSeq prev_seq = 0;
-    for (const DynInstPtr &inst : window.contents()) {
-        panic_if(inst->killed, "killed instruction in window");
+    for (size_t i = 0; i < window_live; ++i) {
+        const DynInstPtr &inst = in_flight[i];
+        panic_if(inst->killed, "killed instruction live in window");
         panic_if(inst->seq <= prev_seq && prev_seq != 0,
                  "window out of fetch order");
         prev_seq = inst->seq;
@@ -1040,7 +1111,7 @@ PolyPathCore::checkInvariants() const
         }
     };
     mark_map(retireMap);
-    for (const auto &[id, ctx] : contexts) {
+    for (const PathContextPtr &ctx : contexts) {
         if (ctx->regMap)
             mark_map(*ctx->regMap);
     }
@@ -1082,8 +1153,8 @@ PolyPathCore::checkInvariants() const
     // --- live leaves are pairwise unrelated paths ----------------------
     for (size_t i = 0; i < leaves.size(); ++i) {
         for (size_t j = i + 1; j < leaves.size(); ++j) {
-            const CtxTag &a = contexts.at(leaves[i])->tag;
-            const CtxTag &b = contexts.at(leaves[j])->tag;
+            const CtxTag &a = leaves[i]->tag;
+            const CtxTag &b = leaves[j]->tag;
             panic_if(a.isRelated(b),
                      "leaf paths %s and %s are related",
                      a.toString(histAlloc.width()).c_str(),
@@ -1092,18 +1163,14 @@ PolyPathCore::checkInvariants() const
     }
 
     // --- every store-queue entry belongs to an in-flight store ---------
-    std::vector<InstSeq> sq_seqs = storeQueue.seqs();
-    for (InstSeq seq : sq_seqs) {
-        bool found = false;
-        for (const DynInstPtr &inst : window.contents()) {
-            if (inst->seq == seq) {
-                panic_if(!inst->instr.isStore(),
-                         "store-queue entry for a non-store");
-                found = true;
-                break;
-            }
-        }
-        panic_if(!found, "orphan store-queue entry (seq %llu)",
+    std::unordered_set<InstSeq> live_stores;
+    for (size_t i = 0; i < window_live; ++i) {
+        if (in_flight[i]->instr.isStore())
+            live_stores.insert(in_flight[i]->seq);
+    }
+    for (InstSeq seq : storeQueue.seqs()) {
+        panic_if(!live_stores.count(seq),
+                 "orphan store-queue entry (seq %llu)",
                  static_cast<unsigned long long>(seq));
     }
 }

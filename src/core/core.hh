@@ -41,10 +41,12 @@
 #include "core/config.hh"
 #include "core/dyn_inst.hh"
 #include "core/fu_pool.hh"
+#include "core/inst_pool.hh"
 #include "core/iwindow.hh"
 #include "core/path_context.hh"
 #include "core/stats.hh"
 #include "core/trace.hh"
+#include "ctx/clear_log.hh"
 #include "ctx/hist_alloc.hh"
 #include "memsys/cache.hh"
 #include "memsys/memory.hh"
@@ -101,6 +103,12 @@ class PolyPathCore
     size_t numLivePaths() const { return leaves.size(); }
     unsigned freeHistPositions() const { return histAlloc.numFree(); }
     const SimConfig &config() const { return cfg; }
+    Cycle lastCommit() const { return lastCommitCycle; }
+    const DynInstPool &pool() const { return instPool; }
+
+    /** Cycles without a commit before the core declares itself wedged
+     *  (see also Machine's coarse total-cycle cap). */
+    static constexpr Cycle deadlockThreshold = 100'000;
 
     /** Attach (or detach with nullptr) a pipeline-event trace sink. */
     void setTraceSink(TraceSink *sink) { traceSink = sink; }
@@ -160,6 +168,10 @@ class PolyPathCore
     PathContext &contextById(u32 id);
     void removeLeaf(u32 id);
 
+    /** Absorb the full clear log into every in-flight tag and reset all
+     *  watermarks to zero (bounds log growth on long runs). */
+    void rebaseClearLog();
+
     u64 srcValue(PhysReg reg) const;
 
     /** Emit a trace record if a sink is attached. */
@@ -193,6 +205,14 @@ class PolyPathCore
     PhysRegFile physFile;
     RegMap retireMap;
     HistAlloc histAlloc;
+
+    /** Recycling arena for DynInsts. Declared before every structure
+     *  that holds DynInstPtrs so it is destroyed after them. */
+    DynInstPool instPool;
+
+    /** Deferred commit-broadcast log (see clear_log.hh). */
+    CommitClearLog clearLog;
+
     InstructionWindow window;
     StoreQueue storeQueue;
     FuPool fuPool;
@@ -206,19 +226,21 @@ class PolyPathCore
     InstSeq nextSeq = 1;
     bool isHalted = false;
 
-    /** All live path-context objects by id. */
-    std::unordered_map<u32, PathContextPtr> contexts;
+    /** All live path-context objects, oldest first (a handful at most,
+     *  so linear scans beat hashing). */
+    std::vector<PathContextPtr> contexts;
 
-    /** Ids of contexts eligible to fetch (the leaves of the tree). */
-    std::vector<u32> leaves;
+    /** Contexts eligible to fetch (the leaves of the tree). Pointers
+     *  into `contexts`; kept in insertion order. */
+    std::vector<PathContext *> leaves;
     u32 nextCtxId = 1;
     u64 nextCtxSeq = 1;
 
-    /** Per-context first fetch cycle (redirect latency modelling). */
-    std::unordered_map<u32, Cycle> fetchStartCycle;
-
-    /** In-order front-end: fetched but not yet renamed instructions. */
+    /** In-order front-end: fetched but not yet renamed instructions.
+     *  Killed entries linger (lazy squash) and are popped at rename. */
     std::deque<DynInstPtr> frontEnd;
+    /** Live (un-killed) entries in frontEnd: the capacity measure. */
+    size_t frontEndLive = 0;
     size_t frontendCapacity;
 
     /** Per-FU-class ready instructions (oldest first, lazy deletion). */

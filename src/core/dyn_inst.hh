@@ -51,6 +51,9 @@ struct BranchState
     Addr actualTarget = 0;
 };
 
+class DynInstPool;
+struct PathContext;
+
 /** One in-flight instruction. */
 struct DynInst
 {
@@ -59,6 +62,16 @@ struct DynInst
     Instr instr;
     CtxTag tag;
     u32 ctxId = 0;                  //!< the path context it was fetched in
+
+    /** The fetching path context. Dereferenced only while the
+     *  instruction is un-killed, which guarantees the context is live
+     *  (a kill that destroys the context kills its instructions in the
+     *  same resolution broadcast). */
+    PathContext *ctx = nullptr;
+
+    /** Commit-clear log watermark: broadcasts up to this index have
+     *  been applied to `tag` (see CommitClearLog). */
+    u32 clearsSeen = 0;
 
     // Rename state.
     PhysReg physSrc1 = invalidPhysReg;
@@ -94,9 +107,140 @@ struct DynInst
 
     /** Does this instruction hold a CTX history position? */
     bool holdsHistPos() const { return histPos != noHistPos; }
+
+    // --- lifetime management (DynInstPtr / DynInstPool) ---------------
+
+    /** Intrusive reference count. Non-atomic: an instruction never
+     *  leaves its core's simulation thread. */
+    u32 refCount = 0;
+
+    /** Owning pool; nullptr for plain heap allocations (tests). */
+    DynInstPool *pool = nullptr;
 };
 
-using DynInstPtr = std::shared_ptr<DynInst>;
+namespace detail
+{
+/** Out-of-line cold path: destroy a zero-ref instruction, returning it
+ *  to its pool (or the heap). Defined in inst_pool.cc. */
+void destroyDynInst(DynInst *inst);
+} // namespace detail
+
+/**
+ * Shared-ownership smart handle for DynInst, backed by an intrusive
+ * (non-atomic) reference count instead of a shared_ptr control block.
+ * Semantics match std::shared_ptr for everything the simulator and the
+ * tests use: copy/move, comparison, bool conversion, get().
+ */
+class DynInstPtr
+{
+  public:
+    DynInstPtr() = default;
+    DynInstPtr(std::nullptr_t) {}
+
+    /** Adopt a raw instruction (fresh or already shared). */
+    explicit DynInstPtr(DynInst *inst) : ptr(inst) { incref(); }
+
+    DynInstPtr(const DynInstPtr &other) : ptr(other.ptr) { incref(); }
+
+    DynInstPtr(DynInstPtr &&other) noexcept : ptr(other.ptr)
+    {
+        other.ptr = nullptr;
+    }
+
+    DynInstPtr &
+    operator=(const DynInstPtr &other)
+    {
+        if (ptr != other.ptr) {
+            decref();
+            ptr = other.ptr;
+            incref();
+        }
+        return *this;
+    }
+
+    DynInstPtr &
+    operator=(DynInstPtr &&other) noexcept
+    {
+        if (this != &other) {
+            decref();
+            ptr = other.ptr;
+            other.ptr = nullptr;
+        }
+        return *this;
+    }
+
+    ~DynInstPtr() { decref(); }
+
+    void
+    reset()
+    {
+        decref();
+        ptr = nullptr;
+    }
+
+    DynInst *get() const { return ptr; }
+    DynInst &operator*() const { return *ptr; }
+    DynInst *operator->() const { return ptr; }
+    explicit operator bool() const { return ptr != nullptr; }
+
+    friend bool
+    operator==(const DynInstPtr &a, const DynInstPtr &b)
+    {
+        return a.ptr == b.ptr;
+    }
+    friend bool
+    operator!=(const DynInstPtr &a, const DynInstPtr &b)
+    {
+        return a.ptr != b.ptr;
+    }
+    friend bool operator==(const DynInstPtr &a, std::nullptr_t)
+    {
+        return a.ptr == nullptr;
+    }
+    friend bool operator!=(const DynInstPtr &a, std::nullptr_t)
+    {
+        return a.ptr != nullptr;
+    }
+    /** Address order; only used to satisfy container instantiations
+     *  (ready-queue pairs order by unique sequence number first). */
+    friend bool
+    operator<(const DynInstPtr &a, const DynInstPtr &b)
+    {
+        return a.ptr < b.ptr;
+    }
+    friend bool
+    operator>(const DynInstPtr &a, const DynInstPtr &b)
+    {
+        return b < a;
+    }
+
+    long use_count() const { return ptr ? ptr->refCount : 0; }
+
+  private:
+    void
+    incref()
+    {
+        if (ptr)
+            ++ptr->refCount;
+    }
+
+    void
+    decref()
+    {
+        if (ptr && --ptr->refCount == 0)
+            detail::destroyDynInst(ptr);
+    }
+
+    DynInst *ptr = nullptr;
+};
+
+/** Heap-allocate a standalone instruction (unit tests, harnesses that
+ *  have no core and hence no pool). */
+inline DynInstPtr
+makeHeapInst()
+{
+    return DynInstPtr(new DynInst());
+}
 
 } // namespace polypath
 

@@ -1,0 +1,18 @@
+#include "core/inst_pool.hh"
+
+namespace polypath
+{
+namespace detail
+{
+
+void
+destroyDynInst(DynInst *inst)
+{
+    if (inst->pool)
+        inst->pool->release(inst);
+    else
+        delete inst;
+}
+
+} // namespace detail
+} // namespace polypath

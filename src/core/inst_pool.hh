@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Pooled allocation for dynamic instructions.
+ *
+ * The cycle loop used to heap-allocate one std::shared_ptr<DynInst>
+ * control block per fetched instruction — several million transient
+ * allocations per simulated workload, and the single largest source of
+ * host-side allocator traffic in the fetch/rename path. DynInstPool
+ * replaces that with a per-core freelist over arena slabs: instructions
+ * are carved from large chunks, recycled when their last DynInstPtr
+ * reference drops (shortly after commit or kill, once the lazy
+ * issue/completion queues drain), and re-constructed in place on reuse
+ * so no stale state can leak between incarnations.
+ *
+ * DynInstPtr (see dyn_inst.hh) stays a smart handle with shared-pointer
+ * semantics; the reference count is intrusive and non-atomic, which is
+ * safe because a DynInst never leaves the simulation thread of the core
+ * that fetched it.
+ */
+
+#ifndef POLYPATH_CORE_INST_POOL_HH
+#define POLYPATH_CORE_INST_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/dyn_inst.hh"
+
+namespace polypath
+{
+
+/** Freelist/arena recycler for DynInst objects. */
+class DynInstPool
+{
+  public:
+    /** @param chunk_insts instructions carved per arena slab */
+    explicit DynInstPool(size_t chunk_insts = 512)
+        : chunkInsts(chunk_insts)
+    {
+        panic_if(chunkInsts == 0, "DynInstPool: empty chunk size");
+    }
+
+    ~DynInstPool()
+    {
+        // Every instruction must be dead (back on the freelist) before
+        // the arena goes away; a violation means a DynInstPtr outlived
+        // its core.
+        panic_if(liveCount != 0,
+                 "DynInstPool destroyed with %zu live instructions",
+                 liveCount);
+    }
+
+    DynInstPool(const DynInstPool &) = delete;
+    DynInstPool &operator=(const DynInstPool &) = delete;
+
+    /** Get a freshly default-constructed instruction. */
+    DynInstPtr
+    acquire()
+    {
+        DynInst *slot;
+        if (!freeList.empty()) {
+            slot = freeList.back();
+            freeList.pop_back();
+            ++recycleCount;
+        } else {
+            if (freshList.empty())
+                grow();
+            slot = freshList.back();
+            freshList.pop_back();
+        }
+        DynInst *inst = new (slot) DynInst();
+        inst->pool = this;
+        ++liveCount;
+        ++acquireCount;
+        return DynInstPtr(inst);
+    }
+
+    /** Destroy @p inst and return its slot to the freelist. Called by
+     *  DynInstPtr when the last reference drops. */
+    void
+    release(DynInst *inst)
+    {
+        panic_if(liveCount == 0, "DynInstPool: release underflow");
+        inst->~DynInst();
+        freeList.push_back(inst);
+        --liveCount;
+    }
+
+    // --- introspection (tests, PERFORMANCE.md numbers) ----------------
+
+    /** Instructions currently live (acquired, not yet recycled). */
+    size_t live() const { return liveCount; }
+
+    /** Total acquire() calls so far. */
+    size_t totalAcquired() const { return acquireCount; }
+
+    /** Acquires served by recycling a previously released slot. */
+    size_t totalRecycled() const { return recycleCount; }
+
+    /** Arena slabs allocated (steady state: stops growing). */
+    size_t numChunks() const { return chunks.size(); }
+
+    /** Capacity in instructions across all slabs. */
+    size_t capacity() const { return chunks.size() * chunkInsts; }
+
+  private:
+    void
+    grow()
+    {
+        auto chunk = std::make_unique<Slot[]>(chunkInsts);
+        for (size_t i = 0; i < chunkInsts; ++i)
+            freshList.push_back(reinterpret_cast<DynInst *>(&chunk[i]));
+        chunks.push_back(std::move(chunk));
+    }
+
+    /** Raw, correctly aligned storage for one instruction. */
+    struct alignas(alignof(DynInst)) Slot
+    {
+        std::byte raw[sizeof(DynInst)];
+    };
+
+    size_t chunkInsts;
+    std::vector<std::unique_ptr<Slot[]>> chunks;
+    std::vector<DynInst *> freeList;    //!< released, ready for reuse
+    std::vector<DynInst *> freshList;   //!< carved but never used
+    size_t liveCount = 0;
+    size_t acquireCount = 0;
+    size_t recycleCount = 0;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_CORE_INST_POOL_HH

@@ -7,7 +7,24 @@
  * state machine of Fig. 6: on a branch-resolution broadcast it kills
  * itself if it lies on the wrong side of the resolved branch, and on a
  * branch-commit broadcast it invalidates the vacated history position in
- * its tag. Those two bus operations are implemented as sweeps here.
+ * its tag.
+ *
+ * Both bus operations are implemented lazily:
+ *
+ *   - Resolution (killWrongPath) marks victims squashed in place instead
+ *     of rebuilding the deque; squashed entries are skipped at commit,
+ *     ignored by the issue logic through their killed flag, popped
+ *     opportunistically when they reach the head, and compacted in bulk
+ *     once they outnumber the live population.
+ *   - Commit (the vacated-position broadcast) is not swept here at all:
+ *     the core records it in a CommitClearLog and entries absorb it when
+ *     next touched. The resolution test consults the log in O(1) to
+ *     ignore stale tag bits (see clear_log.hh). The eager commitPosition
+ *     sweep remains for standalone (test) use of the window.
+ *
+ * All observable semantics — which instructions die on which broadcast,
+ * commit order, capacity, occupancy — are identical to the eager
+ * implementation; only the bookkeeping cost changes.
  */
 
 #ifndef POLYPATH_CORE_IWINDOW_HH
@@ -18,21 +35,29 @@
 
 #include "common/logging.hh"
 #include "core/dyn_inst.hh"
+#include "ctx/clear_log.hh"
 
 namespace polypath
 {
 
-/** Fetch-ordered instruction window. */
+/** Fetch-ordered instruction window with lazy wrong-path squash. */
 class InstructionWindow
 {
   public:
-    explicit InstructionWindow(unsigned num_entries)
-        : capacity(num_entries)
+    /**
+     * @param num_entries architectural capacity (live entries)
+     * @param clear_log deferred commit-broadcast log consulted by the
+     *        resolution bus to ignore stale tag bits; nullptr for
+     *        standalone use with eager commitPosition() sweeps
+     */
+    explicit InstructionWindow(unsigned num_entries,
+                               const CommitClearLog *clear_log = nullptr)
+        : capacity(num_entries), clearLog(clear_log)
     {}
 
-    bool full() const { return entries.size() >= capacity; }
-    bool empty() const { return entries.empty(); }
-    size_t size() const { return entries.size(); }
+    bool full() const { return liveCount >= capacity; }
+    bool empty() const { return liveCount == 0; }
+    size_t size() const { return liveCount; }
     unsigned maxEntries() const { return capacity; }
 
     /** Dispatch an instruction (must be in fetch order). */
@@ -44,13 +69,15 @@ class InstructionWindow
                  "window insertion out of fetch order");
         inst->inWindow = true;
         entries.push_back(inst);
+        ++liveCount;
     }
 
-    /** Oldest instruction (commit candidate). */
+    /** Oldest live instruction (commit candidate). */
     const DynInstPtr &
-    head() const
+    head()
     {
-        panic_if(entries.empty(), "head() on empty window");
+        panic_if(empty(), "head() on empty window");
+        purgeFront();
         return entries.front();
     }
 
@@ -58,50 +85,90 @@ class InstructionWindow
     void
     popHead()
     {
-        panic_if(entries.empty(), "popHead() on empty window");
+        panic_if(empty(), "popHead() on empty window");
+        purgeFront();
         entries.front()->inWindow = false;
         entries.pop_front();
+        --liveCount;
     }
 
     /**
-     * Branch-resolution bus (§3.2.3 "resolution"): kill every entry on
-     * the wrong side of history position @p pos given @p actual_taken.
-     * @p on_kill runs per victim (release resources) before removal.
+     * Branch-resolution bus (§3.2.3 "resolution"): kill every live entry
+     * on the wrong side of history position @p pos given @p actual_taken.
+     * @p on_kill runs per victim (release resources); victims stay in
+     * the deque, squashed, until compacted or popped.
      */
     unsigned
     killWrongPath(unsigned pos, bool actual_taken,
                   const std::function<void(const DynInstPtr &)> &on_kill)
     {
         unsigned killed = 0;
-        std::deque<DynInstPtr> kept;
         for (DynInstPtr &inst : entries) {
+            if (!inst->inWindow)
+                continue;       // already squashed, awaiting compaction
+            // A set bit at `pos` is stale (and must be ignored) if the
+            // position was vacated by a commit this entry has not yet
+            // absorbed — it belongs to a younger branch now.
+            if (clearLog &&
+                clearLog->pendingSince(inst->clearsSeen, pos)) {
+                continue;
+            }
             if (inst->tag.onWrongSide(pos, actual_taken)) {
                 on_kill(inst);
                 inst->inWindow = false;
+                --liveCount;
                 ++killed;
-            } else {
-                kept.push_back(std::move(inst));
             }
         }
-        entries.swap(kept);
+        // Opportunistic compaction: only once squashed entries outnumber
+        // live ones, so steady-state resolutions never rebuild the deque.
+        if (entries.size() - liveCount > liveCount)
+            std::erase_if(entries, [](const DynInstPtr &inst) {
+                return !inst->inWindow;
+            });
         return killed;
     }
 
-    /** Branch-commit bus (§3.2.3 "commit"): invalidate @p pos in every
-     *  entry's tag. */
+    /** Branch-commit bus (§3.2.3 "commit"), eager form: invalidate
+     *  @p pos in every live entry's tag. The core uses the deferred
+     *  CommitClearLog path instead of calling this. */
     void
     commitPosition(unsigned pos)
     {
-        for (DynInstPtr &inst : entries)
-            inst->tag.clearPosition(pos);
+        for (DynInstPtr &inst : entries) {
+            if (inst->inWindow)
+                inst->tag.clearPosition(pos);
+        }
     }
 
-    /** Iterate entries oldest-first (tests, occupancy sampling). */
+    /** Visit live entries oldest-first (self-checks, tests). */
+    template <typename Fn>
+    void
+    forEachLive(Fn &&fn) const
+    {
+        for (const DynInstPtr &inst : entries) {
+            if (inst->inWindow)
+                fn(inst);
+        }
+    }
+
+    /** Raw storage including not-yet-compacted squashed entries
+     *  (tests; prefer forEachLive). */
     const std::deque<DynInstPtr> &contents() const { return entries; }
 
   private:
+    /** Drop squashed entries that have reached the head. */
+    void
+    purgeFront()
+    {
+        while (!entries.empty() && !entries.front()->inWindow)
+            entries.pop_front();
+    }
+
     unsigned capacity;
+    const CommitClearLog *clearLog;
     std::deque<DynInstPtr> entries;
+    size_t liveCount = 0;
 };
 
 } // namespace polypath

@@ -38,6 +38,9 @@ struct PathContext
     /** Live: not yet killed by a branch resolution. */
     bool live = true;
 
+    /** First cycle this path may fetch (redirect latency modelling). */
+    Cycle fetchStart = 0;
+
     /** Speculatively updated global branch history (per §4.2). */
     u64 ghr = 0;
 

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deferred branch-commit broadcast (§3.2.3 "commit", lazily applied).
+ *
+ * When a branch commits, its history position becomes dead state in
+ * every live CTX tag. The seed implementation swept the whole
+ * instruction window and front-end per branch commit to reset that one
+ * valid bit — O(window) work on every commit of a branch.
+ *
+ * CommitClearLog defers the broadcast instead: commits append the
+ * vacated position to a log, and every instruction carries a watermark
+ * (`DynInst::clearsSeen`) of how much of the log its tag has absorbed.
+ * Consumers either
+ *   - apply() the outstanding suffix of the log to a tag when they next
+ *     touch the instruction (rename, load issue, tracing), or
+ *   - answer the only question the resolution bus asks — "is the bit at
+ *     position P stale?" — in O(1) via pendingSince(), because the log
+ *     records the index of each position's most recent clear.
+ *
+ * Wrap-around position reuse is what makes the staleness check
+ * necessary AND sufficient: a tag can never *gain* a position after
+ * fetch, so a set bit is either current (no clear recorded since the
+ * watermark) or stale (a clear was recorded after it — the position
+ * now belongs to a younger branch and must be ignored).
+ */
+
+#ifndef POLYPATH_CTX_CLEAR_LOG_HH
+#define POLYPATH_CTX_CLEAR_LOG_HH
+
+#include <array>
+#include <vector>
+
+#include "ctx/ctx_tag.hh"
+
+namespace polypath
+{
+
+/** Append-only log of committed (vacated) history positions. */
+class CommitClearLog
+{
+  public:
+    /** Record the commit broadcast for @p pos. */
+    void
+    record(u8 pos)
+    {
+        log.push_back(pos);
+        lastClear[pos] = static_cast<u32>(log.size());
+    }
+
+    /** Broadcasts recorded so far (watermark for new instructions). */
+    u32 watermark() const { return static_cast<u32>(log.size()); }
+
+    /**
+     * Has position @p pos been cleared after watermark @p seen?
+     * If so, a valid bit at @p pos in a tag with that watermark is
+     * stale and must be treated as invalid.
+     */
+    bool
+    pendingSince(u32 seen, unsigned pos) const
+    {
+        return lastClear[pos] > seen;
+    }
+
+    /** Apply all broadcasts past @p seen to @p tag and advance the
+     *  watermark. */
+    void
+    apply(CtxTag &tag, u32 &seen) const
+    {
+        for (u32 i = seen; i < log.size(); ++i)
+            tag.clearPosition(log[i]);
+        seen = static_cast<u32>(log.size());
+    }
+
+    /**
+     * Forget the whole history. Only legal once every live tag has
+     * absorbed the full log (the core rebases watermarks to zero in the
+     * same pass); bounds log growth on very long runs.
+     */
+    void
+    rebase()
+    {
+        log.clear();
+        lastClear.fill(0);
+    }
+
+  private:
+    std::vector<u8> log;
+    /** 1-based log index of each position's most recent clear;
+     *  0 = never cleared. */
+    std::array<u32, maxHistPositions> lastClear{};
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_CTX_CLEAR_LOG_HH

@@ -32,8 +32,10 @@ class HistAlloc
     {
         panic_if(num_positions == 0 || num_positions > maxHistPositions,
                  "HistAlloc: %u positions unsupported", num_positions);
-        for (unsigned pos = 0; pos < num_positions; ++pos)
+        for (unsigned pos = 0; pos < num_positions; ++pos) {
             freeList.push_back(static_cast<u8>(pos));
+            freeMask |= u64(1) << pos;
+        }
     }
 
     /** Total positions (the tag width in history entries). */
@@ -55,6 +57,7 @@ class HistAlloc
         panic_if(freeList.empty(), "HistAlloc: allocation with none free");
         u8 pos = freeList.front();
         freeList.pop_front();
+        freeMask &= ~(u64(1) << pos);
         return pos;
     }
 
@@ -63,14 +66,18 @@ class HistAlloc
     release(u8 pos)
     {
         panic_if(pos >= numPositions, "HistAlloc: bad position %u", pos);
-        for (u8 p : freeList)
-            panic_if(p == pos, "HistAlloc: double release of %u", pos);
+        panic_if(freeMask & (u64(1) << pos),
+                 "HistAlloc: double release of %u", pos);
+        freeMask |= u64(1) << pos;
         freeList.push_back(pos);
     }
 
   private:
     unsigned numPositions;
     std::deque<u8> freeList;
+    /** Bit per position mirroring freeList membership: makes the
+     *  double-release check O(1) instead of a list scan per commit. */
+    u64 freeMask = 0;
 };
 
 } // namespace polypath

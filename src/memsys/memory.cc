@@ -8,8 +8,20 @@ namespace polypath
 const SparseMemory::Page *
 SparseMemory::findPage(Addr addr) const
 {
-    auto it = pages.find(addr >> pageShift);
-    return it == pages.end() ? nullptr : it->second.get();
+    return lookupPage(addr >> pageShift);
+}
+
+const SparseMemory::Page *
+SparseMemory::lookupPage(u64 page_idx) const
+{
+    if (page_idx == cachedIdx)
+        return cachedPage;
+    auto it = pages.find(page_idx);
+    if (it == pages.end())
+        return nullptr;     // absence is never cached (pages can appear)
+    cachedIdx = page_idx;
+    cachedPage = it->second.get();
+    return cachedPage;
 }
 
 SparseMemory::Page &
@@ -42,6 +54,18 @@ u64
 SparseMemory::read(Addr addr, unsigned size) const
 {
     panic_if(size == 0 || size > 8, "memory read of size %u", size);
+    // Fast path: the access lies within one page (the overwhelmingly
+    // common case), so the page is resolved once instead of per byte.
+    if ((addr >> pageShift) == ((addr + size - 1) >> pageShift)) {
+        const Page *page = lookupPage(addr >> pageShift);
+        if (!page)
+            return 0;
+        const u8 *bytes = page->data() + (addr & (pageBytes - 1));
+        u64 value = 0;
+        for (unsigned i = 0; i < size; ++i)
+            value |= static_cast<u64>(bytes[i]) << (8 * i);
+        return value;
+    }
     u64 value = 0;
     for (unsigned i = 0; i < size; ++i)
         value |= static_cast<u64>(readByte(addr + i)) << (8 * i);
@@ -52,6 +76,12 @@ void
 SparseMemory::write(Addr addr, u64 value, unsigned size)
 {
     panic_if(size == 0 || size > 8, "memory write of size %u", size);
+    if ((addr >> pageShift) == ((addr + size - 1) >> pageShift)) {
+        u8 *bytes = getPage(addr).data() + (addr & (pageBytes - 1));
+        for (unsigned i = 0; i < size; ++i)
+            bytes[i] = static_cast<u8>(value >> (8 * i));
+        return;
+    }
     for (unsigned i = 0; i < size; ++i)
         writeByte(addr + i, static_cast<u8>(value >> (8 * i)));
 }

@@ -68,7 +68,19 @@ class SparseMemory
     const Page *findPage(Addr addr) const;
     Page &getPage(Addr addr);
 
+    /** Page lookup through a one-entry cache. Only present pages are
+     *  cached: pages are never removed and their storage is stable
+     *  under rehash, so the cache can never go stale. */
+    const Page *lookupPage(u64 page_idx) const;
+
     std::unordered_map<u64, std::unique_ptr<Page>> pages;
+
+    /** Last page hit (fetch and data streams are strongly local).
+     *  Mutable cache: not safe for concurrent reads of the *same*
+     *  memory, which the simulator never does (one memory per core,
+     *  one core per thread). */
+    mutable u64 cachedIdx = ~u64(0);
+    mutable const Page *cachedPage = nullptr;
 };
 
 } // namespace polypath

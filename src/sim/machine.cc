@@ -1,6 +1,9 @@
 #include "machine.hh"
 
 #include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
 #include <thread>
 
 #include "common/logging.hh"
@@ -24,10 +27,24 @@ simulate(const Program &program, const SimConfig &cfg,
                          ? cfg.maxCycles
                          : 50 * golden.instructions + 1'000'000;
     while (!core.halted()) {
+        // Two distinct guards can stop a wedged run: this coarse
+        // whole-run cycle cap, and the core's own no-commit deadlock
+        // detector (PolyPathCore::deadlockThreshold), which fires first
+        // when commits stop entirely. Name the one that fired.
         fatal_if(core.cycle() >= max_cycles,
-                 "simulation of %s exceeded %llu cycles",
+                 "simulation cycle cap: %s exceeded %llu cycles "
+                 "(cap = %s; last commit at cycle %llu, %llu committed; "
+                 "the core's no-commit deadlock guard of %llu cycles did "
+                 "not fire, so the run is slow rather than wedged)",
                  program.name.c_str(),
-                 static_cast<unsigned long long>(max_cycles));
+                 static_cast<unsigned long long>(max_cycles),
+                 cfg.maxCycles ? "cfg.maxCycles"
+                               : "50 * golden instructions + 1M",
+                 static_cast<unsigned long long>(core.lastCommit()),
+                 static_cast<unsigned long long>(
+                     core.stats().committedInstrs),
+                 static_cast<unsigned long long>(
+                     PolyPathCore::deadlockThreshold));
         core.tick();
     }
 
@@ -72,6 +89,13 @@ std::vector<SimResult>
 runParallel(const std::vector<std::function<SimResult()>> &jobs,
             unsigned num_workers)
 {
+    // PP_BENCH_WORKERS overrides the worker count (0/unset/garbage =
+    // caller's choice, which itself defaults to hardware concurrency).
+    if (const char *env = std::getenv("PP_BENCH_WORKERS")) {
+        unsigned long parsed = std::strtoul(env, nullptr, 10);
+        if (parsed > 0)
+            num_workers = static_cast<unsigned>(parsed);
+    }
     if (num_workers == 0) {
         num_workers = std::thread::hardware_concurrency();
         if (num_workers == 0)
@@ -81,12 +105,32 @@ runParallel(const std::vector<std::function<SimResult()>> &jobs,
     std::vector<SimResult> results(jobs.size());
     std::atomic<size_t> next{0};
 
+    // A job that throws (bad_alloc, exceptions from user-supplied
+    // thunks) must not escape a worker thread — that would
+    // std::terminate the process with no usable diagnostic. Capture the
+    // first exception and rethrow it on the joining thread; remaining
+    // jobs are abandoned.
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
     auto worker = [&]() {
         while (true) {
             size_t idx = next.fetch_add(1);
             if (idx >= jobs.size())
                 break;
-            results[idx] = jobs[idx]();
+            {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (first_error)
+                    break;      // another worker already failed
+            }
+            try {
+                results[idx] = jobs[idx]();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                break;
+            }
         }
     };
 
@@ -96,6 +140,8 @@ runParallel(const std::vector<std::function<SimResult()>> &jobs,
         threads.emplace_back(worker);
     for (std::thread &thread : threads)
         thread.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
     return results;
 }
 

@@ -57,6 +57,12 @@ SimResult simulate(const Program &program, const SimConfig &cfg);
  * Run many independent simulations on a small worker pool (the
  * experiment sweeps are embarrassingly parallel).
  *
+ * The PP_BENCH_WORKERS environment variable, when set to a positive
+ * integer, overrides @p num_workers. If a job throws, the first
+ * exception is rethrown from this function on the calling thread
+ * (instead of std::terminate-ing the process from a worker);
+ * remaining jobs are abandoned.
+ *
  * @param jobs thunks, each returning one SimResult
  * @param num_workers 0 = hardware concurrency
  * @return results in job order

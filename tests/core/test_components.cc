@@ -21,7 +21,7 @@ namespace
 DynInstPtr
 makeInst(InstSeq seq, const CtxTag &tag)
 {
-    auto inst = std::make_shared<DynInst>();
+    DynInstPtr inst = makeHeapInst();
     inst->seq = seq;
     inst->tag = tag;
     return inst;

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Property tests for the lazy wrong-path squash machinery: the
+ * InstructionWindow with deferred compaction plus the CommitClearLog
+ * must be observationally identical to the seed's eager implementation
+ * (rebuild-on-kill, sweep-on-commit) under arbitrary interleavings of
+ * resolution and commit broadcasts.
+ *
+ * The reference model keeps every tag eagerly up to date and kills by
+ * rebuilding; the unit under test marks in place, consults the clear
+ * log for staleness, and compacts opportunistically. After every step
+ * the live contents, kill sets and head/commit order must match.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "core/iwindow.hh"
+#include "ctx/clear_log.hh"
+
+namespace polypath
+{
+namespace
+{
+
+DynInstPtr
+makeInst(InstSeq seq, const CtxTag &tag, u32 clears_seen)
+{
+    DynInstPtr inst = makeHeapInst();
+    inst->seq = seq;
+    inst->tag = tag;
+    inst->clearsSeen = clears_seen;
+    return inst;
+}
+
+/** Eager reference model of the window's snoop semantics (the seed
+ *  implementation restated). */
+struct EagerModel
+{
+    struct Entry
+    {
+        InstSeq seq;
+        CtxTag tag;
+    };
+    std::vector<Entry> entries;     //!< live, fetch order
+
+    void insert(InstSeq seq, const CtxTag &tag)
+    {
+        entries.push_back({seq, tag});
+    }
+
+    std::vector<InstSeq> killWrongPath(unsigned pos, bool actual)
+    {
+        std::vector<InstSeq> killed;
+        std::vector<Entry> kept;
+        for (const Entry &e : entries) {
+            if (e.tag.onWrongSide(pos, actual))
+                killed.push_back(e.seq);
+            else
+                kept.push_back(e);
+        }
+        entries.swap(kept);
+        return killed;
+    }
+
+    void commitPosition(unsigned pos)
+    {
+        for (Entry &e : entries)
+            e.tag.clearPosition(pos);
+    }
+
+    std::vector<InstSeq> liveSeqs() const
+    {
+        std::vector<InstSeq> seqs;
+        for (const Entry &e : entries)
+            seqs.push_back(e.seq);
+        return seqs;
+    }
+};
+
+std::vector<InstSeq>
+liveSeqs(const InstructionWindow &window)
+{
+    std::vector<InstSeq> seqs;
+    window.forEachLive([&](const DynInstPtr &inst) {
+        seqs.push_back(inst->seq);
+    });
+    return seqs;
+}
+
+// ------------------------------------------------------------------
+// Deterministic Fig. 6 snoop scenarios under position reuse
+// ------------------------------------------------------------------
+
+TEST(LazySquash, StaleBitFromRecycledPositionDoesNotKill)
+{
+    // Branch B1 takes position 3; inst1 is fetched on B1's taken side.
+    // B1 commits (vacating 3); a younger branch B2 reuses position 3
+    // and inst2 is fetched on B2's not-taken side. When B2 resolves
+    // taken, inst2 must die — and inst1, whose *stale* bit at 3 says
+    // "taken side", must survive: its bit belongs to the dead B1.
+    CommitClearLog log;
+    InstructionWindow window(8, &log);
+
+    CtxTag root;
+    DynInstPtr inst1 = makeInst(1, root.child(3, true), log.watermark());
+    window.insert(inst1);
+
+    log.record(3);          // B1 commits; inst1 has not absorbed it
+
+    DynInstPtr inst2 = makeInst(2, root.child(3, false), log.watermark());
+    window.insert(inst2);
+
+    std::vector<InstSeq> killed;
+    unsigned n = window.killWrongPath(3, true,
+                                      [&](const DynInstPtr &inst) {
+                                          killed.push_back(inst->seq);
+                                      });
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(killed, (std::vector<InstSeq>{2}));
+    EXPECT_EQ(liveSeqs(window), (std::vector<InstSeq>{1}));
+
+    // The eager sweep on the same history agrees.
+    EagerModel model;
+    model.insert(1, root.child(3, true));
+    model.commitPosition(3);
+    model.insert(2, root.child(3, false));
+    EXPECT_EQ(model.killWrongPath(3, true), killed);
+    EXPECT_EQ(model.liveSeqs(), liveSeqs(window));
+}
+
+TEST(LazySquash, SquashedEntriesDrainAtHeadAndCompact)
+{
+    CommitClearLog log;
+    InstructionWindow window(8, &log);
+    CtxTag root;
+    CtxTag taken = root.child(1, true);
+    CtxTag not_taken = root.child(1, false);
+
+    window.insert(makeInst(1, taken, 0));
+    window.insert(makeInst(2, taken, 0));
+    window.insert(makeInst(3, not_taken, 0));
+    ASSERT_EQ(window.size(), 3u);
+
+    unsigned n = window.killWrongPath(1, false, [](const DynInstPtr &) {});
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(window.size(), 1u);
+    EXPECT_FALSE(window.full());
+    // The two squashed entries sit in front of the survivor; head()
+    // must skip straight past them.
+    EXPECT_EQ(window.head()->seq, 3u);
+    window.popHead();
+    EXPECT_TRUE(window.empty());
+}
+
+TEST(LazySquash, CapacityCountsLiveEntriesOnly)
+{
+    CommitClearLog log;
+    InstructionWindow window(2, &log);
+    CtxTag root;
+    CtxTag wrong = root.child(0, false);
+
+    window.insert(makeInst(1, wrong, 0));
+    window.insert(makeInst(2, wrong, 0));
+    EXPECT_TRUE(window.full());
+    window.killWrongPath(0, true, [](const DynInstPtr &) {});
+    // Both entries are squashed but possibly not yet compacted; the
+    // window must report empty and accept new inserts regardless.
+    EXPECT_TRUE(window.empty());
+    EXPECT_FALSE(window.full());
+    window.insert(makeInst(3, root.child(0, true), 0));
+    EXPECT_EQ(window.size(), 1u);
+    EXPECT_EQ(window.head()->seq, 3u);
+}
+
+// ------------------------------------------------------------------
+// Randomized equivalence against the eager model
+// ------------------------------------------------------------------
+
+TEST(LazySquash, RandomInterleavingsMatchEagerModel)
+{
+    constexpr unsigned tagWidth = 8;
+
+    for (u32 seed = 1; seed <= 8; ++seed) {
+        std::mt19937 rng(seed);
+        auto chance = [&](int pct) {
+            return static_cast<int>(rng() % 100) < pct;
+        };
+
+        CommitClearLog log;
+        InstructionWindow window(64, &log);
+        EagerModel model;
+
+        // Simplified branch-tree driver: a set of live leaf tags (kept
+        // eagerly current, as the core keeps its path contexts), a
+        // wrap-around position allocator, and per-position bookkeeping
+        // of whether the owning branch is still outstanding.
+        std::vector<CtxTag> leafTags{CtxTag{}};
+        std::vector<u8> freePos;
+        for (unsigned p = 0; p < tagWidth; ++p)
+            freePos.push_back(static_cast<u8>(p));
+        std::vector<u8> outstanding;    //!< allocated, not yet vacated
+        InstSeq nextSeq = 1;
+
+        for (int step = 0; step < 600; ++step) {
+            int op = static_cast<int>(rng() % 100);
+
+            if (op < 45 && !window.full()) {
+                // Fetch: an instruction from a random leaf.
+                size_t leaf = rng() % leafTags.size();
+                InstSeq seq = nextSeq++;
+                window.insert(
+                    makeInst(seq, leafTags[leaf], log.watermark()));
+                model.insert(seq, leafTags[leaf]);
+            } else if (op < 65 && !freePos.empty() &&
+                       leafTags.size() < 6) {
+                // Branch: a leaf takes a position; with 50% odds it
+                // diverges (both directions live on), otherwise it
+                // follows one predicted direction.
+                size_t leaf = rng() % leafTags.size();
+                u8 pos = freePos.front();
+                freePos.erase(freePos.begin());
+                outstanding.push_back(pos);
+                CtxTag parent = leafTags[leaf];
+                if (chance(50)) {
+                    leafTags[leaf] = parent.child(pos, true);
+                    leafTags.push_back(parent.child(pos, false));
+                } else {
+                    leafTags[leaf] = parent.child(pos, chance(50));
+                }
+            } else if (op < 85 && !outstanding.empty()) {
+                // Resolve: a random outstanding branch announces its
+                // direction on the resolution bus. Pick the direction
+                // that leaves at least one leaf alive when possible
+                // (the core always has a live path: the correct one).
+                size_t pick = rng() % outstanding.size();
+                u8 pos = outstanding[pick];
+                bool actual = chance(50);
+                auto survivors = [&](bool dir) {
+                    size_t n = 0;
+                    for (const CtxTag &tag : leafTags)
+                        if (!tag.onWrongSide(pos, dir))
+                            ++n;
+                    return n;
+                };
+                if (survivors(actual) == 0)
+                    actual = !actual;
+
+                std::vector<InstSeq> killed;
+                window.killWrongPath(pos, actual,
+                                     [&](const DynInstPtr &inst) {
+                                         killed.push_back(inst->seq);
+                                     });
+                EXPECT_EQ(killed, model.killWrongPath(pos, actual));
+
+                std::erase_if(leafTags, [&](const CtxTag &tag) {
+                    return tag.onWrongSide(pos, actual);
+                });
+                ASSERT_FALSE(leafTags.empty());
+
+                // The branch is done with its position: vacate it on
+                // the commit bus (kills recycle immediately; commits
+                // broadcast) — either way every carrier must forget it.
+                outstanding.erase(outstanding.begin() + pick);
+                log.record(pos);
+                model.commitPosition(pos);
+                for (CtxTag &tag : leafTags)
+                    tag.clearPosition(pos);
+                freePos.push_back(pos);
+            } else if (!window.empty()) {
+                // Commit: pop the oldest live instruction.
+                ASSERT_FALSE(model.entries.empty());
+                EXPECT_EQ(window.head()->seq, model.entries.front().seq);
+                window.popHead();
+                model.entries.erase(model.entries.begin());
+            }
+
+            ASSERT_EQ(liveSeqs(window), model.liveSeqs())
+                << "divergence at seed " << seed << " step " << step;
+            ASSERT_EQ(window.size(), model.entries.size());
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace polypath

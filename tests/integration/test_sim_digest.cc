@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Cycle-exact regression pins: the full SimStats digest (committed
+ * instructions, cycles, kills, divergences, recoveries) of
+ * representative workload/configuration pairs, recorded from the
+ * original eager-bookkeeping implementation.
+ *
+ * The pooled-DynInst / lazy-squash machinery is required to be
+ * observationally invisible — not just "still verifies", but the exact
+ * same timing behaviour, kill counts and path population on every
+ * cycle. Any change to these numbers is a semantic change to the
+ * simulated machine and must be deliberate (re-record the digests in
+ * that case, and say why in the commit).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+namespace polypath
+{
+namespace
+{
+
+struct StatsDigest
+{
+    const char *workload;
+    const char *config;
+    u64 committedInstrs;
+    u64 cycles;
+    u64 fetchedInstrs;
+    u64 killedInstrs;
+    u64 killedFrontend;
+    u64 divergences;
+    u64 recoveries;
+    u64 retRecoveries;
+};
+
+// Recorded at scale 0.02 (see) / 0.05 (monopath, dualpath) from the
+// pre-pool implementation; see file comment.
+constexpr StatsDigest goldenDigests[] = {
+    {"compress", "see", 9193ull, 4469ull, 20678ull, 9661ull, 1824ull, 544ull, 43ull, 0ull},
+    {"gcc", "see", 13102ull, 5996ull, 35487ull, 9135ull, 13250ull, 2209ull, 259ull, 0ull},
+    {"perl", "see", 10504ull, 4002ull, 27152ull, 5187ull, 11461ull, 2036ull, 105ull, 0ull},
+    {"go", "see", 16785ull, 13620ull, 89468ull, 34832ull, 37851ull, 17609ull, 249ull, 0ull},
+    {"m88ksim", "see", 16437ull, 4989ull, 28742ull, 8338ull, 3967ull, 749ull, 42ull, 0ull},
+    {"xlisp", "see", 7123ull, 2931ull, 22694ull, 7764ull, 7807ull, 1801ull, 6ull, 0ull},
+    {"vortex", "see", 46834ull, 6939ull, 49729ull, 1756ull, 1139ull, 360ull, 7ull, 0ull},
+    {"jpeg", "see", 10412ull, 2863ull, 21550ull, 5419ull, 5719ull, 1010ull, 66ull, 0ull},
+    {"compress", "monopath", 23025ull, 12378ull, 46238ull, 21000ull, 2213ull, 0ull, 262ull, 0ull},
+    {"go", "dualpath", 42296ull, 45079ull, 243871ull, 107947ull, 93628ull, 5448ull, 3677ull, 0ull},
+};
+
+SimConfig
+configFor(const std::string &name)
+{
+    if (name == "see")
+        return SimConfig::seeJrs();
+    if (name == "monopath")
+        return SimConfig::monopath();
+    return SimConfig::dualPathJrs();
+}
+
+class SimDigest : public ::testing::TestWithParam<StatsDigest> {};
+
+TEST_P(SimDigest, MatchesRecordedStats)
+{
+    const StatsDigest &want = GetParam();
+    WorkloadParams params;
+    params.scale = std::string(want.config) == "see" ? 0.02 : 0.05;
+    Program program = buildWorkload(want.workload, params);
+    InterpResult golden = runGolden(program);
+    SimResult r = simulate(program, configFor(want.config), golden);
+    ASSERT_TRUE(r.verified);
+
+    const SimStats &s = r.stats;
+    EXPECT_EQ(s.committedInstrs, want.committedInstrs);
+    EXPECT_EQ(s.cycles, want.cycles);
+    EXPECT_EQ(s.fetchedInstrs, want.fetchedInstrs);
+    EXPECT_EQ(s.killedInstrs, want.killedInstrs);
+    EXPECT_EQ(s.killedFrontend, want.killedFrontend);
+    EXPECT_EQ(s.divergences, want.divergences);
+    EXPECT_EQ(s.recoveries, want.recoveries);
+    EXPECT_EQ(s.retRecoveries, want.retRecoveries);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pins, SimDigest, ::testing::ValuesIn(goldenDigests),
+    [](const ::testing::TestParamInfo<StatsDigest> &info) {
+        return std::string(info.param.workload) + "_" +
+               info.param.config;
+    });
+
+} // anonymous namespace
+} // namespace polypath

@@ -6,6 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
 #include "asmkit/assembler.hh"
 #include "sim/machine.hh"
 #include "workloads/workload_util.hh"
@@ -77,6 +83,60 @@ TEST(MachineDeath, CycleCapIsFatal)
             simulate(countdown(100000), cfg);
         },
         ::testing::ExitedWithCode(1), "exceeded");
+}
+
+TEST(MachineDeath, CycleCapMessageNamesGuardAndLastCommit)
+{
+    // Two guards can stop a run (the whole-run cycle cap and the core's
+    // no-commit deadlock detector); the fatal message must say which
+    // fired and carry the last-commit diagnosis.
+    EXPECT_EXIT(
+        {
+            SimConfig cfg = SimConfig::monopath();
+            cfg.maxCycles = 10;
+            simulate(countdown(100000), cfg);
+        },
+        ::testing::ExitedWithCode(1),
+        "simulation cycle cap:.*last commit at cycle.*deadlock guard");
+}
+
+TEST(Machine, RunParallelRethrowsJobException)
+{
+    std::vector<std::function<SimResult()>> jobs;
+    jobs.emplace_back([] { return simulate(countdown(50),
+                                           SimConfig::monopath()); });
+    jobs.emplace_back([]() -> SimResult {
+        throw std::runtime_error("job exploded");
+    });
+    jobs.emplace_back([] { return simulate(countdown(50),
+                                           SimConfig::monopath()); });
+    // Without capture/rethrow this would std::terminate from a worker
+    // thread; the exception must surface on the calling thread instead.
+    EXPECT_THROW(runParallel(jobs, 2), std::runtime_error);
+}
+
+TEST(Machine, RunParallelHonoursWorkerEnvOverride)
+{
+    ASSERT_EQ(setenv("PP_BENCH_WORKERS", "1", 1), 0);
+    std::mutex mutex;
+    std::set<std::thread::id> seen;
+    std::vector<std::function<SimResult()>> jobs;
+    for (int i = 0; i < 4; ++i) {
+        jobs.emplace_back([&] {
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                seen.insert(std::this_thread::get_id());
+            }
+            return simulate(countdown(20), SimConfig::monopath());
+        });
+    }
+    std::vector<SimResult> results = runParallel(jobs, /*num_workers=*/4);
+    ASSERT_EQ(unsetenv("PP_BENCH_WORKERS"), 0);
+    // The env override forced a single worker despite num_workers = 4.
+    EXPECT_EQ(seen.size(), 1u);
+    ASSERT_EQ(results.size(), 4u);
+    for (const SimResult &r : results)
+        EXPECT_TRUE(r.verified);
 }
 
 TEST(Machine, BranchProfilesMatchAggregateStats)

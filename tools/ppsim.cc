@@ -25,9 +25,12 @@
  *     --imperfect-dcache  enable the D-cache timing model
  *     --trace             print every pipeline event
  *     --compare           run all six paper categories and summarise
+ *     --kips              also time the run and report simulated KIPS
+ *                         (committed kilo-instructions per host second)
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -99,6 +102,7 @@ main(int argc, char **argv)
     SimConfig cfg = SimConfig::seeJrs();
     bool trace = false;
     bool compare = false;
+    bool kips = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -137,6 +141,8 @@ main(int argc, char **argv)
             cfg.profileBranches = true;
         } else if (arg == "--compare") {
             compare = true;
+        } else if (arg == "--kips") {
+            kips = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage();
@@ -235,9 +241,20 @@ main(int argc, char **argv)
         return 0;
     }
 
+    auto start = std::chrono::steady_clock::now();
     SimResult r = simulate(program, cfg, golden);
+    auto stop = std::chrono::steady_clock::now();
     std::printf("configuration: %s\n%s", r.category.c_str(),
                 r.stats.toString().c_str());
     std::printf("verified: %s\n", r.verified ? "yes" : "NO");
+    if (kips) {
+        double secs =
+            std::chrono::duration<double>(stop - start).count();
+        std::printf("host time %.3f s  sim speed %.1f KIPS "
+                    "(committed), %.1f KHz (cycles)\n",
+                    secs,
+                    r.stats.committedInstrs / secs / 1e3,
+                    r.stats.cycles / secs / 1e3);
+    }
     return 0;
 }
