@@ -1,0 +1,28 @@
+; dotprod.s — dot product of two constant 4-element vectors.
+;
+; Exercises aligned quadword loads behind a strided pointer walk; the
+; .align directive keeps every access 8-byte aligned, which pplint's
+; constant-propagation pass verifies where it can derive the address.
+
+        .data
+        .align  8
+veca:   .quad   1, 2, 3, 4
+vecb:   .quad   5, 6, 7, 8
+result: .quad   0
+
+        .text
+        li      r1, veca
+        li      r2, vecb
+        li      r3, 4           ; element counter
+        li      r4, 0           ; accumulator
+dloop:  ldq     r5, 0(r1)
+        ldq     r6, 0(r2)
+        mul     r5, r6, r5
+        add     r4, r5, r4
+        addi    r1, 8, r1
+        addi    r2, 8, r2
+        addi    r3, -1, r3
+        bgt     r3, dloop
+        li      r7, result
+        stq     r4, 0(r7)
+        halt

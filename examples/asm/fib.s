@@ -1,0 +1,28 @@
+; fib.s — compute fib(12) in a called routine and store the result.
+;
+; Demonstrates the JSR/RET calling convention: r16 carries the
+; argument, v0 the return value, ra the return address. pplint's
+; interprocedural analysis checks the argument is written before the
+; call and knows the callee defines v0.
+
+        .data
+        .align  8
+result: .quad   0
+
+        .text
+        li      r16, 12
+        jsr     ra, fib
+        li      r1, result
+        stq     v0, 0(r1)
+        halt
+
+; fib(r16) -> v0, iteratively. Clobbers r2, r3, r16.
+fib:    li      v0, 0           ; fib(0)
+        li      r2, 1           ; fib(1)
+floop:  ble     r16, fdone
+        add     v0, r2, r3
+        mov     r2, v0
+        mov     r3, r2
+        addi    r16, -1, r16
+        br      floop
+fdone:  ret     ra

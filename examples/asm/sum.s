@@ -1,0 +1,18 @@
+; sum.s — sum the integers 1..100 and store the result.
+;
+; The simplest complete PPR program: a counted loop, a memory store
+; for the result, and a halt. Lints clean under pplint.
+
+        .data
+        .align  8
+result: .quad   0
+
+        .text
+        li      r1, 100         ; n
+        li      v0, 0           ; accumulator
+loop:   add     v0, r1, v0
+        addi    r1, -1, r1
+        bgt     r1, loop
+        li      r2, result
+        stq     v0, 0(r2)
+        halt

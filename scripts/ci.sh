@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# The full local CI gauntlet:
+#
+#   1. Debug build with address+undefined sanitizers
+#   2. the complete ctest suite under those sanitizers
+#   3. clang-tidy over the first-party sources (skipped if absent)
+#   4. pplint over the whole program corpus (workloads + examples/asm)
+#
+#   scripts/ci.sh [build-dir]
+#
+# The build directory defaults to build-ci (separate from the normal
+# ./build tree so sanitizer flags do not pollute incremental builds).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-ci}"
+jobs="$(nproc 2> /dev/null || echo 4)"
+
+echo "=== [1/4] configure + build (Debug, asan+ubsan) ==="
+cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DPOLYPATH_SANITIZE=ON > /dev/null
+cmake --build "$build_dir" -j "$jobs"
+
+echo "=== [2/4] ctest ==="
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+echo "=== [3/4] clang-tidy ==="
+"$repo_root/scripts/run_clang_tidy.sh" "$build_dir"
+
+echo "=== [4/4] pplint corpus ==="
+"$build_dir/tools/pplint" --all-workloads --quiet --min-severity warning
+for example in "$repo_root"/examples/asm/*.s; do
+    "$build_dir/tools/pplint" --quiet --min-severity warning "$example"
+done
+
+echo "ci: all green"

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config in .clang-tidy) over the first-party sources
+# using the compilation database from a CMake build tree.
+#
+#   scripts/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# The build directory defaults to ./build and must have been configured
+# already (CMAKE_EXPORT_COMPILE_COMMANDS is on by default). Exits 0 and
+# prints a notice when clang-tidy is not installed, so CI on minimal
+# images degrades gracefully instead of failing.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+if [[ "${1:-}" == "--" ]]; then
+    shift
+fi
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy_bin" > /dev/null 2>&1; then
+    echo "run_clang_tidy: $tidy_bin not found in PATH; skipping" >&2
+    exit 0
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+    echo "run_clang_tidy: no compile_commands.json in $build_dir" >&2
+    echo "run_clang_tidy: configure first: cmake -B $build_dir -S $repo_root" >&2
+    exit 1
+fi
+
+# First-party translation units only; third-party and generated code is
+# not ours to lint.
+mapfile -t sources < <(cd "$repo_root" &&
+    find src tools examples bench -name '*.cc' -o -name '*.cpp' | sort)
+
+echo "run_clang_tidy: checking ${#sources[@]} files"
+status=0
+for src in "${sources[@]}"; do
+    if ! "$tidy_bin" -p "$build_dir" --quiet "$@" "$repo_root/$src"; then
+        status=1
+    fi
+done
+exit $status

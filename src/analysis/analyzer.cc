@@ -1,0 +1,122 @@
+#include "analyzer.hh"
+
+#include <cstdio>
+
+#include "analysis/cfg.hh"
+#include "analysis/constprop.hh"
+#include "analysis/defuse.hh"
+#include "asmkit/program.hh"
+
+namespace polypath
+{
+
+namespace
+{
+
+std::string
+hexAddr(Addr addr)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%#llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+/**
+ * Structural checks that only need the CFG and the reachability bitmap:
+ * reachable-invalid, fall-off-end, unreachable-code and missing-halt.
+ */
+void
+checkStructure(const CodeView &code, const Cfg &cfg,
+               DiagnosticEngine &diags)
+{
+    std::vector<bool> reachable = cfg.reachableFromEntry();
+    bool halt_reachable = false;
+
+    for (const BasicBlock &blk : cfg.blocks()) {
+        if (!reachable[blk.id]) {
+            size_t count = blk.last - blk.first + 1;
+            char desc[64];
+            std::snprintf(desc, sizeof(desc),
+                          " (%zu instruction%s)", count,
+                          count == 1 ? "" : "s");
+            diags.report(DiagCode::UnreachableCode, blk.first,
+                         "code at " + hexAddr(code.pcOf(blk.first)) +
+                             " is unreachable from the entry point" +
+                             desc);
+            continue;
+        }
+
+        for (size_t i = blk.first; i <= blk.last; ++i) {
+            const OpInfo &info = code.instrs[i].info();
+            if (info.isInvalid) {
+                diags.report(DiagCode::ReachableInvalid, i,
+                             "invalid instruction word is reachable "
+                             "from the entry point");
+            }
+            halt_reachable |= info.isHalt;
+        }
+
+        if (blk.fallsOffEnd) {
+            diags.report(DiagCode::FallOffEnd, blk.last,
+                         "execution can run past the last instruction "
+                         "('" + code.instrs[blk.last].toString() +
+                             "' does not end the program)");
+        }
+    }
+
+    if (!halt_reachable) {
+        diags.reportGlobal(DiagCode::MissingHalt,
+                           "no HALT instruction is reachable from the "
+                           "entry point");
+    }
+}
+
+} // anonymous namespace
+
+AnalysisResult
+analyzeProgram(const Program &program, const AnalysisOptions &options)
+{
+    AnalysisResult result{DiagnosticEngine(program)};
+    DiagnosticEngine &diags = result.diags;
+
+    CodeView code = CodeView::decode(program);
+    result.numInstrs = code.size();
+
+    // The entry point must land on an instruction; without that there is
+    // nothing meaningful to analyze.
+    if (code.instrs.empty()) {
+        diags.reportGlobal(DiagCode::BadEntry,
+                           "program contains no code");
+        return result;
+    }
+    if (!code.contains(program.entry)) {
+        diags.reportGlobal(
+            DiagCode::BadEntry,
+            "entry point " + hexAddr(program.entry) +
+                (program.entry % 4 != 0
+                     ? " is not word aligned"
+                     : " is outside the code image [" +
+                           hexAddr(code.codeBase) + ", " +
+                           hexAddr(code.codeBase + 4 * code.size()) +
+                           ")"));
+        return result;
+    }
+
+    // CFG construction reports branch-out-of-range / misaligned-target.
+    Cfg cfg(code, diags);
+    result.numBlocks = cfg.blocks().size();
+
+    checkStructure(code, cfg, diags);
+
+    DefUseAnalysis defuse(code, cfg);
+    defuse.run(diags, options.deadWrites);
+    result.numRoutines = defuse.routines().size();
+
+    runConstProp(code, cfg, defuse, diags);
+
+    diags.sort();
+    return result;
+}
+
+} // namespace polypath

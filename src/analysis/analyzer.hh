@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The top-level static analyzer over assembled Programs.
+ *
+ * analyzeProgram() decodes the code image, builds the CFG, and runs the
+ * full check battery (see docs/ANALYSIS.md for the catalogue):
+ *
+ *   structure     bad-entry, branch-out-of-range, misaligned-target,
+ *                 fall-off-end, missing-halt, reachable-invalid,
+ *                 unreachable-code
+ *   dataflow      use-before-def, ret-at-entry, dead-write
+ *   constants     misaligned-access
+ *
+ * Exposed through the pplint CLI, the ppsim --verify pre-run gate, and
+ * directly to tests/embedders.
+ */
+
+#ifndef POLYPATH_ANALYSIS_ANALYZER_HH
+#define POLYPATH_ANALYSIS_ANALYZER_HH
+
+#include "analysis/diagnostics.hh"
+
+namespace polypath
+{
+
+struct Program;
+
+struct AnalysisOptions
+{
+    /** Run the liveness pass and emit dead-write notes. */
+    bool deadWrites = true;
+};
+
+/** Everything one analysis run produced. */
+struct AnalysisResult
+{
+    DiagnosticEngine diags;
+
+    // Structural statistics (for reporting and tests).
+    size_t numInstrs = 0;
+    size_t numBlocks = 0;
+    size_t numRoutines = 0;
+
+    bool ok() const { return !diags.hasErrors(); }
+};
+
+/** Run every check over @p program. */
+AnalysisResult analyzeProgram(const Program &program,
+                              const AnalysisOptions &options = {});
+
+} // namespace polypath
+
+#endif // POLYPATH_ANALYSIS_ANALYZER_HH

@@ -1,0 +1,145 @@
+#include "cfg.hh"
+
+#include <cstdio>
+
+#include "asmkit/program.hh"
+
+namespace polypath
+{
+
+namespace
+{
+
+std::string
+hexPc(Addr pc)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%#llx",
+                  static_cast<unsigned long long>(pc));
+    return buf;
+}
+
+} // anonymous namespace
+
+CodeView
+CodeView::decode(const Program &program)
+{
+    CodeView view;
+    view.codeBase = program.codeBase;
+    view.entry = program.entry;
+    view.instrs.reserve(program.code.size());
+    for (u32 word : program.code)
+        view.instrs.push_back(decodeInstr(word));
+    return view;
+}
+
+Cfg::Cfg(const CodeView &code, DiagnosticEngine &diags)
+{
+    size_t n = code.size();
+    blockIds.assign(n, 0);
+    if (n == 0)
+        return;
+
+    // --- pass 1: find block leaders ------------------------------------
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    if (code.contains(code.entry))
+        leader[code.indexOf(code.entry)] = true;
+    for (size_t i = 0; i < n; ++i) {
+        const Instr &instr = code.instrs[i];
+        if (!instr.endsBlock())
+            continue;
+        if (i + 1 < n)
+            leader[i + 1] = true;
+        const OpInfo &info = instr.info();
+        if (info.isCondBranch || info.isUncondBranch) {
+            Addr target = instr.targetFrom(code.pcOf(i));
+            if (code.contains(target))
+                leader[code.indexOf(target)] = true;
+        }
+    }
+
+    // --- pass 2: materialise blocks ------------------------------------
+    for (size_t i = 0; i < n; ++i) {
+        if (leader[i]) {
+            BasicBlock blk;
+            blk.id = static_cast<u32>(blockList.size());
+            blk.first = i;
+            blockList.push_back(blk);
+        }
+        blockIds[i] = blockList.back().id;
+        blockList.back().last = i;
+        // A non-leader instruction after a terminator cannot happen:
+        // endsBlock() instructions force a leader at i + 1.
+    }
+
+    // --- pass 3: edges ---------------------------------------------------
+    auto addEdge = [&](u32 from, EdgeKind kind, size_t to_idx) {
+        u32 to = blockIds[to_idx];
+        blockList[from].succs.push_back({kind, to});
+        blockList[to].preds.push_back(from);
+    };
+
+    for (BasicBlock &blk : blockList) {
+        size_t i = blk.last;
+        const Instr &instr = code.instrs[i];
+        const OpInfo &info = instr.info();
+        Addr pc = code.pcOf(i);
+
+        if (info.isCondBranch || info.isUncondBranch) {
+            Addr target = instr.targetFrom(pc);
+            if (target % 4 != 0) {
+                diags.report(DiagCode::MisalignedTarget, i,
+                             std::string(info.name) + " at " + hexPc(pc) +
+                                 " targets misaligned address " +
+                                 hexPc(target));
+            } else if (!code.contains(target)) {
+                diags.report(DiagCode::BranchOutOfRange, i,
+                             std::string(info.name) + " at " + hexPc(pc) +
+                                 " targets " + hexPc(target) +
+                                 ", outside the code image");
+            } else {
+                addEdge(blk.id, info.isCall ? EdgeKind::Call
+                                            : EdgeKind::Taken,
+                        code.indexOf(target));
+            }
+        }
+
+        if (instr.fallsThrough()) {
+            if (i + 1 < code.size()) {
+                addEdge(blk.id,
+                        info.isCall ? EdgeKind::CallFallthrough
+                                    : EdgeKind::Fallthrough,
+                        i + 1);
+            } else {
+                blk.fallsOffEnd = true;
+            }
+        }
+    }
+
+    if (code.contains(code.entry))
+        entryId = blockIds[code.indexOf(code.entry)];
+}
+
+std::vector<bool>
+Cfg::reachableFromEntry() const
+{
+    std::vector<bool> seen(blockList.size(), false);
+    if (blockList.empty())
+        return seen;
+    std::vector<u32> stack{entryId};
+    seen[entryId] = true;
+    while (!stack.empty()) {
+        u32 id = stack.back();
+        stack.pop_back();
+        for (const CfgEdge &edge : blockList[id].succs) {
+            if (!seen[edge.to]) {
+                seen[edge.to] = true;
+                stack.push_back(edge.to);
+            }
+        }
+    }
+    return seen;
+}
+
+} // namespace polypath

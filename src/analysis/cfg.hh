@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Control-flow graph construction over an assembled Program.
+ *
+ * The code image is decoded once into a CodeView, partitioned into
+ * basic blocks at branch targets and after control transfers, and
+ * connected with typed edges:
+ *
+ *   Fallthrough      sequential flow (incl. the not-taken branch arm)
+ *   Taken            conditional/unconditional branch to its target
+ *   Call             JSR to its callee entry
+ *   CallFallthrough  JSR to its return point (pc + 4) — the edge the
+ *                    intraprocedural analyses traverse instead of
+ *                    following the call
+ *
+ * RET and HALT terminate a block with no static successors. Targets
+ * that land outside the code image (or on a misaligned address) are
+ * reported through the DiagnosticEngine during construction and get no
+ * edge.
+ */
+
+#ifndef POLYPATH_ANALYSIS_CFG_HH
+#define POLYPATH_ANALYSIS_CFG_HH
+
+#include <vector>
+
+#include "analysis/diagnostics.hh"
+#include "common/types.hh"
+#include "isa/instr.hh"
+
+namespace polypath
+{
+
+struct Program;
+
+/** A Program's code image decoded for analysis. */
+struct CodeView
+{
+    Addr codeBase = 0;
+    Addr entry = 0;
+    std::vector<Instr> instrs;
+
+    static CodeView decode(const Program &program);
+
+    size_t size() const { return instrs.size(); }
+    Addr pcOf(size_t idx) const { return codeBase + 4 * idx; }
+
+    /** True when @p pc is a word-aligned address inside the code. */
+    bool
+    contains(Addr pc) const
+    {
+        return pc >= codeBase && pc < codeBase + 4 * instrs.size() &&
+               pc % 4 == 0;
+    }
+
+    size_t indexOf(Addr pc) const { return (pc - codeBase) / 4; }
+};
+
+enum class EdgeKind : u8
+{
+    Fallthrough,
+    Taken,
+    Call,
+    CallFallthrough,
+};
+
+struct CfgEdge
+{
+    EdgeKind kind;
+    u32 to;     //!< successor block id
+};
+
+/** Maximal straight-line run of instructions [first, last]. */
+struct BasicBlock
+{
+    u32 id = 0;
+    size_t first = 0;           //!< index of the first instruction
+    size_t last = 0;            //!< index of the last instruction
+    std::vector<CfgEdge> succs;
+    std::vector<u32> preds;     //!< predecessor block ids (any kind)
+
+    /** Set when the block can run past the end of the code image. */
+    bool fallsOffEnd = false;
+};
+
+class Cfg
+{
+  public:
+    /**
+     * Build the CFG for @p code. Out-of-range and misaligned control
+     * targets are reported to @p diags (and the edge is dropped).
+     */
+    Cfg(const CodeView &code, DiagnosticEngine &diags);
+
+    const std::vector<BasicBlock> &blocks() const { return blockList; }
+    const BasicBlock &block(u32 id) const { return blockList[id]; }
+
+    /** Block containing instruction @p instr_index. */
+    u32 blockOf(size_t instr_index) const { return blockIds[instr_index]; }
+
+    /** Entry block id (the block containing the entry point). */
+    u32 entryBlock() const { return entryId; }
+
+    /**
+     * Per-block flag: reachable from the entry block following every
+     * edge kind (calls included).
+     */
+    std::vector<bool> reachableFromEntry() const;
+
+  private:
+    std::vector<BasicBlock> blockList;
+    std::vector<u32> blockIds;  //!< instr index -> block id
+    u32 entryId = 0;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_ANALYSIS_CFG_HH

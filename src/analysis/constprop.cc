@@ -1,0 +1,220 @@
+#include "constprop.hh"
+
+#include <array>
+#include <cstdio>
+
+#include "analysis/dataflow.hh"
+#include "isa/semantics.hh"
+
+namespace polypath
+{
+
+namespace
+{
+
+/** Per-register lattice element. */
+struct ConstVal
+{
+    enum Kind : u8 { Bottom, Const, Top };
+    Kind kind = Bottom;
+    u64 value = 0;
+
+    bool isConst() const { return kind == Const; }
+
+    static ConstVal constant(u64 v) { return {Const, v}; }
+    static ConstVal top() { return {Top, 0}; }
+
+    bool
+    operator==(const ConstVal &other) const
+    {
+        return kind == other.kind &&
+               (kind != Const || value == other.value);
+    }
+};
+
+using ConstState = std::array<ConstVal, numLogRegs>;
+
+/** Meet two lattice elements (Bottom is the identity). */
+ConstVal
+meet(const ConstVal &a, const ConstVal &b)
+{
+    if (a.kind == ConstVal::Bottom)
+        return b;
+    if (b.kind == ConstVal::Bottom)
+        return a;
+    if (a.kind == ConstVal::Top || b.kind == ConstVal::Top)
+        return ConstVal::top();
+    return a.value == b.value ? a : ConstVal::top();
+}
+
+/** True when @p op is modelled by computeResult() for constprop. */
+bool
+isPureAlu(const Instr &instr)
+{
+    const OpInfo &info = instr.info();
+    if (info.isLoad || info.isStore || info.isCondBranch ||
+        info.isUncondBranch || info.isReturn || info.isHalt ||
+        info.isInvalid) {
+        return false;
+    }
+    return instr.op != Opcode::NOP;
+}
+
+struct ConstProblem
+{
+    using State = ConstState;
+
+    const CodeView &code;
+    const Cfg &cfg;
+    const DefUseAnalysis &defuse;
+
+    State
+    boundaryState() const
+    {
+        State s;
+        // Registers other than the hardwired zeros start as "unknown":
+        // the simulator zeroes them, but deriving addresses from that
+        // convention is exactly what the lint should not bless. Callee
+        // routines inherit whatever the caller left, also unknown.
+        for (ConstVal &v : s)
+            v = ConstVal::top();
+        s[intZeroReg] = ConstVal::constant(0);
+        s[fpZeroReg] = ConstVal::constant(0);
+        return s;
+    }
+
+    State initialState() const { return State{}; }    // all Bottom
+
+    bool
+    join(State &into, const State &from) const
+    {
+        bool changed = false;
+        for (unsigned r = 0; r < numLogRegs; ++r) {
+            ConstVal next = meet(into[r], from[r]);
+            if (!(next == into[r])) {
+                into[r] = next;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    void
+    transfer(u32 node, State &s) const
+    {
+        const BasicBlock &blk = cfg.block(node);
+        for (size_t i = blk.first; i <= blk.last; ++i)
+            transferInstr(i, node, s);
+    }
+
+    void
+    transferInstr(size_t i, u32 node, State &s) const
+    {
+        const Instr &instr = code.instrs[i];
+        const OpInfo &info = instr.info();
+
+        if (info.isCall) {
+            const RoutineInfo *callee = defuse.routineAt(calleeOf(node));
+            RegSet clobbered =
+                callee ? callee->mayDefs : allRegsMask;
+            if (LogReg link = instr.dst(); link != noReg)
+                clobbered |= regBit(link);
+            for (unsigned r = 0; r < numLogRegs; ++r)
+                if ((clobbered & regBit(r)) && !isZeroReg(r))
+                    s[r] = ConstVal::top();
+            return;
+        }
+
+        LogReg dst = instr.dst();
+        if (dst == noReg)
+            return;
+
+        if (isPureAlu(instr)) {
+            ConstVal a = srcVal(instr.src1(), s);
+            ConstVal b = srcVal(instr.src2(), s);
+            if (a.isConst() && b.isConst()) {
+                s[dst] = ConstVal::constant(computeResult(
+                    instr, a.value, b.value, code.pcOf(i)));
+                return;
+            }
+        }
+        s[dst] = ConstVal::top();
+    }
+
+    static ConstVal
+    srcVal(LogReg reg, const State &s)
+    {
+        // Missing operands contribute a harmless constant zero.
+        return reg == noReg ? ConstVal::constant(0) : s[reg];
+    }
+
+    static u32
+    calleeOf(const Cfg &cfg, u32 node)
+    {
+        for (const CfgEdge &edge : cfg.block(node).succs)
+            if (edge.kind == EdgeKind::Call)
+                return edge.to;
+        return 0xffffffff;
+    }
+
+    u32 calleeOf(u32 node) const { return calleeOf(cfg, node); }
+};
+
+std::string
+hexAddr(Addr addr)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%#llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+} // anonymous namespace
+
+void
+runConstProp(const CodeView &code, const Cfg &cfg,
+             const DefUseAnalysis &defuse, DiagnosticEngine &diags)
+{
+    for (const RoutineInfo &func : defuse.routines()) {
+        std::vector<std::vector<u32>> preds(cfg.blocks().size());
+        std::vector<bool> inFunc(cfg.blocks().size(), false);
+        for (u32 id : func.blocks)
+            inFunc[id] = true;
+        for (u32 id : func.blocks) {
+            for (const CfgEdge &edge : cfg.block(id).succs) {
+                if (edge.kind != EdgeKind::Call && inFunc[edge.to])
+                    preds[edge.to].push_back(id);
+            }
+        }
+
+        ConstProblem problem{code, cfg, defuse};
+        std::vector<ConstState> in, out;
+        solveDataflow(func.blocks, preds, problem, in, out);
+
+        // Final walk: flag quadword accesses whose effective address is
+        // statically derivable and provably misaligned.
+        for (u32 id : func.blocks) {
+            ConstState s = in[id];
+            const BasicBlock &blk = cfg.block(id);
+            for (size_t i = blk.first; i <= blk.last; ++i) {
+                const Instr &instr = code.instrs[i];
+                if (instr.isMem() && instr.accessSize() == 8) {
+                    ConstVal base = s[instr.src1()];
+                    if (base.isConst()) {
+                        Addr ea = effectiveAddr(instr, base.value);
+                        if (ea % 8 != 0) {
+                            diags.report(
+                                DiagCode::MisalignedAccess, i,
+                                "'" + instr.toString() +
+                                    "' accesses " + hexAddr(ea) +
+                                    ", which is not 8-byte aligned");
+                        }
+                    }
+                }
+                problem.transferInstr(i, id, s);
+            }
+        }
+    }
+}
+
+} // namespace polypath

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Sparse conditional-free constant propagation over the CFG, used to
+ * statically derive effective addresses and flag misaligned quadword
+ * accesses (LDQ/STQ/FLD/FST to an address that is provably not 8-byte
+ * aligned).
+ *
+ * The lattice per register is the usual three levels: unvisited
+ * (bottom), a known 64-bit constant, or unknown (top). Transfer reuses
+ * computeResult() from the ISA semantics so derived values match the
+ * interpreter bit-for-bit (including shift-amount masking). Calls
+ * clobber the callee's may-defined register summary from DefUseAnalysis.
+ */
+
+#ifndef POLYPATH_ANALYSIS_CONSTPROP_HH
+#define POLYPATH_ANALYSIS_CONSTPROP_HH
+
+#include "analysis/cfg.hh"
+#include "analysis/defuse.hh"
+#include "analysis/diagnostics.hh"
+
+namespace polypath
+{
+
+/** Run the constant-propagation checks, reporting misaligned-access. */
+void runConstProp(const CodeView &code, const Cfg &cfg,
+                  const DefUseAnalysis &defuse, DiagnosticEngine &diags);
+
+} // namespace polypath
+
+#endif // POLYPATH_ANALYSIS_CONSTPROP_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * A small generic worklist engine for iterative dataflow analysis.
+ *
+ * The engine is direction-agnostic: callers hand it a subgraph as an
+ * adjacency view (predecessor ids for a forward problem, successor ids
+ * for a backward one) plus a Problem object providing the lattice
+ * operations. Clients in this library: definite assignment and
+ * upward-exposed-use summaries (defuse.cc), liveness (defuse.cc) and
+ * constant propagation (constprop.cc).
+ *
+ * Problem requirements:
+ *
+ *   using State = ...;                 // a semilattice element
+ *   State boundaryState();             // IN at the boundary node
+ *   State initialState();              // optimistic initial state
+ *   void transfer(u32 node, State &s); // s := OUT of node given IN s
+ *   bool join(State &into, const State &from);  // confluence;
+ *                                      // returns true if into changed
+ *
+ * Monotone transfer + optimistic initial state give the usual MFP
+ * solution for both may- (union) and must- (intersection) problems.
+ *
+ * Nodes are dense u32 ids into the caller's CFG; the engine only visits
+ * the ids listed in @p nodes, so analyses over a function's subgraph
+ * simply pass that function's block set.
+ */
+
+#ifndef POLYPATH_ANALYSIS_DATAFLOW_HH
+#define POLYPATH_ANALYSIS_DATAFLOW_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace polypath
+{
+
+/**
+ * Iterate @p problem to a fixpoint over @p nodes.
+ *
+ * @param nodes      node ids to visit; nodes.front() is the boundary
+ *                   node (the entry for a forward problem, the sink
+ *                   for a backward one)
+ * @param inputsOf   per node id, the ids whose OUT feeds this node's IN
+ *                   (preds forward, succs backward), already restricted
+ *                   to the subgraph
+ * @param problem    the dataflow problem (see file comment)
+ * @param in         out-param: fixpoint IN state per node id
+ * @param out        out-param: fixpoint OUT state per node id
+ *
+ * The in/out vectors are sized to the full id space (inputsOf.size())
+ * so block ids index directly; unvisited nodes keep initialState().
+ */
+template <typename Problem>
+void
+solveDataflow(const std::vector<u32> &nodes,
+              const std::vector<std::vector<u32>> &inputsOf,
+              Problem &problem,
+              std::vector<typename Problem::State> &in,
+              std::vector<typename Problem::State> &out)
+{
+    size_t id_space = inputsOf.size();
+    in.assign(id_space, problem.initialState());
+    out.assign(id_space, problem.initialState());
+    if (nodes.empty())
+        return;
+
+    // Dependents: which visited nodes consume each node's OUT.
+    std::vector<std::vector<u32>> dependents(id_space);
+    std::vector<bool> visited(id_space, false);
+    for (u32 node : nodes)
+        visited[node] = true;
+    for (u32 node : nodes)
+        for (u32 input : inputsOf[node])
+            if (visited[input])
+                dependents[input].push_back(node);
+
+    std::vector<bool> queued(id_space, false);
+    // Seed in reverse so the boundary node pops first; for reducible
+    // graphs this approximates a topological sweep and converges in
+    // few passes.
+    std::vector<u32> worklist(nodes.rbegin(), nodes.rend());
+    for (u32 node : nodes)
+        queued[node] = true;
+
+    u32 boundary = nodes.front();
+    while (!worklist.empty()) {
+        u32 node = worklist.back();
+        worklist.pop_back();
+        queued[node] = false;
+
+        typename Problem::State state = node == boundary
+                                            ? problem.boundaryState()
+                                            : problem.initialState();
+        for (u32 input : inputsOf[node])
+            problem.join(state, out[input]);
+        in[node] = state;
+
+        problem.transfer(node, state);
+        if (problem.join(out[node], state)) {
+            for (u32 dep : dependents[node]) {
+                if (!queued[dep]) {
+                    queued[dep] = true;
+                    worklist.push_back(dep);
+                }
+            }
+        }
+    }
+}
+
+} // namespace polypath
+
+#endif // POLYPATH_ANALYSIS_DATAFLOW_HH

@@ -1,0 +1,469 @@
+#include "defuse.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "analysis/dataflow.hh"
+
+namespace polypath
+{
+
+namespace
+{
+
+std::string
+hexPc(Addr pc)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%#llx",
+                  static_cast<unsigned long long>(pc));
+    return buf;
+}
+
+/** List the register names in @p set ("r5, r16"). */
+std::string
+regSetNames(RegSet set)
+{
+    std::string out;
+    for (LogReg r = 0; r < numLogRegs; ++r) {
+        if (set & regBit(r)) {
+            if (!out.empty())
+                out += ", ";
+            out += regName(r);
+        }
+    }
+    return out;
+}
+
+/** Forward must-analysis: registers definitely written. */
+struct DefinedProblem
+{
+    using State = RegSet;
+
+    const CodeView &code;
+    const Cfg &cfg;
+    const DefUseAnalysis &analysis;
+
+    State boundaryState() const { return zeroRegMask; }
+    State initialState() const { return allRegsMask; }
+
+    bool
+    join(State &into, const State &from) const
+    {
+        State next = into & from;
+        bool changed = next != into;
+        into = next;
+        return changed;
+    }
+
+    void
+    transfer(u32 node, State &s) const
+    {
+        const BasicBlock &blk = cfg.block(node);
+        for (size_t i = blk.first; i <= blk.last; ++i) {
+            const Instr &instr = code.instrs[i];
+            if (instr.info().isCall) {
+                if (LogReg link = instr.dst(); link != noReg)
+                    s |= regBit(link);
+                // Unknown callees (out-of-range call target) are
+                // assumed to define nothing.
+                if (const RoutineInfo *callee = analysis.routineAt(
+                        calleeBlock(cfg, node))) {
+                    s |= callee->defs;
+                }
+            } else if (LogReg dst = instr.dst(); dst != noReg) {
+                s |= regBit(dst);
+            }
+        }
+    }
+
+    static constexpr u32 badBlock = 0xffffffff;
+
+    static u32
+    calleeBlock(const Cfg &cfg, u32 node)
+    {
+        for (const CfgEdge &edge : cfg.block(node).succs)
+            if (edge.kind == EdgeKind::Call)
+                return edge.to;
+        return badBlock;
+    }
+};
+
+/** Backward may-analysis: registers possibly read later (liveness). */
+struct LiveProblem
+{
+    using State = RegSet;
+
+    const CodeView &code;
+    const Cfg &cfg;
+    const DefUseAnalysis &analysis;
+
+    State boundaryState() const { return 0; }
+    State initialState() const { return 0; }
+
+    bool
+    join(State &into, const State &from) const
+    {
+        State next = into | from;
+        bool changed = next != into;
+        into = next;
+        return changed;
+    }
+
+    // s arrives as live-out of the block, leaves as live-in.
+    void
+    transfer(u32 node, State &s) const
+    {
+        const BasicBlock &blk = cfg.block(node);
+        const Instr &term = code.instrs[blk.last];
+        // A RET returns to an unknown caller; a block that can run off
+        // the code end is already an error elsewhere. Both make every
+        // register conservatively live.
+        if (term.info().isReturn || blk.fallsOffEnd)
+            s = allRegsMask;
+        for (size_t i = blk.last + 1; i-- > blk.first;) {
+            const Instr &instr = code.instrs[i];
+            if (instr.info().isCall) {
+                const RoutineInfo *callee = analysis.routineAt(
+                    DefinedProblem::calleeBlock(cfg, node));
+                RegSet callee_defs = callee ? callee->defs : 0;
+                RegSet callee_uses =
+                    callee ? callee->upExposed : allRegsMask;
+                s = (s & ~callee_defs) | callee_uses;
+                if (LogReg link = instr.dst(); link != noReg)
+                    s &= ~regBit(link);
+            } else {
+                if (LogReg dst = instr.dst(); dst != noReg)
+                    s &= ~regBit(dst);
+                LogReg srcs[2];
+                unsigned n = instr.srcRegs(srcs);
+                for (unsigned k = 0; k < n; ++k)
+                    s |= regBit(srcs[k]);
+            }
+        }
+    }
+};
+
+} // anonymous namespace
+
+std::string
+regName(LogReg reg)
+{
+    if (reg >= 32)
+        return "f" + std::to_string(reg - 32);
+    return "r" + std::to_string(reg);
+}
+
+DefUseAnalysis::DefUseAnalysis(const CodeView &code_view,
+                               const Cfg &cfg_ref)
+    : code(code_view), cfg(cfg_ref)
+{
+    funcOfEntry.assign(cfg.blocks().size(), -1);
+}
+
+const RoutineInfo *
+DefUseAnalysis::routineAt(u32 block) const
+{
+    if (block >= funcOfEntry.size() || funcOfEntry[block] < 0)
+        return nullptr;
+    return &funcs[funcOfEntry[block]];
+}
+
+const RoutineInfo *
+DefUseAnalysis::calleeOf(u32 block) const
+{
+    return routineAt(DefinedProblem::calleeBlock(cfg, block));
+}
+
+void
+DefUseAnalysis::discoverRoutines()
+{
+    if (cfg.blocks().empty())
+        return;
+
+    std::vector<u32> pending{cfg.entryBlock()};
+    auto addRoutine = [&](u32 entry, bool is_main) {
+        if (funcOfEntry[entry] >= 0)
+            return;
+        funcOfEntry[entry] = static_cast<s32>(funcs.size());
+        RoutineInfo func;
+        func.entryBlock = entry;
+        func.isEntryRoutine = is_main;
+        funcs.push_back(std::move(func));
+        pending.push_back(entry);
+    };
+
+    funcOfEntry[cfg.entryBlock()] = 0;
+    RoutineInfo main_func;
+    main_func.entryBlock = cfg.entryBlock();
+    main_func.isEntryRoutine = true;
+    funcs.push_back(std::move(main_func));
+
+    // Trace each routine's local blocks; new Call targets found along
+    // the way become routines themselves. Note addRoutine() may grow
+    // funcs, so the routine under construction is indexed afresh.
+    for (size_t next = 0; next < pending.size(); ++next) {
+        u32 entry = pending[next];
+        size_t func_idx = static_cast<size_t>(funcOfEntry[entry]);
+        std::vector<u32> local_blocks;
+        std::vector<bool> seen(cfg.blocks().size(), false);
+        std::vector<u32> stack{entry};
+        seen[entry] = true;
+        while (!stack.empty()) {
+            u32 id = stack.back();
+            stack.pop_back();
+            local_blocks.push_back(id);
+            for (const CfgEdge &edge : cfg.block(id).succs) {
+                if (edge.kind == EdgeKind::Call) {
+                    addRoutine(edge.to, false);
+                    continue;
+                }
+                if (!seen[edge.to]) {
+                    seen[edge.to] = true;
+                    stack.push_back(edge.to);
+                }
+            }
+        }
+        // Entry block first, the rest in program order for stable
+        // reporting.
+        std::sort(local_blocks.begin() + 1, local_blocks.end());
+        funcs[func_idx].blocks = std::move(local_blocks);
+    }
+}
+
+void
+DefUseAnalysis::buildLocalGraph(const RoutineInfo &func,
+                                std::vector<std::vector<u32>> &preds,
+                                std::vector<std::vector<u32>> &succs)
+    const
+{
+    preds.assign(cfg.blocks().size(), {});
+    succs.assign(cfg.blocks().size(), {});
+    std::vector<bool> inFunc(cfg.blocks().size(), false);
+    for (u32 id : func.blocks)
+        inFunc[id] = true;
+    for (u32 id : func.blocks) {
+        for (const CfgEdge &edge : cfg.block(id).succs) {
+            if (edge.kind == EdgeKind::Call || !inFunc[edge.to])
+                continue;
+            succs[id].push_back(edge.to);
+            preds[edge.to].push_back(id);
+        }
+    }
+}
+
+std::vector<RegSet>
+DefUseAnalysis::solveDefined(const RoutineInfo &func) const
+{
+    std::vector<std::vector<u32>> preds, succs;
+    buildLocalGraph(func, preds, succs);
+    DefinedProblem problem{code, cfg, *this};
+    std::vector<RegSet> in, out;
+    solveDataflow(func.blocks, preds, problem, in, out);
+    return in;
+}
+
+std::vector<RegSet>
+DefUseAnalysis::solveLive(const RoutineInfo &func) const
+{
+    std::vector<std::vector<u32>> preds, succs;
+    buildLocalGraph(func, preds, succs);
+    LiveProblem problem{code, cfg, *this};
+    std::vector<RegSet> in, out;
+    // Backward: the solver's "inputs" are the successors, its "IN" is
+    // the block's live-out.
+    solveDataflow(func.blocks, succs, problem, in, out);
+    return in;
+}
+
+bool
+DefUseAnalysis::updateSummaries(RoutineInfo &func)
+{
+    std::vector<RegSet> block_in = solveDefined(func);
+
+    RegSet new_defs = allRegsMask;
+    RegSet new_may = 0;
+    RegSet new_up = 0;
+    bool has_ret = false;
+
+    for (u32 id : func.blocks) {
+        RegSet defined = block_in[id];
+        const BasicBlock &blk = cfg.block(id);
+        for (size_t i = blk.first; i <= blk.last; ++i) {
+            const Instr &instr = code.instrs[i];
+            if (instr.info().isCall) {
+                const RoutineInfo *callee = calleeOf(id);
+                RegSet link = instr.dst() != noReg
+                                  ? regBit(instr.dst()) : 0;
+                RegSet callee_up =
+                    callee ? callee->upExposed : 0;
+                new_up |= callee_up & ~(defined | link);
+                defined |= link;
+                defined |= callee ? callee->defs : 0;
+                new_may |= link;
+                new_may |= callee ? callee->mayDefs : allRegsMask;
+                continue;
+            }
+            LogReg srcs[2];
+            unsigned n = instr.srcRegs(srcs);
+            for (unsigned k = 0; k < n; ++k)
+                new_up |= regBit(srcs[k]) & ~defined;
+            if (LogReg dst = instr.dst(); dst != noReg) {
+                defined |= regBit(dst);
+                new_may |= regBit(dst);
+            }
+            if (instr.info().isReturn) {
+                has_ret = true;
+                new_defs &= defined;
+            }
+        }
+    }
+
+    if (!has_ret)
+        new_defs = allRegsMask;
+    new_defs &= ~zeroRegMask;   // zero regs are constants, not defs
+    new_up &= ~zeroRegMask;
+
+    bool changed = new_defs != func.defs || new_may != func.mayDefs ||
+                   new_up != func.upExposed || has_ret != func.hasRet;
+    func.defs = new_defs;
+    func.mayDefs = new_may;
+    func.upExposed = new_up;
+    func.hasRet = has_ret;
+    return changed;
+}
+
+void
+DefUseAnalysis::reportUseBeforeDef(const RoutineInfo &func,
+                                   DiagnosticEngine &diags) const
+{
+    std::vector<RegSet> block_in = solveDefined(func);
+
+    for (u32 id : func.blocks) {
+        RegSet defined = block_in[id];
+        const BasicBlock &blk = cfg.block(id);
+        for (size_t i = blk.first; i <= blk.last; ++i) {
+            const Instr &instr = code.instrs[i];
+            if (instr.info().isCall) {
+                const RoutineInfo *callee = calleeOf(id);
+                RegSet link = instr.dst() != noReg
+                                  ? regBit(instr.dst()) : 0;
+                RegSet missing =
+                    (callee ? callee->upExposed : 0) & ~(defined | link);
+                if (missing) {
+                    diags.report(
+                        DiagCode::UseBeforeDef, i,
+                        "call requires " + regSetNames(missing) +
+                            " but no path from the entry point has "
+                            "written " +
+                            (std::popcount(missing) == 1 ? "it"
+                                                         : "them") +
+                            " (routine at " +
+                            hexPc(code.pcOf(
+                                cfg.block(callee ? callee->entryBlock
+                                              : id).first)) +
+                            " reads them before writing)");
+                }
+                defined |= link;
+                defined |= callee ? callee->defs : 0;
+                continue;
+            }
+            LogReg srcs[2];
+            unsigned n = instr.srcRegs(srcs);
+            for (unsigned k = 0; k < n; ++k) {
+                RegSet bit = regBit(srcs[k]) & ~zeroRegMask;
+                if (bit & ~defined) {
+                    diags.report(
+                        DiagCode::UseBeforeDef, i,
+                        "register " + regName(srcs[k]) +
+                            " read by '" + instr.toString() +
+                            "' but not written on every path from the "
+                            "entry point");
+                    // One report per register per block is enough.
+                    defined |= bit;
+                }
+            }
+            if (LogReg dst = instr.dst(); dst != noReg)
+                defined |= regBit(dst);
+            if (instr.info().isReturn) {
+                diags.report(DiagCode::RetAtEntry, i,
+                             "'" + instr.toString() +
+                                 "' reachable in the entry routine, "
+                                 "which has no caller to return to");
+            }
+        }
+    }
+}
+
+void
+DefUseAnalysis::reportDeadWrites(const RoutineInfo &func,
+                                 DiagnosticEngine &diags) const
+{
+    std::vector<RegSet> live_out = solveLive(func);
+
+    for (u32 id : func.blocks) {
+        const BasicBlock &blk = cfg.block(id);
+        // Walk backwards so per-instruction live-after is available.
+        RegSet live = live_out[id];
+        const Instr &term = code.instrs[blk.last];
+        if (term.info().isReturn || blk.fallsOffEnd)
+            live = allRegsMask;
+        for (size_t i = blk.last + 1; i-- > blk.first;) {
+            const Instr &instr = code.instrs[i];
+            LogReg dst = instr.dst();
+            if (instr.info().isCall) {
+                const RoutineInfo *callee = calleeOf(id);
+                RegSet callee_defs = callee ? callee->defs : 0;
+                RegSet callee_uses =
+                    callee ? callee->upExposed : allRegsMask;
+                live = (live & ~callee_defs) | callee_uses;
+                if (dst != noReg)
+                    live &= ~regBit(dst);
+                continue;
+            }
+            if (dst != noReg && !(live & regBit(dst))) {
+                diags.report(DiagCode::DeadWrite, i,
+                             "value written to " + regName(dst) +
+                                 " by '" + instr.toString() +
+                                 "' is never read");
+            }
+            if (dst != noReg)
+                live &= ~regBit(dst);
+            LogReg srcs[2];
+            unsigned n = instr.srcRegs(srcs);
+            for (unsigned k = 0; k < n; ++k)
+                live |= regBit(srcs[k]);
+        }
+    }
+}
+
+void
+DefUseAnalysis::run(DiagnosticEngine &diags, bool dead_writes)
+{
+    discoverRoutines();
+    if (funcs.empty())
+        return;
+
+    // Whole-program summary fixpoint: defs shrinks, mayDefs/upExposed
+    // grow; both lattices are finite so this terminates quickly.
+    bool changed = true;
+    unsigned rounds = 0;
+    while (changed && rounds++ < 64) {
+        changed = false;
+        for (RoutineInfo &func : funcs)
+            changed = updateSummaries(func) || changed;
+    }
+
+    // use-before-def and ret-at-entry are only decidable in the entry
+    // routine: a callee's upward-exposed reads are its arguments and
+    // are judged at each call site during the entry routine's walk.
+    for (const RoutineInfo &func : funcs) {
+        if (func.isEntryRoutine)
+            reportUseBeforeDef(func, diags);
+        if (dead_writes)
+            reportDeadWrites(func, diags);
+    }
+}
+
+} // namespace polypath

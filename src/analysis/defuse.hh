@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Register definedness and liveness analysis over the CFG.
+ *
+ * The code is partitioned into routines (the entry routine plus every
+ * JSR target reachable from it); per routine, a forward must-analysis
+ * computes the registers *definitely written* at each point, and a
+ * backward may-analysis computes liveness. Calls are handled with
+ * routine summaries iterated to a whole-program fixpoint:
+ *
+ *   defs       registers written on every path entry -> RET
+ *   mayDefs    registers written on some path (incl. callees)
+ *   upExposed  registers a routine (or its callees) may read before
+ *              writing — its de-facto arguments
+ *
+ * Findings:
+ *   use-before-def (error)  a register read in the entry routine, or
+ *                           required by a callee at a JSR site, that no
+ *                           path from the entry point has written
+ *   ret-at-entry   (error)  RET reachable in the entry routine (there
+ *                           is no caller to return to)
+ *   dead-write     (note)   a register written but never read again
+ */
+
+#ifndef POLYPATH_ANALYSIS_DEFUSE_HH
+#define POLYPATH_ANALYSIS_DEFUSE_HH
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/diagnostics.hh"
+
+namespace polypath
+{
+
+/** Bitset over the unified logical register namespace (64 regs). */
+using RegSet = u64;
+
+constexpr RegSet
+regBit(LogReg reg)
+{
+    return RegSet(1) << reg;
+}
+
+constexpr RegSet zeroRegMask = regBit(intZeroReg) | regBit(fpZeroReg);
+constexpr RegSet allRegsMask = ~RegSet(0);
+
+/** Printable register name in the unified namespace ("r5", "f2"). */
+std::string regName(LogReg reg);
+
+/** Summary of one routine (the entry routine or a JSR target). */
+struct RoutineInfo
+{
+    u32 entryBlock = 0;
+    bool isEntryRoutine = false;
+    bool hasRet = false;
+
+    /** Blocks reachable from entryBlock without following Call edges. */
+    std::vector<u32> blocks;
+
+    RegSet defs = allRegsMask;  //!< definitely written at every RET
+    RegSet mayDefs = 0;         //!< possibly written (incl. callees)
+    RegSet upExposed = 0;       //!< possibly read before written
+};
+
+class DefUseAnalysis
+{
+  public:
+    DefUseAnalysis(const CodeView &code, const Cfg &cfg);
+
+    /**
+     * Solve the summaries and report findings into @p diags. Dead-write
+     * notes are skipped when @p dead_writes is false.
+     */
+    void run(DiagnosticEngine &diags, bool dead_writes = true);
+
+    /** Solved routine summaries (valid after run()). */
+    const std::vector<RoutineInfo> &routines() const { return funcs; }
+
+    /** The routine whose entry block is @p block, or nullptr. */
+    const RoutineInfo *routineAt(u32 block) const;
+
+  private:
+    void discoverRoutines();
+    void buildLocalGraph(const RoutineInfo &func,
+                         std::vector<std::vector<u32>> &preds,
+                         std::vector<std::vector<u32>> &succs) const;
+    const RoutineInfo *calleeOf(u32 block) const;
+
+    /** One summary-update pass over @p func; true if it changed. */
+    bool updateSummaries(RoutineInfo &func);
+
+    void reportUseBeforeDef(const RoutineInfo &func,
+                            DiagnosticEngine &diags) const;
+    void reportDeadWrites(const RoutineInfo &func,
+                          DiagnosticEngine &diags) const;
+
+    /** Definedness solve over @p func; returns per-block IN sets. */
+    std::vector<RegSet> solveDefined(const RoutineInfo &func) const;
+
+    /** Liveness solve over @p func; returns per-block live-out sets. */
+    std::vector<RegSet> solveLive(const RoutineInfo &func) const;
+
+    const CodeView &code;
+    const Cfg &cfg;
+    std::vector<RoutineInfo> funcs;
+    std::vector<s32> funcOfEntry;   //!< block id -> funcs index or -1
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_ANALYSIS_DEFUSE_HH

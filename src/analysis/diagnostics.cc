@@ -1,0 +1,195 @@
+#include "diagnostics.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "asmkit/program.hh"
+#include "common/logging.hh"
+
+namespace polypath
+{
+
+namespace
+{
+
+struct DiagCodeInfo
+{
+    const char *name;
+    Severity severity;
+};
+
+const DiagCodeInfo diagCodeTable[] = {
+    {"bad-entry", Severity::Error},
+    {"branch-out-of-range", Severity::Error},
+    {"misaligned-target", Severity::Error},
+    {"reachable-invalid", Severity::Error},
+    {"fall-off-end", Severity::Error},
+    {"missing-halt", Severity::Error},
+    {"ret-at-entry", Severity::Error},
+    {"unreachable-code", Severity::Warning},
+    {"use-before-def", Severity::Error},
+    {"misaligned-access", Severity::Error},
+    {"dead-write", Severity::Note},
+};
+
+static_assert(sizeof(diagCodeTable) / sizeof(diagCodeTable[0]) ==
+                  static_cast<size_t>(DiagCode::NumDiagCodes),
+              "diagCodeTable out of sync with DiagCode enum");
+
+const DiagCodeInfo &
+codeInfo(DiagCode code)
+{
+    auto idx = static_cast<size_t>(code);
+    panic_if(idx >= static_cast<size_t>(DiagCode::NumDiagCodes),
+             "bad DiagCode %zu", idx);
+    return diagCodeTable[idx];
+}
+
+std::string
+jsonEscape(const std::string &str)
+{
+    std::string out;
+    out.reserve(str.size());
+    for (char c : str) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+const char *
+diagCodeName(DiagCode code)
+{
+    return codeInfo(code).name;
+}
+
+Severity
+diagSeverity(DiagCode code)
+{
+    return codeInfo(code).severity;
+}
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+DiagnosticEngine::DiagnosticEngine(const Program &program)
+    : progName(program.name),
+      unit(!program.sourceName.empty() ? program.sourceName
+                                       : program.name),
+      codeBase(program.codeBase), srcLines(program.srcLines)
+{}
+
+void
+DiagnosticEngine::report(DiagCode code, size_t instr_index,
+                         std::string message)
+{
+    Diagnostic d;
+    d.code = code;
+    d.severity = diagSeverity(code);
+    d.instrIndex = instr_index;
+    d.pc = codeBase + 4 * instr_index;
+    d.srcLine =
+        instr_index < srcLines.size() ? srcLines[instr_index] : 0;
+    d.message = std::move(message);
+    diags.push_back(std::move(d));
+}
+
+void
+DiagnosticEngine::reportGlobal(DiagCode code, std::string message)
+{
+    Diagnostic d;
+    d.code = code;
+    d.severity = diagSeverity(code);
+    d.pc = 0;
+    d.message = std::move(message);
+    diags.push_back(std::move(d));
+}
+
+size_t
+DiagnosticEngine::count(Severity severity) const
+{
+    size_t n = 0;
+    for (const Diagnostic &d : diags)
+        n += d.severity == severity ? 1 : 0;
+    return n;
+}
+
+void
+DiagnosticEngine::sort()
+{
+    std::stable_sort(diags.begin(), diags.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.pc != b.pc)
+                             return a.pc < b.pc;
+                         return a.code < b.code;
+                     });
+}
+
+std::string
+DiagnosticEngine::renderText(Severity min_severity) const
+{
+    std::string out;
+    for (const Diagnostic &d : diags) {
+        if (d.severity < min_severity)
+            continue;
+        char head[96];
+        if (d.srcLine > 0) {
+            std::snprintf(head, sizeof(head), "%s:%u:", unit.c_str(),
+                          d.srcLine);
+        } else {
+            std::snprintf(head, sizeof(head), "%s:", unit.c_str());
+        }
+        char tail[64];
+        std::snprintf(tail, sizeof(tail), " [%s] @ %#llx",
+                      diagCodeName(d.code),
+                      static_cast<unsigned long long>(d.pc));
+        out += std::string(head) + " " + severityName(d.severity) +
+               ": " + d.message + tail + "\n";
+    }
+    return out;
+}
+
+std::string
+DiagnosticEngine::renderJson() const
+{
+    std::string out = "{\n  \"program\": \"" + jsonEscape(progName) +
+                      "\",\n  \"diagnostics\": [";
+    bool first = true;
+    for (const Diagnostic &d : diags) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "\n    {\"code\": \"%s\", \"severity\": \"%s\", "
+                      "\"pc\": %llu, \"index\": %zu, \"line\": %u, ",
+                      diagCodeName(d.code), severityName(d.severity),
+                      static_cast<unsigned long long>(d.pc),
+                      d.instrIndex, d.srcLine);
+        out += (first ? "" : ",") + std::string(buf) +
+               "\"message\": \"" + jsonEscape(d.message) + "\"}";
+        first = false;
+    }
+    char summary[128];
+    std::snprintf(summary, sizeof(summary),
+                  "\n  ],\n  \"errors\": %zu, \"warnings\": %zu, "
+                  "\"notes\": %zu\n}\n",
+                  count(Severity::Error), count(Severity::Warning),
+                  count(Severity::Note));
+    out += summary;
+    return out;
+}
+
+} // namespace polypath

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Structured diagnostics for the static-analysis subsystem.
+ *
+ * Every finding carries a machine-readable code, a severity, the program
+ * counter and instruction index it anchors to, and — when the program
+ * came through the textual assembler — the source line. The engine
+ * renders the collected findings as human-readable text or as JSON (for
+ * tooling), and drives pplint's exit status via hasErrors().
+ */
+
+#ifndef POLYPATH_ANALYSIS_DIAGNOSTICS_HH
+#define POLYPATH_ANALYSIS_DIAGNOSTICS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace polypath
+{
+
+struct Program;
+
+/** How bad a finding is; errors gate pplint/--verify exit status. */
+enum class Severity : u8
+{
+    Note,       //!< stylistic / informational
+    Warning,    //!< suspicious but cannot corrupt the correct path
+    Error,      //!< the program is wrong (or will trap at commit)
+};
+
+/** Machine-readable diagnostic catalogue (see docs/ANALYSIS.md). */
+enum class DiagCode : u8
+{
+    BadEntry,           //!< entry point outside code or misaligned
+    BranchOutOfRange,   //!< control target outside the code image
+    MisalignedTarget,   //!< control target not word aligned
+    ReachableInvalid,   //!< INVALID opcode on an executable path
+    FallOffEnd,         //!< a path runs past the last instruction
+    MissingHalt,        //!< no HALT reachable from the entry point
+    RetAtEntry,         //!< RET reachable in the entry routine
+    UnreachableCode,    //!< block no path from the entry can reach
+    UseBeforeDef,       //!< register read before any path defines it
+    MisalignedAccess,   //!< statically-derivable unaligned quad access
+    DeadWrite,          //!< register written but never read afterwards
+    NumDiagCodes
+};
+
+/** Stable kebab-case identifier, e.g. "use-before-def". */
+const char *diagCodeName(DiagCode code);
+
+/** Default severity of @p code. */
+Severity diagSeverity(DiagCode code);
+
+/** Printable severity ("note" / "warning" / "error"). */
+const char *severityName(Severity severity);
+
+/** One analysis finding. */
+struct Diagnostic
+{
+    DiagCode code;
+    Severity severity;
+    Addr pc = 0;            //!< address of the anchoring instruction
+    size_t instrIndex = 0;  //!< index into Program::code
+    u32 srcLine = 0;        //!< source line when known, else 0
+    std::string message;
+};
+
+/**
+ * Collects findings for one program and renders them. The engine copies
+ * the location info it needs, so it may outlive the Program.
+ */
+class DiagnosticEngine
+{
+  public:
+    explicit DiagnosticEngine(const Program &program);
+
+    /**
+     * Record a finding anchored at instruction @p instr_index. The
+     * source line is looked up from the program automatically.
+     */
+    void report(DiagCode code, size_t instr_index, std::string message);
+
+    /** Record a finding with no instruction anchor (e.g. BadEntry). */
+    void reportGlobal(DiagCode code, std::string message);
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags; }
+
+    size_t count(Severity severity) const;
+    bool hasErrors() const { return count(Severity::Error) > 0; }
+
+    /** Sort findings by program order (pc, then code). */
+    void sort();
+
+    /**
+     * Render as human-readable text, one finding per line:
+     *   <name>[:<line>]: <severity>: <message> [<code>] @ <pc>
+     * Findings below @p min_severity are skipped.
+     */
+    std::string renderText(Severity min_severity = Severity::Note) const;
+
+    /** Render the findings plus a summary object as a JSON document. */
+    std::string renderJson() const;
+
+  private:
+    std::string progName;
+    std::string unit;           //!< sourceName, or progName without one
+    Addr codeBase = 0;
+    std::vector<u32> srcLines;
+    std::vector<Diagnostic> diags;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_ANALYSIS_DIAGNOSTICS_HH

@@ -19,7 +19,49 @@ Assembler::newLabel()
 {
     Label label{static_cast<u32>(labelPos.size())};
     labelPos.push_back(-1);
+    labelNames.emplace_back();
     return label;
+}
+
+void
+Assembler::nameLabel(Label label, const std::string &name)
+{
+    fatal_if(!label.valid() || label.id >= labelNames.size(),
+             "nameLabel of invalid label");
+    labelNames[label.id] = name;
+}
+
+void
+Assembler::setLocation(const std::string &unit, unsigned line)
+{
+    unitName = unit;
+    curLine = line;
+}
+
+std::string
+Assembler::locPrefix() const
+{
+    if (unitName.empty() && curLine == 0)
+        return "";
+    return unitName + ":" + std::to_string(curLine) + ": ";
+}
+
+std::string
+Assembler::locPrefixAt(size_t idx) const
+{
+    if (unitName.empty() || idx >= instrLines.size() ||
+        instrLines[idx] == 0) {
+        return "";
+    }
+    return unitName + ":" + std::to_string(instrLines[idx]) + ": ";
+}
+
+std::string
+Assembler::labelDesc(u32 label_id) const
+{
+    if (label_id < labelNames.size() && !labelNames[label_id].empty())
+        return "'" + labelNames[label_id] + "'";
+    return "label " + std::to_string(label_id);
 }
 
 void
@@ -43,6 +85,7 @@ void
 Assembler::emit(const Instr &instr)
 {
     instrs.push_back(instr);
+    instrLines.push_back(curLine);
 }
 
 Addr
@@ -71,11 +114,12 @@ Assembler::emitI(Opcode op, u8 ra, s32 imm, u8 rc)
         // Zero-extended immediates: accept the full unsigned 16-bit
         // range (negative values would silently change meaning).
         fatal_if(imm < 0 || imm > 65535,
-                 "%s: immediate %d out of unsigned 16-bit range",
-                 opName(op), imm);
+                 "%s%s: immediate %d out of unsigned 16-bit range",
+                 locPrefix().c_str(), opName(op), imm);
     } else {
         fatal_if(imm < -32768 || imm > 32767,
-                 "%s: immediate %d out of 16-bit range", opName(op), imm);
+                 "%s%s: immediate %d out of 16-bit range",
+                 locPrefix().c_str(), opName(op), imm);
     }
     Instr instr;
     instr.op = op;
@@ -89,7 +133,8 @@ void
 Assembler::emitM(Opcode op, u8 ra, s32 disp, u8 rc)
 {
     fatal_if(disp < -32768 || disp > 32767,
-             "%s: displacement %d out of 16-bit range", opName(op), disp);
+             "%s%s: displacement %d out of 16-bit range",
+             locPrefix().c_str(), opName(op), disp);
     Instr instr;
     instr.op = op;
     instr.ra = ra & 31;
@@ -233,16 +278,19 @@ Assembler::assemble(const std::string &name) const
     std::vector<Instr> patched = instrs;
     for (const Fixup &fixup : fixups) {
         fatal_if(labelPos[fixup.labelId] < 0,
-                 "%s: unbound label %u referenced by instruction %zu",
-                 name.c_str(), fixup.labelId, fixup.instrIndex);
+                 "%s%s: unbound %s referenced by instruction %zu",
+                 locPrefixAt(fixup.instrIndex).c_str(), name.c_str(),
+                 labelDesc(fixup.labelId).c_str(), fixup.instrIndex);
         s64 target = labelPos[fixup.labelId];
         s64 disp = target - (static_cast<s64>(fixup.instrIndex) + 1);
         Instr &instr = patched[fixup.instrIndex];
         s64 limit = (instr.op == Opcode::BR) ? (s64(1) << 25)
                                              : (s64(1) << 20);
         fatal_if(disp < -limit || disp >= limit,
-                 "%s: branch displacement %lld out of range",
-                 name.c_str(), static_cast<long long>(disp));
+                 "%s%s: branch displacement %lld to %s out of range",
+                 locPrefixAt(fixup.instrIndex).c_str(), name.c_str(),
+                 static_cast<long long>(disp),
+                 labelDesc(fixup.labelId).c_str());
         instr.imm = static_cast<s32>(disp);
     }
 
@@ -255,6 +303,12 @@ Assembler::assemble(const std::string &name) const
         prog.code.push_back(encodeInstr(instr));
     if (!data.empty())
         prog.dataSegments.emplace_back(dataBase, data);
+    prog.sourceName = unitName;
+    bool any_line = false;
+    for (u32 line : instrLines)
+        any_line = any_line || line != 0;
+    if (any_line)
+        prog.srcLines = instrLines;
     return prog;
 }
 

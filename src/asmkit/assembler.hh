@@ -59,6 +59,22 @@ class Assembler
     /** Create a label already bound to the current position. */
     Label here();
 
+    /**
+     * Give @p label a human-readable name, used by assemble()-time
+     * error messages (undefined label, displacement out of range).
+     */
+    void nameLabel(Label label, const std::string &name);
+
+    // --- source locations -------------------------------------------
+
+    /**
+     * Record the source position of subsequently emitted instructions.
+     * The textual front end calls this once per statement; the location
+     * flows into Program::srcLines and into error messages raised here
+     * (immediate range, displacement range, unbound labels).
+     */
+    void setLocation(const std::string &unit, unsigned line);
+
     // --- generic emission -------------------------------------------
 
     /** Append a fully formed instruction. */
@@ -177,13 +193,32 @@ class Assembler
     void emitM(Opcode op, u8 ra, s32 disp, u8 rc);
     void emitB(Opcode op, u8 ra, Label target);
 
+    /** "unit:line: " prefix for error messages; "" with no location. */
+    std::string locPrefix() const;
+
+    /** Same, for the previously recorded line of instruction @p idx. */
+    std::string locPrefixAt(size_t idx) const;
+
+    /** Printable name of @p label_id ("'name'" or "label N"). */
+    std::string labelDesc(u32 label_id) const;
+
     Addr codeBase;
     Addr dataBase;
     std::vector<Instr> instrs;
     std::vector<u8> data;
 
+    /** Source unit and line tracked by setLocation(). */
+    std::string unitName;
+    unsigned curLine = 0;
+
+    /** Per-instruction source line (parallel to instrs; 0 unknown). */
+    std::vector<u32> instrLines;
+
     /** Bound position (instruction index) per label; -1 if unbound. */
     std::vector<s64> labelPos;
+
+    /** Optional human-readable label names (parallel to labelPos). */
+    std::vector<std::string> labelNames;
 
     struct Fixup
     {

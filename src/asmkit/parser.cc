@@ -188,7 +188,9 @@ class TextAssembler
         if (it != codeLabels.end())
             return it->second;
         Label label = asmb.newLabel();
+        asmb.nameLabel(label, name);
         codeLabels.emplace(name, label);
+        labelFirstLine.emplace(name, lineNo);
         return label;
     }
 
@@ -210,6 +212,8 @@ class TextAssembler
     /** Code labels (forward references allowed). */
     std::map<std::string, Label> codeLabels;
     std::map<std::string, bool> codeLabelBound;
+    /** Line of each code label's first appearance (for diagnostics). */
+    std::map<std::string, unsigned> labelFirstLine;
 };
 
 void
@@ -326,12 +330,18 @@ TextAssembler::handleInstruction(const std::string &mnemonic,
         need(2);
         bool fp = (it->second == Opcode::FLD || it->second == Opcode::FST);
         auto [disp, base] = parseMem(ops[1]);
-        Instr instr;
-        instr.op = it->second;
-        instr.ra = base;
-        instr.rc = fp ? parseFpReg(ops[0]) : parseIntReg(ops[0]);
-        instr.imm = disp;
-        asmb.emit(instr);
+        u8 rc = fp ? parseFpReg(ops[0]) : parseIntReg(ops[0]);
+        // Route through the typed emitters for displacement range
+        // checks (a raw emit would silently truncate to 16 bits).
+        switch (it->second) {
+          case Opcode::LDQ: asmb.ldq(rc, disp, base); break;
+          case Opcode::STQ: asmb.stq(rc, disp, base); break;
+          case Opcode::LDBU: asmb.ldbu(rc, disp, base); break;
+          case Opcode::STB: asmb.stb(rc, disp, base); break;
+          case Opcode::FLD: asmb.fld(rc, disp, base); break;
+          case Opcode::FST: asmb.fst(rc, disp, base); break;
+          default: break;
+        }
         return;
     }
 
@@ -445,6 +455,7 @@ TextAssembler::run()
                                           : end - pos);
         ++lineNo;
         pos = end == std::string::npos ? text.size() + 1 : end + 1;
+        asmb.setLocation(unitName, lineNo);
 
         line = trim(stripComment(line));
 
@@ -489,9 +500,10 @@ TextAssembler::run()
 
     // All referenced code labels must be bound.
     for (const auto &[name, label] : codeLabels) {
-        if (!codeLabelBound[name])
-            fatal("%s: undefined label '%s'", unitName.c_str(),
-                  name.c_str());
+        if (!codeLabelBound[name]) {
+            fatal("%s:%u: undefined label '%s' (first referenced here)",
+                  unitName.c_str(), labelFirstLine[name], name.c_str());
+        }
     }
     return asmb.assemble(unitName);
 }

@@ -28,6 +28,25 @@ struct Program
     /** (base address, bytes) pairs of initialised data. */
     std::vector<std::pair<Addr, std::vector<u8>>> dataSegments;
 
+    /**
+     * Source unit the program was assembled from (empty when built
+     * programmatically through the Assembler API).
+     */
+    std::string sourceName;
+
+    /**
+     * Per-instruction source line, parallel to @ref code; empty when no
+     * location information was recorded. 0 means "unknown".
+     */
+    std::vector<u32> srcLines;
+
+    /** Source line of instruction @p idx, or 0 when unknown. */
+    u32
+    lineOf(size_t idx) const
+    {
+        return idx < srcLines.size() ? srcLines[idx] : 0;
+    }
+
     /** Number of static instructions. */
     size_t codeSize() const { return code.size(); }
 

@@ -128,6 +128,28 @@ Instr::dst() const
     return d;
 }
 
+bool
+Instr::fallsThrough() const
+{
+    const OpInfo &i = info();
+    if (i.isHalt || i.isReturn)
+        return false;
+    if (op == Opcode::BR)
+        return false;
+    return true;
+}
+
+unsigned
+Instr::srcRegs(LogReg out[2]) const
+{
+    unsigned count = 0;
+    if (LogReg r = src1(); r != noReg)
+        out[count++] = r;
+    if (LogReg r = src2(); r != noReg)
+        out[count++] = r;
+    return count;
+}
+
 unsigned
 Instr::accessSize() const
 {

@@ -74,6 +74,26 @@ struct Instr
     bool isStore() const { return info().isStore; }
     bool isMem() const { return isLoad() || isStore(); }
 
+    /**
+     * True when execution can continue at pc + 4: everything except the
+     * unconditional transfers (BR, RET) and HALT. Conditional branches
+     * and JSR (which returns to pc + 4) fall through.
+     */
+    bool fallsThrough() const;
+
+    /** True when this instruction ends a basic block. */
+    bool
+    endsBlock() const
+    {
+        return isControl() || info().isHalt;
+    }
+
+    /**
+     * Collect the source registers into @p out (unified namespace,
+     * zero registers included); returns how many were written (0..2).
+     */
+    unsigned srcRegs(LogReg out[2]) const;
+
     /** Memory access size in bytes (1 or 8); only valid for mem ops. */
     unsigned accessSize() const;
 

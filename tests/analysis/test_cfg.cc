@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "asmkit/assembler.hh"
+#include "asmkit/program.hh"
+
+namespace polypath
+{
+namespace
+{
+
+/** Count successors of @p blk with the given edge kind. */
+size_t
+countKind(const BasicBlock &blk, EdgeKind kind)
+{
+    size_t n = 0;
+    for (const CfgEdge &edge : blk.succs)
+        n += edge.kind == kind ? 1 : 0;
+    return n;
+}
+
+TEST(CodeView, BasicGeometry)
+{
+    Assembler a;
+    a.li(1, 5);
+    a.halt();
+    Program p = a.assemble("geom");
+
+    CodeView view = CodeView::decode(p);
+    ASSERT_GE(view.size(), 2u);
+    EXPECT_EQ(view.pcOf(0), p.codeBase);
+    EXPECT_EQ(view.pcOf(1), p.codeBase + 4);
+    EXPECT_TRUE(view.contains(p.codeBase));
+    EXPECT_FALSE(view.contains(p.codeBase - 4));
+    EXPECT_FALSE(view.contains(p.codeBase + 4 * view.size()));
+    EXPECT_FALSE(view.contains(p.codeBase + 2));   // misaligned
+    EXPECT_EQ(view.indexOf(p.codeBase + 4), 1u);
+}
+
+TEST(Cfg, StraightLineIsOneBlock)
+{
+    Assembler a;
+    a.addi(31, 1, 1);
+    a.addi(1, 2, 2);
+    a.halt();
+    Program p = a.assemble("straight");
+
+    CodeView view = CodeView::decode(p);
+    DiagnosticEngine diags(p);
+    Cfg cfg(view, diags);
+
+    ASSERT_EQ(cfg.blocks().size(), 1u);
+    const BasicBlock &blk = cfg.block(0);
+    EXPECT_EQ(blk.first, 0u);
+    EXPECT_EQ(blk.last, 2u);
+    EXPECT_TRUE(blk.succs.empty());    // HALT has no static successor
+    EXPECT_FALSE(blk.fallsOffEnd);
+    EXPECT_TRUE(diags.diagnostics().empty());
+}
+
+TEST(Cfg, DiamondBranch)
+{
+    Assembler a;
+    Label else_ = a.newLabel();
+    Label join = a.newLabel();
+    a.addi(31, 10, 1);
+    a.beq(1, else_);
+    a.addi(1, 1, 2);
+    a.br(join);
+    a.bind(else_);
+    a.addi(1, 2, 2);
+    a.bind(join);
+    a.add(2, 2, 3);
+    a.halt();
+    Program p = a.assemble("diamond");
+
+    CodeView view = CodeView::decode(p);
+    DiagnosticEngine diags(p);
+    Cfg cfg(view, diags);
+
+    ASSERT_EQ(cfg.blocks().size(), 4u);
+    const BasicBlock &head = cfg.block(cfg.entryBlock());
+    EXPECT_EQ(countKind(head, EdgeKind::Taken), 1u);
+    EXPECT_EQ(countKind(head, EdgeKind::Fallthrough), 1u);
+
+    // The BR block has a single taken edge, no fallthrough.
+    const BasicBlock &then_blk =
+        cfg.block(head.succs[0].kind == EdgeKind::Fallthrough
+                      ? head.succs[0].to
+                      : head.succs[1].to);
+    EXPECT_EQ(then_blk.succs.size(), 1u);
+    EXPECT_EQ(then_blk.succs[0].kind, EdgeKind::Taken);
+
+    // The join block has two predecessors; everything is reachable.
+    const BasicBlock &join_blk = cfg.block(then_blk.succs[0].to);
+    EXPECT_EQ(join_blk.preds.size(), 2u);
+    std::vector<bool> reach = cfg.reachableFromEntry();
+    for (const BasicBlock &blk : cfg.blocks())
+        EXPECT_TRUE(reach[blk.id]) << "block " << blk.id;
+}
+
+TEST(Cfg, CallHasCallAndReturnEdges)
+{
+    Assembler a;
+    Label fn = a.newLabel();
+    a.jsr(26, fn);
+    a.halt();
+    a.bind(fn);
+    a.ret();
+    Program p = a.assemble("call");
+
+    CodeView view = CodeView::decode(p);
+    DiagnosticEngine diags(p);
+    Cfg cfg(view, diags);
+
+    const BasicBlock &entry = cfg.block(cfg.entryBlock());
+    EXPECT_EQ(countKind(entry, EdgeKind::Call), 1u);
+    EXPECT_EQ(countKind(entry, EdgeKind::CallFallthrough), 1u);
+    EXPECT_EQ(entry.succs.size(), 2u);
+
+    // The RET block has no successors.
+    const BasicBlock &callee = cfg.block(cfg.blockOf(2));
+    EXPECT_TRUE(callee.succs.empty());
+}
+
+TEST(Cfg, UnreachableAfterBr)
+{
+    Assembler a;
+    Label end = a.newLabel();
+    a.br(end);
+    a.addi(31, 1, 1);   // unreachable
+    a.bind(end);
+    a.halt();
+    Program p = a.assemble("skip");
+
+    CodeView view = CodeView::decode(p);
+    DiagnosticEngine diags(p);
+    Cfg cfg(view, diags);
+
+    std::vector<bool> reach = cfg.reachableFromEntry();
+    EXPECT_TRUE(reach[cfg.blockOf(0)]);
+    EXPECT_FALSE(reach[cfg.blockOf(1)]);
+    EXPECT_TRUE(reach[cfg.blockOf(2)]);
+}
+
+TEST(Cfg, OutOfRangeTargetDropsEdgeAndReports)
+{
+    Assembler a;
+    a.addi(31, 1, 1);
+    Instr far;
+    far.op = Opcode::BNE;
+    far.ra = 1;
+    far.imm = 1000;     // points far beyond the code image
+    a.emit(far);
+    a.halt();
+    Program p = a.assemble("far");
+
+    CodeView view = CodeView::decode(p);
+    DiagnosticEngine diags(p);
+    Cfg cfg(view, diags);
+
+    ASSERT_EQ(diags.diagnostics().size(), 1u);
+    EXPECT_EQ(diags.diagnostics()[0].code, DiagCode::BranchOutOfRange);
+    EXPECT_EQ(diags.diagnostics()[0].instrIndex, 1u);
+
+    // The branch keeps only its fallthrough edge.
+    const BasicBlock &blk = cfg.block(cfg.blockOf(1));
+    ASSERT_EQ(blk.succs.size(), 1u);
+    EXPECT_EQ(blk.succs[0].kind, EdgeKind::Fallthrough);
+}
+
+TEST(Cfg, FallsOffEndFlag)
+{
+    Assembler a;
+    a.addi(31, 1, 1);   // no halt: execution runs off the image
+    Program p = a.assemble("falloff");
+
+    CodeView view = CodeView::decode(p);
+    DiagnosticEngine diags(p);
+    Cfg cfg(view, diags);
+
+    ASSERT_EQ(cfg.blocks().size(), 1u);
+    EXPECT_TRUE(cfg.block(0).fallsOffEnd);
+}
+
+} // anonymous namespace
+} // namespace polypath

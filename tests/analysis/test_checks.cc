@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hh"
+#include "asmkit/assembler.hh"
+#include "asmkit/parser.hh"
+#include "asmkit/program.hh"
+#include "isa/instr.hh"
+
+namespace polypath
+{
+namespace
+{
+
+size_t
+countCode(const AnalysisResult &result, DiagCode code)
+{
+    size_t n = 0;
+    for (const Diagnostic &d : result.diags.diagnostics())
+        n += d.code == code ? 1 : 0;
+    return n;
+}
+
+bool
+hasCode(const AnalysisResult &result, DiagCode code)
+{
+    return countCode(result, code) > 0;
+}
+
+const Diagnostic &
+firstOf(const AnalysisResult &result, DiagCode code)
+{
+    for (const Diagnostic &d : result.diags.diagnostics())
+        if (d.code == code)
+            return d;
+    static Diagnostic none;
+    ADD_FAILURE() << "no diagnostic with code " << diagCodeName(code);
+    return none;
+}
+
+// The deliberately-broken fixture from the acceptance criteria: a
+// use-before-def register plus an out-of-range branch in one program.
+AnalysisResult
+analyzeBrokenFixture()
+{
+    Assembler a;
+    a.addi(31, 5, 1);
+    Instr far;
+    far.op = Opcode::BNE;
+    far.ra = 1;
+    far.imm = 1000;             // target far outside the code image
+    a.emit(far);
+    a.add(3, 3, 4);             // r3 is never written anywhere
+    a.halt();
+    return analyzeProgram(a.assemble("broken"));
+}
+
+TEST(Checks, BrokenFixtureReportsBothErrors)
+{
+    AnalysisResult result = analyzeBrokenFixture();
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(hasCode(result, DiagCode::UseBeforeDef));
+    EXPECT_TRUE(hasCode(result, DiagCode::BranchOutOfRange));
+
+    const Diagnostic &ubd = firstOf(result, DiagCode::UseBeforeDef);
+    EXPECT_EQ(ubd.severity, Severity::Error);
+    EXPECT_NE(ubd.message.find("r3"), std::string::npos)
+        << ubd.message;
+    EXPECT_EQ(ubd.instrIndex, 2u);
+
+    const Diagnostic &oor = firstOf(result, DiagCode::BranchOutOfRange);
+    EXPECT_EQ(oor.instrIndex, 1u);
+}
+
+TEST(Checks, CleanProgramHasNoFindings)
+{
+    Assembler a;
+    Label loop = a.newLabel();
+    Label out = a.newLabel();
+    a.addi(31, 10, 1);
+    a.addi(31, 0, 2);
+    a.bind(loop);
+    a.add(2, 1, 2);
+    a.addi(1, -1, 1);
+    a.bgt(1, loop);
+    a.stq(2, 0, 31);    // store the sum so it is not a dead write
+    a.br(out);
+    a.bind(out);
+    a.halt();
+    AnalysisResult result = analyzeProgram(a.assemble("clean"));
+    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result.diags.diagnostics().empty())
+        << result.diags.renderText();
+    EXPECT_EQ(result.numRoutines, 1u);
+}
+
+TEST(Checks, UseBeforeDefOnlyOnSomePaths)
+{
+    // r2 is written on the taken arm only; the fallthrough arm reaches
+    // the read with r2 undefined, so "not written on every path".
+    Assembler a;
+    Label skip = a.newLabel();
+    a.addi(31, 1, 1);
+    a.beq(1, skip);
+    a.addi(31, 7, 2);
+    a.bind(skip);
+    a.stq(2, 0, 31);    // reads r2
+    a.halt();
+    AnalysisResult result = analyzeProgram(a.assemble("somepaths"));
+    EXPECT_TRUE(hasCode(result, DiagCode::UseBeforeDef));
+    EXPECT_NE(
+        firstOf(result, DiagCode::UseBeforeDef).message.find("r2"),
+        std::string::npos);
+}
+
+TEST(Checks, CallSiteChecksCalleeArguments)
+{
+    // The callee reads its argument register r16; the caller never
+    // writes it, so the JSR site reports the missing argument.
+    Assembler a;
+    Label fn = a.newLabel();
+    a.jsr(26, fn);
+    a.stq(0, 0, 31);    // keep v0 from being a dead write
+    a.halt();
+    a.bind(fn);
+    a.add(16, 16, 0);   // v0 = 2 * r16
+    a.ret();
+    AnalysisResult result = analyzeProgram(a.assemble("noarg"));
+    EXPECT_FALSE(result.ok());
+    const Diagnostic &d = firstOf(result, DiagCode::UseBeforeDef);
+    EXPECT_EQ(d.instrIndex, 0u);    // anchored at the call site
+    EXPECT_NE(d.message.find("r16"), std::string::npos) << d.message;
+}
+
+TEST(Checks, CallSiteSatisfiedBySetup)
+{
+    // Same callee, but the caller supplies r16: no finding, and the
+    // callee's v0 definition flows back to the caller's read.
+    Assembler a;
+    Label fn = a.newLabel();
+    a.addi(31, 21, 16);
+    a.jsr(26, fn);
+    a.stq(0, 0, 31);
+    a.halt();
+    a.bind(fn);
+    a.add(16, 16, 0);
+    a.ret();
+    AnalysisResult result = analyzeProgram(a.assemble("witharg"));
+    EXPECT_TRUE(result.ok()) << result.diags.renderText();
+    EXPECT_EQ(countCode(result, DiagCode::UseBeforeDef), 0u);
+    EXPECT_EQ(result.numRoutines, 2u);
+}
+
+TEST(Checks, RetAtEntryRoutine)
+{
+    Assembler a;
+    a.addi(31, 1, 26);
+    a.ret();
+    AnalysisResult result = analyzeProgram(a.assemble("toplevel_ret"));
+    EXPECT_TRUE(hasCode(result, DiagCode::RetAtEntry));
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(Checks, UnreachableCodeIsAWarning)
+{
+    Assembler a;
+    Label end = a.newLabel();
+    a.br(end);
+    a.addi(31, 1, 1);   // dead
+    a.bind(end);
+    a.halt();
+    AnalysisResult result = analyzeProgram(a.assemble("deadcode"));
+    EXPECT_TRUE(result.ok());   // warnings do not fail verification
+    EXPECT_EQ(result.diags.count(Severity::Warning), 1u);
+    EXPECT_TRUE(hasCode(result, DiagCode::UnreachableCode));
+}
+
+TEST(Checks, FallOffEndAndMissingHalt)
+{
+    Assembler a;
+    a.addi(31, 1, 1);
+    a.addi(1, 1, 1);    // execution runs past the end
+    AnalysisResult result = analyzeProgram(a.assemble("falloff"));
+    EXPECT_TRUE(hasCode(result, DiagCode::FallOffEnd));
+    EXPECT_TRUE(hasCode(result, DiagCode::MissingHalt));
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(Checks, InfiniteLoopReportsMissingHaltOnly)
+{
+    Assembler a;
+    Label loop = a.newLabel();
+    a.bind(loop);
+    a.br(loop);
+    AnalysisResult result = analyzeProgram(a.assemble("spin"));
+    EXPECT_TRUE(hasCode(result, DiagCode::MissingHalt));
+    EXPECT_FALSE(hasCode(result, DiagCode::FallOffEnd));
+}
+
+TEST(Checks, ReachableInvalidInstruction)
+{
+    // Word 0 decodes to INVALID (uninitialised instruction memory).
+    Program p;
+    p.name = "inv";
+    p.codeBase = 0x1000;
+    p.entry = 0x1000;
+    Instr halt_instr;
+    halt_instr.op = Opcode::HALT;
+    p.code = {0u, encodeInstr(halt_instr)};
+    AnalysisResult result = analyzeProgram(p);
+    EXPECT_TRUE(hasCode(result, DiagCode::ReachableInvalid));
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(Checks, BadEntryOutsideCode)
+{
+    Assembler a;
+    a.halt();
+    Program p = a.assemble("badentry");
+    p.entry = p.codeBase + 4 * p.code.size();   // one past the end
+    AnalysisResult result = analyzeProgram(p);
+    EXPECT_TRUE(hasCode(result, DiagCode::BadEntry));
+    EXPECT_EQ(result.numBlocks, 0u);    // analysis stops at bad entry
+}
+
+TEST(Checks, BadEntryMisaligned)
+{
+    Assembler a;
+    a.halt();
+    Program p = a.assemble("badalign");
+    p.entry = p.codeBase + 2;
+    AnalysisResult result = analyzeProgram(p);
+    const Diagnostic &d = firstOf(result, DiagCode::BadEntry);
+    EXPECT_NE(d.message.find("aligned"), std::string::npos);
+}
+
+TEST(Checks, EmptyProgramIsBadEntry)
+{
+    Program p;
+    p.name = "empty";
+    AnalysisResult result = analyzeProgram(p);
+    EXPECT_TRUE(hasCode(result, DiagCode::BadEntry));
+    EXPECT_EQ(result.numInstrs, 0u);
+}
+
+TEST(Checks, MisalignedQuadAccess)
+{
+    Assembler a;
+    a.li(1, 0x100004);
+    a.ldq(2, 0, 1);     // address 0x100004: not 8-byte aligned
+    a.stq(2, 4, 1);     // 0x100008: aligned, no finding
+    a.halt();
+    AnalysisResult result = analyzeProgram(a.assemble("misaligned"));
+    EXPECT_EQ(countCode(result, DiagCode::MisalignedAccess), 1u);
+    const Diagnostic &d = firstOf(result, DiagCode::MisalignedAccess);
+    EXPECT_NE(d.message.find("0x100004"), std::string::npos)
+        << d.message;
+}
+
+TEST(Checks, DeadWriteNoteAndOptOut)
+{
+    Assembler a;
+    a.addi(31, 5, 1);   // overwritten before any read
+    a.addi(31, 6, 1);   // never read at all
+    a.halt();
+    AnalysisResult noisy = analyzeProgram(a.assemble("deadwrites"));
+    EXPECT_TRUE(noisy.ok());    // notes do not fail verification
+    EXPECT_EQ(countCode(noisy, DiagCode::DeadWrite), 2u);
+
+    AnalysisOptions options;
+    options.deadWrites = false;
+    AnalysisResult quiet =
+        analyzeProgram(a.assemble("deadwrites"), options);
+    EXPECT_EQ(countCode(quiet, DiagCode::DeadWrite), 0u);
+}
+
+TEST(Checks, SourceLinesFlowFromParser)
+{
+    Program p = assembleText("\n"
+                             "        add     r1, r1, r2\n"
+                             "        halt\n",
+                             "lint_input.s");
+    AnalysisResult result = analyzeProgram(p);
+    const Diagnostic &d = firstOf(result, DiagCode::UseBeforeDef);
+    EXPECT_EQ(d.srcLine, 2u);
+    std::string text = result.diags.renderText();
+    EXPECT_NE(text.find("lint_input.s:2:"), std::string::npos) << text;
+}
+
+TEST(Checks, RenderTextSeverityFilter)
+{
+    Assembler a;
+    a.addi(31, 5, 1);   // dead write (note)
+    a.halt();
+    AnalysisResult result = analyzeProgram(a.assemble("filter"));
+    EXPECT_NE(result.diags.renderText().find("dead-write"),
+              std::string::npos);
+    EXPECT_EQ(result.diags.renderText(Severity::Warning), "");
+}
+
+TEST(Checks, JsonRendering)
+{
+    AnalysisResult result = analyzeBrokenFixture();
+    std::string json = result.diags.renderJson();
+    EXPECT_NE(json.find("\"program\": \"broken\""), std::string::npos);
+    EXPECT_NE(json.find("\"code\": \"use-before-def\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"code\": \"branch-out-of-range\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos)
+        << json;
+}
+
+TEST(Checks, DiagnosticsAreSortedByPc)
+{
+    AnalysisResult result = analyzeBrokenFixture();
+    const std::vector<Diagnostic> &diags = result.diags.diagnostics();
+    for (size_t i = 1; i < diags.size(); ++i)
+        EXPECT_LE(diags[i - 1].pc, diags[i].pc);
+}
+
+} // anonymous namespace
+} // namespace polypath

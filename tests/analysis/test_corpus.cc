@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The lint gate over the whole program corpus: every bundled workload
+ * (integer and FP registries) and every assembly example under
+ * examples/asm/ must analyze with zero errors and zero warnings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/analyzer.hh"
+#include "asmkit/parser.hh"
+#include "asmkit/program.hh"
+#include "workloads/workloads.hh"
+
+#ifndef PP_EXAMPLES_ASM_DIR
+#error "PP_EXAMPLES_ASM_DIR must point at examples/asm"
+#endif
+
+namespace polypath
+{
+namespace
+{
+
+void
+expectLintClean(const Program &program)
+{
+    AnalysisResult result = analyzeProgram(program);
+    EXPECT_EQ(result.diags.count(Severity::Error), 0u)
+        << result.diags.renderText(Severity::Warning);
+    EXPECT_EQ(result.diags.count(Severity::Warning), 0u)
+        << result.diags.renderText(Severity::Warning);
+    EXPECT_GT(result.numInstrs, 0u);
+    EXPECT_GT(result.numBlocks, 0u);
+}
+
+TEST(LintCorpus, AllIntegerWorkloadsAreClean)
+{
+    for (const WorkloadInfo &info : workloadRegistry()) {
+        SCOPED_TRACE(info.name);
+        expectLintClean(info.build(WorkloadParams{}));
+    }
+}
+
+TEST(LintCorpus, AllFpWorkloadsAreClean)
+{
+    for (const WorkloadInfo &info : fpWorkloadRegistry()) {
+        SCOPED_TRACE(info.name);
+        expectLintClean(info.build(WorkloadParams{}));
+    }
+}
+
+TEST(LintCorpus, WorkloadsStayCleanWhenScaled)
+{
+    WorkloadParams params;
+    params.scale = 0.25;
+    for (const WorkloadInfo &info : workloadRegistry()) {
+        SCOPED_TRACE(info.name);
+        expectLintClean(info.build(params));
+    }
+}
+
+TEST(LintCorpus, ExampleAssemblyProgramsAreClean)
+{
+    namespace fs = std::filesystem;
+    size_t found = 0;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(PP_EXAMPLES_ASM_DIR)) {
+        if (entry.path().extension() != ".s")
+            continue;
+        ++found;
+        SCOPED_TRACE(entry.path().string());
+        std::ifstream in(entry.path());
+        ASSERT_TRUE(in) << "cannot open " << entry.path();
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        Program p =
+            assembleText(buffer.str(), entry.path().filename().string());
+        expectLintClean(p);
+    }
+    EXPECT_GE(found, 3u) << "examples/asm corpus went missing";
+}
+
+} // anonymous namespace
+} // namespace polypath

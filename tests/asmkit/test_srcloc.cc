@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Assembler/parser error messages must carry the source location
+ * (unit:line) of the offending statement, and assembled programs must
+ * carry per-instruction source lines for the analyzer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hh"
+#include "asmkit/parser.hh"
+#include "asmkit/program.hh"
+
+namespace polypath
+{
+namespace
+{
+
+TEST(SourceLocation, UndefinedLabelNamesLineAndUnit)
+{
+    EXPECT_EXIT(assembleText("        li      r1, 1\n"
+                             "        br      nowhere\n"
+                             "        halt\n",
+                             "missing.s"),
+                ::testing::ExitedWithCode(1),
+                "missing\\.s:2: undefined label 'nowhere'");
+}
+
+TEST(SourceLocation, ImmediateRangeErrorCarriesLocation)
+{
+    EXPECT_EXIT(assembleText("        li      r1, 1\n"
+                             "        addi    r1, 99999, r2\n",
+                             "range.s"),
+                ::testing::ExitedWithCode(1),
+                "range\\.s:2: addi: immediate 99999 out of 16-bit "
+                "range");
+}
+
+TEST(SourceLocation, UnsignedLogicalImmediateCarriesLocation)
+{
+    EXPECT_EXIT(assembleText("\n\n        andi    r1, -5, r2\n",
+                             "logical.s"),
+                ::testing::ExitedWithCode(1),
+                "logical\\.s:3: andi: immediate -5 out of unsigned "
+                "16-bit range");
+}
+
+TEST(SourceLocation, DisplacementRangeErrorCarriesLocation)
+{
+    EXPECT_EXIT(assembleText("        ldq     r1, 123456(r2)\n",
+                             "disp.s"),
+                ::testing::ExitedWithCode(1),
+                "disp\\.s:1: ldq: displacement 123456 out of 16-bit "
+                "range");
+}
+
+TEST(SourceLocation, ProgramRecordsPerInstructionLines)
+{
+    Program p = assembleText("; comment line\n"
+                             "        li      r1, 7\n"
+                             "\n"
+                             "loop:   addi    r1, -1, r1\n"
+                             "        bgt     r1, loop\n"
+                             "        halt\n",
+                             "lines.s");
+    EXPECT_EQ(p.sourceName, "lines.s");
+    ASSERT_EQ(p.srcLines.size(), p.code.size());
+    EXPECT_EQ(p.lineOf(0), 2u);     // li (single instruction for 7)
+    EXPECT_EQ(p.lineOf(1), 4u);     // addi
+    EXPECT_EQ(p.lineOf(2), 5u);     // bgt
+    EXPECT_EQ(p.lineOf(3), 6u);     // halt
+}
+
+TEST(SourceLocation, ProgrammaticAssemblyHasNoLines)
+{
+    Assembler a;
+    a.halt();
+    Program p = a.assemble("api");
+    EXPECT_TRUE(p.sourceName.empty());
+    EXPECT_TRUE(p.srcLines.empty());
+    EXPECT_EQ(p.lineOf(0), 0u);
+}
+
+TEST(SourceLocation, NamedLabelUsedInAssemblerErrors)
+{
+    // Through the Assembler API directly: a named, never-bound label
+    // must be reported by name, with the recorded location.
+    Assembler a;
+    Label missing = a.newLabel();
+    a.nameLabel(missing, "missing_fn");
+    a.setLocation("unit.s", 7);
+    a.jsr(26, missing);
+    a.halt();
+    EXPECT_EXIT(a.assemble("prog"), ::testing::ExitedWithCode(1),
+                "unit\\.s:7: prog: unbound 'missing_fn'");
+}
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * pplint — static analyzer for PPR programs.
+ *
+ * Lints assembly files and/or bundled workloads and reports the
+ * findings catalogued in docs/ANALYSIS.md (use-before-def, unreachable
+ * code, out-of-range branch targets, misaligned accesses, ...).
+ *
+ *     pplint program.s
+ *     pplint --workload go
+ *     pplint --all-workloads --json
+ *
+ * Options:
+ *     --workload NAME     lint a bundled benchmark (repeatable)
+ *     --all-workloads     lint every bundled benchmark (incl. FP)
+ *     --scale X           workload scale factor (default 1.0)
+ *     --json              emit findings as JSON
+ *     --min-severity S    note | warning | error (default: note)
+ *     --no-dead-writes    skip the dead-write liveness notes
+ *     --quiet             suppress per-program summary lines
+ *
+ * Exit status: 0 when every program is free of error-severity findings,
+ * 1 when any error was found, 2 on usage or I/O problems.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "asmkit/parser.hh"
+#include "asmkit/program.hh"
+#include "workloads/workloads.hh"
+
+using namespace polypath;
+
+namespace
+{
+
+void
+usage(int status)
+{
+    std::fprintf(
+        stderr,
+        "usage: pplint [options] [program.s ...]\n"
+        "       pplint --workload NAME | --all-workloads\n"
+        "options:\n"
+        "  --workload NAME    lint a bundled benchmark (repeatable)\n"
+        "  --all-workloads    lint every bundled benchmark\n"
+        "  --scale X          workload scale factor (default 1.0)\n"
+        "  --json             emit findings as JSON\n"
+        "  --min-severity S   note | warning | error (default: note)\n"
+        "  --no-dead-writes   skip dead-write notes\n"
+        "  --quiet            suppress per-program summary lines\n");
+    std::exit(status);
+}
+
+Severity
+parseSeverity(const std::string &name)
+{
+    if (name == "note")
+        return Severity::Note;
+    if (name == "warning")
+        return Severity::Warning;
+    if (name == "error")
+        return Severity::Error;
+    std::fprintf(stderr, "pplint: unknown severity '%s'\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> files;
+    bool all_workloads = false;
+    bool json = false;
+    bool quiet = false;
+    double scale = 1.0;
+    Severity min_severity = Severity::Note;
+    AnalysisOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "pplint: %s needs an argument\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workloads.push_back(next());
+        } else if (arg == "--all-workloads") {
+            all_workloads = true;
+        } else if (arg == "--scale") {
+            scale = std::atof(next().c_str());
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--min-severity") {
+            min_severity = parseSeverity(next());
+        } else if (arg == "--no-dead-writes") {
+            options.deadWrites = false;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help") {
+            usage(0);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "pplint: unknown option %s\n",
+                         arg.c_str());
+            usage(2);
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    if (all_workloads) {
+        for (const WorkloadInfo &info : workloadRegistry())
+            workloads.push_back(info.name);
+        for (const WorkloadInfo &info : fpWorkloadRegistry())
+            workloads.push_back(info.name);
+    }
+    if (workloads.empty() && files.empty())
+        usage(2);
+
+    // --- assemble every requested program ------------------------------
+    std::vector<Program> programs;
+    WorkloadParams params;
+    params.scale = scale;
+    for (const std::string &name : workloads) {
+        bool found = false;
+        for (const auto *registry :
+             {&workloadRegistry(), &fpWorkloadRegistry()}) {
+            for (const WorkloadInfo &info : *registry) {
+                if (info.name == name) {
+                    programs.push_back(info.build(params));
+                    found = true;
+                }
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr, "pplint: unknown workload '%s'\n",
+                         name.c_str());
+            return 2;
+        }
+    }
+    for (const std::string &path : files) {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "pplint: cannot open '%s'\n",
+                         path.c_str());
+            return 2;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        programs.push_back(assembleText(buffer.str(), path));
+    }
+
+    // --- analyze -------------------------------------------------------
+    bool any_errors = false;
+    for (const Program &program : programs) {
+        AnalysisResult result = analyzeProgram(program, options);
+        any_errors |= !result.ok();
+        if (json) {
+            std::fputs(result.diags.renderJson().c_str(), stdout);
+            continue;
+        }
+        std::fputs(result.diags.renderText(min_severity).c_str(),
+                   stdout);
+        if (!quiet) {
+            std::printf(
+                "%s: %zu error%s, %zu warning%s, %zu note%s "
+                "(%zu instrs, %zu blocks, %zu routines)\n",
+                program.name.c_str(),
+                result.diags.count(Severity::Error),
+                result.diags.count(Severity::Error) == 1 ? "" : "s",
+                result.diags.count(Severity::Warning),
+                result.diags.count(Severity::Warning) == 1 ? "" : "s",
+                result.diags.count(Severity::Note),
+                result.diags.count(Severity::Note) == 1 ? "" : "s",
+                result.numInstrs, result.numBlocks,
+                result.numRoutines);
+        }
+    }
+    return any_errors ? 1 : 0;
+}

@@ -23,6 +23,8 @@
  *     --predictor NAME    gshare | bimodal | combining | taken
  *     --fu N              functional units of each type
  *     --imperfect-dcache  enable the D-cache timing model
+ *     --verify            statically analyze the program before running
+ *                         it; refuse to simulate on any error finding
  *     --trace             print every pipeline event
  *     --compare           run all six paper categories and summarise
  *     --kips              also time the run and report simulated KIPS
@@ -38,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.hh"
 #include "asmkit/parser.hh"
 #include "common/logging.hh"
 #include "common/stats_util.hh"
@@ -103,6 +106,7 @@ main(int argc, char **argv)
     bool trace = false;
     bool compare = false;
     bool kips = false;
+    bool verify = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -135,6 +139,8 @@ main(int argc, char **argv)
             cfg.numFpAdd = cfg.numFpMul = cfg.numMemPorts = n;
         } else if (arg == "--imperfect-dcache") {
             cfg.dcache.perfect = false;
+        } else if (arg == "--verify") {
+            verify = true;
         } else if (arg == "--trace") {
             trace = true;
         } else if (arg == "--profile") {
@@ -154,17 +160,61 @@ main(int argc, char **argv)
     // --- load the program ----------------------------------------------
     Program program;
     if (!workload.empty()) {
+        bool known = false;
+        for (const auto *registry :
+             {&workloadRegistry(), &fpWorkloadRegistry()}) {
+            for (const WorkloadInfo &info : *registry)
+                known |= info.name == workload;
+        }
+        if (!known) {
+            std::fprintf(stderr, "ppsim: unknown workload '%s'\n",
+                         workload.c_str());
+            std::fprintf(stderr, "available workloads:");
+            for (const auto *registry :
+                 {&workloadRegistry(), &fpWorkloadRegistry()}) {
+                for (const WorkloadInfo &info : *registry)
+                    std::fprintf(stderr, " %s", info.name.c_str());
+            }
+            std::fprintf(stderr, "\n");
+            return 1;
+        }
         WorkloadParams params;
         params.scale = scale;
         program = buildWorkload(workload, params);
     } else if (!source_path.empty()) {
         std::ifstream in(source_path);
-        fatal_if(!in, "cannot open '%s'", source_path.c_str());
+        if (!in) {
+            std::fprintf(stderr,
+                         "ppsim: cannot open program file '%s'\n",
+                         source_path.c_str());
+            return 1;
+        }
         std::stringstream buffer;
         buffer << in.rdbuf();
         program = assembleText(buffer.str(), source_path);
     } else {
         usage();
+    }
+
+    // --- optional pre-run static verification --------------------------
+    if (verify) {
+        AnalysisResult lint = analyzeProgram(program);
+        std::fputs(
+            lint.diags.renderText(Severity::Warning).c_str(), stderr);
+        if (!lint.ok()) {
+            std::fprintf(stderr,
+                         "ppsim: '%s' failed verification with %zu "
+                         "error%s; not simulating\n",
+                         program.name.c_str(),
+                         lint.diags.count(Severity::Error),
+                         lint.diags.count(Severity::Error) == 1 ? ""
+                                                                : "s");
+            return 1;
+        }
+        std::printf("verify: '%s' passed static analysis "
+                    "(%zu instrs, %zu blocks, %zu routines)\n",
+                    program.name.c_str(), lint.numInstrs,
+                    lint.numBlocks, lint.numRoutines);
     }
 
     std::printf("program '%s': %zu static instructions\n",
