@@ -14,6 +14,7 @@
 
 #include "bench_util.hh"
 #include "common/stats_util.hh"
+#include "figures.hh"
 
 using namespace polypath;
 
@@ -37,8 +38,11 @@ runSet(const WorkloadSet &suite, const char *title,
 
 } // anonymous namespace
 
-int
-main()
+namespace polypath::benchfig
+{
+
+void
+runAblations()
 {
     WorkloadSet suite = loadWorkloads(benchScale(0.5));
 
@@ -192,5 +196,15 @@ main()
         std::printf("  %-10s %11.3f %12.3f\n\n", "h-mean",
                     meanIpc(matrix[1]), meanIpc(matrix[2]));
     }
+}
+
+} // namespace polypath::benchfig
+
+#ifndef PP_BENCH_NO_MAIN
+int
+main()
+{
+    polypath::benchfig::runAblations();
     return 0;
 }
+#endif

@@ -1,5 +1,6 @@
 #include "bench_util.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +11,25 @@
 
 namespace polypath
 {
+
+namespace
+{
+
+ResultCache *resultCache = nullptr;
+
+} // anonymous namespace
+
+void
+setResultCache(ResultCache *cache)
+{
+    resultCache = cache;
+}
+
+ResultCache *
+activeResultCache()
+{
+    return resultCache;
+}
 
 double
 benchScale(double dflt)
@@ -22,12 +42,12 @@ benchScale(double dflt)
 }
 
 WorkloadSet
-loadWorkloads(double scale)
+loadWorkloadSet(const std::vector<WorkloadInfo> &registry, double scale)
 {
     WorkloadSet suite;
     WorkloadParams params;
     params.scale = scale;
-    for (const WorkloadInfo &info : workloadRegistry()) {
+    for (const WorkloadInfo &info : registry) {
         suite.infos.push_back(info);
         suite.programs.push_back(info.build(params));
     }
@@ -51,26 +71,62 @@ loadWorkloads(double scale)
     return suite;
 }
 
+WorkloadSet
+loadWorkloads(double scale)
+{
+    return loadWorkloadSet(workloadRegistry(), scale);
+}
+
 std::vector<std::vector<SimResult>>
 runMatrix(const WorkloadSet &suite, const std::vector<SimConfig> &configs)
 {
-    std::vector<std::function<SimResult()>> jobs;
-    for (const SimConfig &cfg : configs) {
-        for (size_t w = 0; w < suite.size(); ++w) {
-            jobs.push_back([&suite, cfg, w] {
-                return simulate(suite.programs[w], cfg,
-                                suite.goldens[w]);
-            });
+    size_t nw = suite.size();
+    std::vector<std::vector<SimResult>> matrix(
+        configs.size(), std::vector<SimResult>(nw));
+
+    // Cache pass: every (config, workload) point already on disk skips
+    // simulation entirely; the rest are simulated below.
+    struct Miss
+    {
+        size_t c, w;
+        std::string key;
+    };
+    std::vector<Miss> misses;
+    for (size_t c = 0; c < configs.size(); ++c) {
+        for (size_t w = 0; w < nw; ++w) {
+            std::string key;
+            if (resultCache) {
+                key = ResultCache::keyFor(suite.programs[w], configs[c]);
+                if (auto hit = resultCache->lookup(key)) {
+                    matrix[c][w] = std::move(*hit);
+                    continue;
+                }
+            }
+            misses.push_back({c, w, std::move(key)});
         }
     }
+
+    // Longest job first, estimated by golden instruction count: the
+    // pool drains big workloads while small ones backfill, instead of
+    // idling behind a vortex-sized straggler dispatched last.
+    std::stable_sort(misses.begin(), misses.end(),
+                     [&](const Miss &a, const Miss &b) {
+                         return suite.goldens[a.w].instructions >
+                                suite.goldens[b.w].instructions;
+                     });
+
+    std::vector<std::function<SimResult()>> jobs;
+    for (const Miss &miss : misses) {
+        jobs.push_back([&suite, &configs, &miss] {
+            return simulate(suite.programs[miss.w], configs[miss.c],
+                            suite.goldens[miss.w]);
+        });
+    }
     std::vector<SimResult> flat = runParallel(jobs);
-    std::vector<std::vector<SimResult>> matrix;
-    size_t idx = 0;
-    for (size_t c = 0; c < configs.size(); ++c) {
-        std::vector<SimResult> row;
-        for (size_t w = 0; w < suite.size(); ++w)
-            row.push_back(flat[idx++]);
-        matrix.push_back(std::move(row));
+    for (size_t i = 0; i < misses.size(); ++i) {
+        if (resultCache)
+            resultCache->store(misses[i].key, flat[i]);
+        matrix[misses[i].c][misses[i].w] = std::move(flat[i]);
     }
     return matrix;
 }

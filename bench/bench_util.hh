@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/machine.hh"
+#include "sim/result_cache.hh"
 #include "workloads/workloads.hh"
 
 namespace polypath
@@ -37,8 +38,26 @@ double benchScale(double dflt = 1.0);
 /** Build all eight workloads (golden runs execute in parallel). */
 WorkloadSet loadWorkloads(double scale);
 
+/** Same, for an arbitrary registry (e.g. fpWorkloadRegistry()). */
+WorkloadSet loadWorkloadSet(const std::vector<WorkloadInfo> &registry,
+                            double scale);
+
 /**
- * Run every (config, workload) pair on the worker pool.
+ * Install a result cache consulted by every subsequent runMatrix call
+ * (nullptr = no caching, the default). The cache must outlive its use;
+ * ppbench owns one across all figures of a run.
+ */
+void setResultCache(ResultCache *cache);
+
+/** The cache installed via setResultCache, or nullptr. */
+ResultCache *activeResultCache();
+
+/**
+ * Run every (config, workload) pair on the worker pool. Pairs whose
+ * result is in the active result cache are not simulated; the rest are
+ * dispatched longest-job-first (by golden instruction count) so one
+ * big workload does not serialise the tail of the pool, then stored
+ * back into the cache.
  * @return results[config][workload]
  */
 std::vector<std::vector<SimResult>>

@@ -12,11 +12,15 @@
 
 #include "bench_util.hh"
 #include "common/stats_util.hh"
+#include "figures.hh"
 
 using namespace polypath;
 
-int
-main()
+namespace polypath::benchfig
+{
+
+void
+runFig10()
 {
     WorkloadSet suite = loadWorkloads(benchScale());
 
@@ -80,5 +84,15 @@ main()
     for (size_t i = 0; i < mono_ipc.size(); ++i)
         std::printf("  %4u entries: %+6.1f%%\n", sizes[i],
                     percentChange(mono_ipc[i], see_ipc[i]));
+}
+
+} // namespace polypath::benchfig
+
+#ifndef PP_BENCH_NO_MAIN
+int
+main()
+{
+    polypath::benchfig::runFig10();
     return 0;
 }
+#endif

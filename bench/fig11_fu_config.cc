@@ -14,11 +14,15 @@
 
 #include "bench_util.hh"
 #include "common/stats_util.hh"
+#include "figures.hh"
 
 using namespace polypath;
 
-int
-main()
+namespace polypath::benchfig
+{
+
+void
+runFig11()
 {
     WorkloadSet suite = loadWorkloads(benchScale());
 
@@ -101,5 +105,15 @@ main()
     std::printf("  %-10s %9.1f%% %9.1f%%\n", "Dcache",
                 mean_util(mono_runs[0], ExecClass::Mem, 1),
                 mean_util(see_runs[0], ExecClass::Mem, 1));
+}
+
+} // namespace polypath::benchfig
+
+#ifndef PP_BENCH_NO_MAIN
+int
+main()
+{
+    polypath::benchfig::runFig11();
     return 0;
 }
+#endif

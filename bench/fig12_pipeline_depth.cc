@@ -14,11 +14,15 @@
 
 #include "bench_util.hh"
 #include "common/stats_util.hh"
+#include "figures.hh"
 
 using namespace polypath;
 
-int
-main()
+namespace polypath::benchfig
+{
+
+void
+runFig12()
 {
     WorkloadSet suite = loadWorkloads(benchScale());
 
@@ -77,5 +81,15 @@ main()
     for (size_t i = 2; i < 5; ++i)
         std::printf("  %2u-stage SEE: %+6.1f%%\n", depths[i],
                     percentChange(mono8, see_ipc[i]));
+}
+
+} // namespace polypath::benchfig
+
+#ifndef PP_BENCH_NO_MAIN
+int
+main()
+{
+    polypath::benchfig::runFig12();
     return 0;
 }
+#endif

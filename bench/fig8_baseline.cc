@@ -15,11 +15,15 @@
 
 #include "bench_util.hh"
 #include "common/stats_util.hh"
+#include "figures.hh"
 
 using namespace polypath;
 
-int
-main()
+namespace polypath::benchfig
+{
+
+void
+runFig8()
 {
     WorkloadSet suite = loadWorkloads(benchScale());
 
@@ -68,5 +72,15 @@ main()
                 fraction(dual_oracle, see_oracle));
     std::printf("  JRS confidence:    %5.1f%%\n",
                 fraction(dual_jrs, see_jrs));
+}
+
+} // namespace polypath::benchfig
+
+#ifndef PP_BENCH_NO_MAIN
+int
+main()
+{
+    polypath::benchfig::runFig8();
     return 0;
 }
+#endif

@@ -16,11 +16,15 @@
 #include "bench_util.hh"
 #include "bpred/confidence.hh"
 #include "bpred/gshare.hh"
+#include "figures.hh"
 
 using namespace polypath;
 
-int
-main()
+namespace polypath::benchfig
+{
+
+void
+runFig9()
 {
     WorkloadSet suite = loadWorkloads(benchScale());
 
@@ -63,5 +67,15 @@ main()
     }
     std::printf("(plot IPC against 'state bytes' to recover the "
                 "figure's equal-area x-axis)\n");
+}
+
+} // namespace polypath::benchfig
+
+#ifndef PP_BENCH_NO_MAIN
+int
+main()
+{
+    polypath::benchfig::runFig9();
     return 0;
 }
+#endif

@@ -1,0 +1,52 @@
+#include "figures.hh"
+
+namespace polypath::benchfig
+{
+
+const std::vector<FigureBench> &
+figureRegistry()
+{
+    static const std::vector<FigureBench> registry = {
+        {"table1_benchmarks",
+         "Table 1: benchmark characteristics", runTable1},
+        {"fig8_baseline",
+         "Figure 8: baseline IPC of all machine categories", runFig8},
+        {"sec51_confidence",
+         "Section 5.1: confidence estimation statistics", runSec51},
+        {"sec52_dualpath",
+         "Section 5.2: path utilisation and dual-path fraction",
+         runSec52},
+        {"fig9_predictor_size",
+         "Figure 9: IPC vs branch predictor size", runFig9},
+        {"fig10_window_size",
+         "Figure 10: IPC vs instruction window size", runFig10},
+        {"fig11_fu_config",
+         "Figure 11: IPC vs functional-unit count", runFig11},
+        {"fig12_pipeline_depth",
+         "Figure 12: IPC vs pipeline depth", runFig12},
+        {"ablations",
+         "Ablations: design choices the paper calls out", runAblations},
+        {"fp_extension",
+         "FP extension: SEE on predictable floating-point code",
+         runFpExtension},
+    };
+    return registry;
+}
+
+const FigureBench *
+findFigure(const std::string &name)
+{
+    const FigureBench *match = nullptr;
+    for (const FigureBench &fig : figureRegistry()) {
+        if (fig.name == name)
+            return &fig;
+        if (fig.name.rfind(name, 0) == 0) {
+            if (match)
+                return nullptr;     // ambiguous prefix
+            match = &fig;
+        }
+    }
+    return match;
+}
+
+} // namespace polypath::benchfig

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Registry of the paper-figure benches, callable in-process.
+ *
+ * Each figure source file defines one runX() entry point containing
+ * what used to be its main(); the standalone per-figure binaries keep a
+ * main() (compiled out with PP_BENCH_NO_MAIN when the sources are built
+ * into the pp_figures library), and tools/ppbench runs any subset of
+ * figures through this registry against one shared result cache.
+ *
+ * sim_speed is deliberately absent: it measures wall-clock simulator
+ * throughput, which caching would falsify.
+ */
+
+#ifndef POLYPATH_BENCH_FIGURES_HH
+#define POLYPATH_BENCH_FIGURES_HH
+
+#include <string>
+#include <vector>
+
+namespace polypath::benchfig
+{
+
+void runTable1();
+void runFig8();
+void runSec51();
+void runSec52();
+void runFig9();
+void runFig10();
+void runFig11();
+void runFig12();
+void runAblations();
+void runFpExtension();
+
+/** One runnable paper artifact. */
+struct FigureBench
+{
+    std::string name;           //!< matches the standalone binary name
+    std::string description;
+    void (*fn)();
+};
+
+/** All figures, in run_all_experiments.sh order. */
+const std::vector<FigureBench> &figureRegistry();
+
+/**
+ * Find a figure by exact name or unique prefix ("fig8" matches
+ * fig8_baseline). @return nullptr when unknown or ambiguous.
+ */
+const FigureBench *findFigure(const std::string &name);
+
+} // namespace polypath::benchfig
+
+#endif // POLYPATH_BENCH_FIGURES_HH

@@ -14,14 +14,23 @@
 
 #include "bench_util.hh"
 #include "common/stats_util.hh"
+#include "figures.hh"
 
 using namespace polypath;
 
-int
-main()
+namespace polypath::benchfig
 {
-    WorkloadParams params;
-    params.scale = benchScale();
+
+void
+runFpExtension()
+{
+    WorkloadSet suite =
+        loadWorkloadSet(fpWorkloadRegistry(), benchScale());
+    auto matrix = runMatrix(
+        suite, {SimConfig::monopath(), SimConfig::seeJrs(),
+                SimConfig::seeAdaptiveJrs(),
+                SimConfig::seeOracleConfidence(),
+                SimConfig::oraclePrediction()});
 
     std::printf("FP extension: SEE on predictable floating-point code "
                 "(§5.1 conjecture)\n\n");
@@ -29,22 +38,17 @@ main()
                 "instrs", "mispred%", "monopath", "SEE(JRS)",
                 "adaptive", "SEE(orc)", "oracle");
 
-    for (const WorkloadInfo &info : fpWorkloadRegistry()) {
-        Program program = info.build(params);
-        InterpResult golden = runGolden(program);
-        SimResult mono =
-            simulate(program, SimConfig::monopath(), golden);
-        SimResult see = simulate(program, SimConfig::seeJrs(), golden);
-        SimResult adaptive =
-            simulate(program, SimConfig::seeAdaptiveJrs(), golden);
-        SimResult see_orc =
-            simulate(program, SimConfig::seeOracleConfidence(), golden);
-        SimResult oracle =
-            simulate(program, SimConfig::oraclePrediction(), golden);
+    for (size_t w = 0; w < suite.size(); ++w) {
+        const SimResult &mono = matrix[0][w];
+        const SimResult &see = matrix[1][w];
+        const SimResult &adaptive = matrix[2][w];
+        const SimResult &see_orc = matrix[3][w];
+        const SimResult &oracle = matrix[4][w];
         std::printf("%-8s %12llu %9.2f %10.3f %10.3f %10.3f %10.3f "
                     "%8.3f\n",
-                    info.name.c_str(),
-                    static_cast<unsigned long long>(golden.instructions),
+                    suite.infos[w].name.c_str(),
+                    static_cast<unsigned long long>(
+                        suite.goldens[w].instructions),
                     100 * mono.stats.mispredictRate(), mono.ipc(),
                     see.ipc(), adaptive.ipc(), see_orc.ipc(),
                     oracle.ipc());
@@ -62,5 +66,15 @@ main()
         "failure mode §5.1\ndescribes for m88ksim — and the adaptive "
         "estimator (the paper's proposed fix)\nrecovers nearly all of "
         "the loss.\n");
+}
+
+} // namespace polypath::benchfig
+
+#ifndef PP_BENCH_NO_MAIN
+int
+main()
+{
+    polypath::benchfig::runFpExtension();
     return 0;
 }
+#endif

@@ -12,11 +12,15 @@
 
 #include "bench_util.hh"
 #include "common/stats_util.hh"
+#include "figures.hh"
 
 using namespace polypath;
 
-int
-main()
+namespace polypath::benchfig
+{
+
+void
+runSec51()
 {
     WorkloadSet suite = loadWorkloads(benchScale());
     auto matrix =
@@ -62,5 +66,15 @@ main()
     for (size_t w = 0; w < suite.size(); ++w)
         std::printf("  %-10s %+7.1f%%\n", suite.infos[w].name.c_str(),
                     useless_delta[w]);
+}
+
+} // namespace polypath::benchfig
+
+#ifndef PP_BENCH_NO_MAIN
+int
+main()
+{
+    polypath::benchfig::runSec51();
     return 0;
 }
+#endif

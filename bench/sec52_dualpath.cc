@@ -13,11 +13,15 @@
 
 #include "bench_util.hh"
 #include "common/stats_util.hh"
+#include "figures.hh"
 
 using namespace polypath;
 
-int
-main()
+namespace polypath::benchfig
+{
+
+void
+runSec52()
 {
     WorkloadSet suite = loadWorkloads(benchScale());
     std::vector<SimConfig> configs = {
@@ -64,5 +68,15 @@ main()
                 fraction(dual_jrs, see_jrs));
     std::printf("  oracle confidence: %5.1f%%   (paper: 58%%)\n",
                 fraction(dual_orc, see_orc));
+}
+
+} // namespace polypath::benchfig
+
+#ifndef PP_BENCH_NO_MAIN
+int
+main()
+{
+    polypath::benchfig::runSec52();
     return 0;
 }
+#endif

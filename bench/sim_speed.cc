@@ -28,16 +28,44 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hh"
 #include "common/logging.hh"
 
+// Build provenance, normally injected by bench/CMakeLists.txt.
+#ifndef PP_BUILD_TYPE
+#define PP_BUILD_TYPE ""
+#endif
+#ifndef PP_BUILD_FLAGS
+#define PP_BUILD_FLAGS ""
+#endif
+
 using namespace polypath;
 
 namespace
 {
+
+/** First "model name" line of /proc/cpuinfo, or "unknown". */
+std::string
+hostCpuModel()
+{
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t colon = line.find(':');
+        if (line.rfind("model name", 0) == 0 &&
+            colon != std::string::npos) {
+            size_t start = line.find_first_not_of(" \t", colon + 1);
+            if (start != std::string::npos)
+                return line.substr(start);
+        }
+    }
+    return "unknown";
+}
 
 struct SpeedRow
 {
@@ -135,8 +163,22 @@ main()
     fatal_if(!json, "cannot write BENCH_sim_speed.json");
     std::fprintf(json,
                  "{\"bench\": \"sim_speed\", \"config\": \"%s\", "
-                 "\"scale\": %g, \"reps\": %u,\n \"workloads\": [\n",
-                 cfg.categoryName().c_str(), scale, reps);
+                 "\"scale\": %g, \"reps\": %u,\n"
+                 " \"host\": {\"cpu\": \"%s\", \"cores\": %u, "
+                 "\"compiler\": \"%s\", \"build_type\": \"%s\", "
+                 "\"flags\": \"%s\"},\n"
+                 " \"workloads\": [\n",
+                 cfg.categoryName().c_str(), scale, reps,
+                 hostCpuModel().c_str(),
+                 std::thread::hardware_concurrency(),
+#if defined(__clang__)
+                 "clang " __VERSION__,
+#elif defined(__GNUC__)
+                 "gcc " __VERSION__,
+#else
+                 "unknown",
+#endif
+                 PP_BUILD_TYPE, PP_BUILD_FLAGS);
     for (size_t i = 0; i < rows.size(); ++i) {
         const SpeedRow &row = rows[i];
         std::fprintf(json,

@@ -13,11 +13,15 @@
 
 #include "bench_util.hh"
 #include "common/stats_util.hh"
+#include "figures.hh"
 
 using namespace polypath;
 
-int
-main()
+namespace polypath::benchfig
+{
+
+void
+runTable1()
 {
     WorkloadSet suite = loadWorkloads(benchScale());
     auto matrix = runMatrix(suite, {SimConfig::monopath()});
@@ -44,5 +48,15 @@ main()
                 "SPEC instructions;\nthis reproduction runs scaled-down "
                 "synthetic equivalents — the misprediction\nspectrum is "
                 "the property the experiments depend on.)\n");
+}
+
+} // namespace polypath::benchfig
+
+#ifndef PP_BENCH_NO_MAIN
+int
+main()
+{
+    polypath::benchfig::runTable1();
     return 0;
 }
+#endif

@@ -5,6 +5,9 @@
 #   2. the complete ctest suite under those sanitizers
 #   3. clang-tidy over the first-party sources (skipped if absent)
 #   4. pplint over the whole program corpus (workloads + examples/asm)
+#   5. result-cache coherence: the same figure run twice against a
+#      fresh cache must produce byte-identical tables, with the second
+#      (all-hit) pass performing zero simulations
 #
 #   scripts/ci.sh [build-dir]
 #
@@ -16,22 +19,42 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-ci}"
 jobs="$(nproc 2> /dev/null || echo 4)"
 
-echo "=== [1/4] configure + build (Debug, asan+ubsan) ==="
+echo "=== [1/5] configure + build (Debug, asan+ubsan) ==="
 cmake -B "$build_dir" -S "$repo_root" \
     -DCMAKE_BUILD_TYPE=Debug \
     -DPOLYPATH_SANITIZE=ON > /dev/null
 cmake --build "$build_dir" -j "$jobs"
 
-echo "=== [2/4] ctest ==="
+echo "=== [2/5] ctest ==="
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
-echo "=== [3/4] clang-tidy ==="
+echo "=== [3/5] clang-tidy ==="
 "$repo_root/scripts/run_clang_tidy.sh" "$build_dir"
 
-echo "=== [4/4] pplint corpus ==="
+echo "=== [4/5] pplint corpus ==="
 "$build_dir/tools/pplint" --all-workloads --quiet --min-severity warning
 for example in "$repo_root"/examples/asm/*.s; do
     "$build_dir/tools/pplint" --quiet --min-severity warning "$example"
 done
+
+echo "=== [5/5] result-cache coherence (fig8, scale 0.05, twice) ==="
+cache_tmp="$(mktemp -d)"
+trap 'rm -rf "$cache_tmp"' EXIT
+PP_BENCH_SCALE=0.05 "$build_dir/tools/ppbench" fig8_baseline \
+    --cache-dir "$cache_tmp/cache" > "$cache_tmp/cold.txt"
+PP_BENCH_SCALE=0.05 "$build_dir/tools/ppbench" fig8_baseline \
+    --cache-dir "$cache_tmp/cache" --json "$cache_tmp/warm.json" \
+    > "$cache_tmp/warm.txt"
+cmp "$cache_tmp/cold.txt" "$cache_tmp/warm.txt" || {
+    echo "ci: FAIL: warm-cache fig8 tables differ from cold run" >&2
+    exit 1
+}
+grep -Eq '"total": \{"cache_hits": [1-9][0-9]*, "simulations": 0,' \
+    "$cache_tmp/warm.json" || {
+    echo "ci: FAIL: warm-cache fig8 run still performed simulations" >&2
+    cat "$cache_tmp/warm.json" >&2
+    exit 1
+}
+echo "warm pass: byte-identical tables, zero simulations"
 
 echo "ci: all green"

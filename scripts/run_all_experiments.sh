@@ -1,13 +1,26 @@
 #!/bin/sh
 # Regenerate every paper artifact into bench_results/.
 #
+# Figures run through tools/ppbench against one shared result cache, so
+# configuration points that several figures have in common (and repeat
+# runs at the same scale) are simulated once and replayed from disk.
+#
 # Usage: scripts/run_all_experiments.sh [build-dir] [scale]
 #   build-dir  defaults to ./build
 #   scale      PP_BENCH_SCALE (default 1.0; 0.1 for a quick pass)
+#
+# Environment:
+#   PP_CACHE_DIR   result cache location (default bench_results/.ppcache)
+#   PP_NO_CACHE    set non-empty to bypass the result cache
 set -eu
 
 BUILD="${1:-build}"
 export PP_BENCH_SCALE="${2:-1.0}"
+
+cache_args="--cache-dir ${PP_CACHE_DIR:-bench_results/.ppcache}"
+if [ -n "${PP_NO_CACHE:-}" ]; then
+    cache_args="--no-cache"
+fi
 
 mkdir -p bench_results
 for bench in table1_benchmarks fig8_baseline sec51_confidence \
@@ -15,7 +28,9 @@ for bench in table1_benchmarks fig8_baseline sec51_confidence \
              fig11_fu_config fig12_pipeline_depth ablations \
              fp_extension; do
     echo "=== $bench (scale $PP_BENCH_SCALE) ==="
-    "$BUILD/bench/$bench" | tee "bench_results/$bench.txt"
+    # shellcheck disable=SC2086  # cache_args is intentionally a list
+    "$BUILD/tools/ppbench" $cache_args "$bench" \
+        | tee "bench_results/$bench.txt"
     echo
 done
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "asmkit/program.hh"
+#include "isa/decoded_program.hh"
 
 namespace polypath
 {
@@ -28,8 +29,14 @@ CodeView::decode(const Program &program)
     view.codeBase = program.codeBase;
     view.entry = program.entry;
     view.instrs.reserve(program.code.size());
-    for (u32 word : program.code)
-        view.instrs.push_back(decodeInstr(word));
+    if (const DecodedProgram *table = program.decoded()) {
+        // Reuse the predecode table built at program load.
+        for (size_t i = 0; i < table->size(); ++i)
+            view.instrs.push_back(table->at(i).instr);
+    } else {
+        for (u32 word : program.code)
+            view.instrs.push_back(decodeInstr(word));
+    }
     return view;
 }
 

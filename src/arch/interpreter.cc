@@ -8,10 +8,15 @@ namespace polypath
 
 Interpreter::Interpreter(const Program &program)
     : mem(std::make_shared<SparseMemory>()),
-      trace(std::make_shared<BranchTrace>())
+      trace(std::make_shared<BranchTrace>()),
+      decodedText(program.decodedTable())
 {
     program.loadInto(*mem);
     archState.pc = program.entry;
+    if (!decodedText) {
+        decodedText = std::make_shared<const DecodedProgram>(
+            program.codeBase, program.code.data(), program.code.size());
+    }
 }
 
 bool
@@ -21,8 +26,9 @@ Interpreter::step()
         return false;
 
     Addr pc = archState.pc;
-    Instr instr = decodeInstr(mem->read32(pc));
-    const OpInfo &info = instr.info();
+    const PredecodedInstr *slot = decodedText->lookup(pc);
+    Instr instr = slot ? slot->instr : decodeInstr(mem->read32(pc));
+    const OpInfo &info = slot ? *slot->info : instr.info();
 
     fatal_if(info.isInvalid,
              "reference interpreter decoded INVALID at pc %#llx "

@@ -18,6 +18,7 @@
 #include "arch/branch_trace.hh"
 #include "asmkit/program.hh"
 #include "common/types.hh"
+#include "isa/decoded_program.hh"
 #include "memsys/memory.hh"
 
 namespace polypath
@@ -72,6 +73,16 @@ class Interpreter
     ArchState archState;
     std::shared_ptr<SparseMemory> mem;
     std::shared_ptr<BranchTrace> trace;
+
+    /**
+     * Predecode table shared with the Program (or privately built for
+     * hand-made Programs): the golden run re-executes hot loops
+     * millions of times, so each static instruction is decoded once.
+     * PCs outside the text segment fall back to decoding memory, which
+     * then fatals on INVALID exactly as before.
+     */
+    std::shared_ptr<const DecodedProgram> decodedText;
+
     InterpResult result;
     bool isHalted = false;
 };

@@ -309,6 +309,10 @@ Assembler::assemble(const std::string &name) const
         any_line = any_line || line != 0;
     if (any_line)
         prog.srcLines = instrLines;
+    // Decode each static instruction exactly once, here at program
+    // build time; the timing core, the golden interpreter and the
+    // analysis CodeView all share this table instead of re-decoding.
+    prog.predecode();
     return prog;
 }
 

@@ -1,9 +1,20 @@
 #include "program.hh"
 
+#include "isa/decoded_program.hh"
 #include "memsys/memory.hh"
 
 namespace polypath
 {
+
+const DecodedProgram &
+Program::predecode()
+{
+    if (!decodedText) {
+        decodedText = std::make_shared<const DecodedProgram>(
+            codeBase, code.data(), code.size());
+    }
+    return *decodedText;
+}
 
 void
 Program::loadInto(SparseMemory &mem) const

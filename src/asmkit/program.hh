@@ -6,6 +6,7 @@
 #ifndef POLYPATH_ASMKIT_PROGRAM_HH
 #define POLYPATH_ASMKIT_PROGRAM_HH
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +16,7 @@
 namespace polypath
 {
 
+class DecodedProgram;
 class SparseMemory;
 
 /** A fully assembled program ready to be loaded into simulator memory. */
@@ -52,6 +54,31 @@ struct Program
 
     /** Copy code and data into @p mem. */
     void loadInto(SparseMemory &mem) const;
+
+    /**
+     * Build (or return the already-built) predecode table for the text
+     * segment — each static instruction decoded exactly once. The
+     * assembler calls this when producing the Program, so consumers
+     * normally just read decoded(). Not thread-safe; call before the
+     * Program is shared across threads.
+     */
+    const DecodedProgram &predecode();
+
+    /**
+     * The shared predecode table, or nullptr when the Program was built
+     * by hand without a predecode() call (consumers fall back to
+     * building their own table or to word-at-a-time decodeInstr).
+     */
+    const DecodedProgram *decoded() const { return decodedText.get(); }
+
+    /** Shared ownership of the predecode table (may be null). */
+    std::shared_ptr<const DecodedProgram> decodedTable() const
+    {
+        return decodedText;
+    }
+
+  private:
+    std::shared_ptr<const DecodedProgram> decodedText;
 };
 
 } // namespace polypath

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal SHA-256 (FIPS 180-4) — used to content-address simulation
+ * results (src/sim/result_cache.hh) and to checksum cache entries.
+ *
+ * Self-contained so the repository carries no crypto dependency; this
+ * is an integrity/addressing hash here, not a security boundary.
+ */
+
+#ifndef POLYPATH_COMMON_SHA256_HH
+#define POLYPATH_COMMON_SHA256_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "common/types.hh"
+
+namespace polypath
+{
+
+/** Incremental SHA-256 hasher. */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb @p len bytes at @p data. */
+    void update(const void *data, size_t len);
+
+    /** Convenience: absorb a string's bytes. */
+    void update(const std::string &str) { update(str.data(), str.size()); }
+
+    /** Absorb a little-endian 64-bit value. */
+    void updateU64(u64 value);
+
+    /**
+     * Finish and return the 32-byte digest. The hasher must not be
+     * reused afterwards.
+     */
+    std::array<u8, 32> digest();
+
+    /** Finish and return the digest as 64 lowercase hex characters. */
+    std::string hexDigest();
+
+    /** One-shot helper: hex SHA-256 of @p str. */
+    static std::string hashHex(const std::string &str);
+
+  private:
+    void processBlock(const u8 *block);
+
+    std::array<u32, 8> state;
+    u64 totalBytes = 0;
+    std::array<u8, 64> buffer;
+    size_t bufferLen = 0;
+    bool finished = false;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_COMMON_SHA256_HH

@@ -1,5 +1,7 @@
 #include "config.hh"
 
+#include <sstream>
+
 namespace polypath
 {
 
@@ -92,6 +94,52 @@ SimConfig::categoryName() const
     if (maxDivergences == 1)
         name += "/dual-path";
     return name;
+}
+
+std::string
+SimConfig::serialize() const
+{
+    std::ostringstream out;
+    out << "fetchWidth " << fetchWidth << '\n'
+        << "renameWidth " << renameWidth << '\n'
+        << "commitWidth " << commitWidth << '\n'
+        << "windowSize " << windowSize << '\n'
+        << "frontendStages " << frontendStages << '\n'
+        << "numIntAlu0 " << numIntAlu0 << '\n'
+        << "numIntAlu1 " << numIntAlu1 << '\n'
+        << "numFpAdd " << numFpAdd << '\n'
+        << "numFpMul " << numFpMul << '\n'
+        << "numMemPorts " << numMemPorts << '\n'
+        << "tagWidth " << tagWidth << '\n'
+        << "maxActivePaths " << maxActivePaths << '\n'
+        << "maxDivergences " << maxDivergences << '\n'
+        << "predictor " << static_cast<unsigned>(predictor) << '\n'
+        << "historyBits " << historyBits << '\n'
+        << "speculativeHistoryUpdate " << speculativeHistoryUpdate << '\n'
+        << "confidence " << static_cast<unsigned>(confidence) << '\n'
+        << "jrsCounterBits " << jrsCounterBits << '\n'
+        << "jrsThreshold " << jrsThreshold << '\n'
+        << "enhancedConfidenceIndex " << enhancedConfidenceIndex << '\n'
+        // Doubles are printed as hex floats: exact round-trip, no
+        // locale or precision surprises in the cache key.
+        << "adaptivePvnFloor " << std::hexfloat << adaptivePvnFloor
+        << std::defaultfloat << '\n'
+        << "adaptiveWindowEvents " << adaptiveWindowEvents << '\n'
+        << "trainAtResolution " << trainAtResolution << '\n'
+        << "fetchPolicy " << static_cast<unsigned>(fetchPolicy) << '\n'
+        << "rasDepth " << rasDepth << '\n'
+        << "dcache.perfect " << dcache.perfect << '\n'
+        << "dcache.sizeBytes " << dcache.sizeBytes << '\n'
+        << "dcache.lineBytes " << dcache.lineBytes << '\n'
+        << "dcache.ways " << dcache.ways << '\n'
+        << "dcache.missLatency " << dcache.missLatency << '\n'
+        << "numPhysRegs " << numPhysRegs << '\n'
+        << "maxCycles " << maxCycles << '\n'
+        << "verify " << verify << '\n'
+        << "predecode " << predecode << '\n'
+        << "profileBranches " << profileBranches << '\n'
+        << "selfCheckInterval " << selfCheckInterval << '\n';
+    return out.str();
 }
 
 } // namespace polypath

@@ -135,6 +135,15 @@ struct SimConfig
     /** Run the golden-trace commit verification (cheap; default on). */
     bool verify = true;
 
+    /**
+     * Fetch through the program's predecode table instead of decoding
+     * every instruction word (required to be observationally invisible;
+     * the knob exists so tests can pin the equivalence and so the
+     * slow path stays exercised). The PP_NO_PREDECODE environment
+     * variable force-disables it regardless of this setting.
+     */
+    bool predecode = true;
+
     /** Collect per-static-branch profiles (execs, mispredicts,
      *  low-confidence calls, divergences); see ppsim --profile. */
     bool profileBranches = false;
@@ -189,6 +198,16 @@ struct SimConfig
 
     /** Human-readable category label matching the paper's legends. */
     std::string categoryName() const;
+
+    /**
+     * Canonical full serialization: every configuration field as one
+     * "name value" line, in declaration order. This is the SimConfig
+     * half of the result-cache key (src/sim/result_cache.hh), so two
+     * configs serialize identically iff every field matches. Add a
+     * line here whenever SimConfig grows a field — a forgotten field
+     * would let the cache return results for the wrong configuration.
+     */
+    std::string serialize() const;
 };
 
 } // namespace polypath

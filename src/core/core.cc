@@ -1,6 +1,7 @@
 #include "core.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <unordered_set>
 
@@ -75,6 +76,21 @@ PolyPathCore::PolyPathCore(const SimConfig &config, const Program &program,
     panic_if(!golden.trace, "golden run has no branch trace");
 
     program.loadInto(mem);
+
+    if (cfg.predecode && std::getenv("PP_NO_PREDECODE") == nullptr) {
+        decodedText = program.decodedTable();
+        if (!decodedText) {
+            // Hand-built Program without a predecode() call: build a
+            // private table (cost: one decode per *static* instruction).
+            decodedText = std::make_shared<const DecodedProgram>(
+                program.codeBase, program.code.data(),
+                program.code.size());
+        }
+        textTable = decodedText->data();
+        textBase = decodedText->codeBase();
+        textBytes = decodedText->textBytes();
+    }
+
     frontendCapacity =
         static_cast<size_t>(cfg.frontendStages) * cfg.fetchWidth;
     waiters.resize(cfg.effectivePhysRegs());
@@ -285,8 +301,22 @@ PolyPathCore::fetchFromContext(PathContext &ctx, unsigned quota)
             break;
         }
 
-        Instr instr = decodeInstr(mem.read32(ctx.fetchPc));
-        const OpInfo &info = instr.info();
+        // Predecoded text fast path; PCs outside the text segment (or
+        // misaligned — wrong-path returns can jump to garbage register
+        // values) fall back to decoding whatever memory holds, which
+        // preserves the original garbage/INVALID semantics exactly.
+        Instr instr;
+        const OpInfo *info_ptr;
+        if (u64 text_off = ctx.fetchPc - textBase;
+            text_off < textBytes && (text_off & 3u) == 0) {
+            const PredecodedInstr &slot = textTable[text_off >> 2];
+            instr = slot.instr;
+            info_ptr = slot.info;
+        } else {
+            instr = decodeInstr(mem.read32(ctx.fetchPc));
+            info_ptr = &instr.info();
+        }
+        const OpInfo &info = *info_ptr;
 
         // Branches and returns need a CTX history position; stall the
         // path at the branch if none is free (the checkpoint limit of a

@@ -48,6 +48,7 @@
 #include "core/trace.hh"
 #include "ctx/clear_log.hh"
 #include "ctx/hist_alloc.hh"
+#include "isa/decoded_program.hh"
 #include "memsys/cache.hh"
 #include "memsys/memory.hh"
 #include "memsys/store_queue.hh"
@@ -202,6 +203,26 @@ class PolyPathCore
     const BranchTrace &trace;
 
     SparseMemory mem;
+
+    /**
+     * Predecode table for the text segment, shared with the Program
+     * when it carries one (assembler-built programs always do). Null
+     * when predecode is disabled (cfg.predecode = false or the
+     * PP_NO_PREDECODE environment variable).
+     */
+    std::shared_ptr<const DecodedProgram> decodedText;
+
+    /**
+     * Flat copies of the table's base/limit/data so the fetch loop's
+     * common case is one subtract, one compare and one indexed load —
+     * the decode-side analogue of the SparseMemory one-entry page
+     * cache. With predecode disabled, textBytes is 0 and every fetch
+     * takes the decodeInstr(mem.read32()) slow path.
+     */
+    const PredecodedInstr *textTable = nullptr;
+    Addr textBase = 0;
+    u64 textBytes = 0;
+
     PhysRegFile physFile;
     RegMap retireMap;
     HistAlloc histAlloc;

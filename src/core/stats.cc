@@ -1,6 +1,7 @@
 #include "stats.hh"
 
 #include <cstdio>
+#include <sstream>
 
 namespace polypath
 {
@@ -56,6 +57,64 @@ SimStats::toString() const
         static_cast<unsigned long long>(recoveries),
         avgLivePaths(), avgWindowOccupancy());
     return std::string(buf);
+}
+
+std::string
+SimStats::toJson() const
+{
+    std::ostringstream os;
+    auto field = [&](const char *nm, u64 v) {
+        os << "    \"" << nm << "\": " << v << ",\n";
+    };
+    auto derived = [&](const char *nm, double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6f", v);
+        os << "    \"" << nm << "\": " << buf << ",\n";
+    };
+    os << "  \"stats\": {\n";
+    field("cycles", cycles);
+    field("fetched_instrs", fetchedInstrs);
+    field("committed_instrs", committedInstrs);
+    field("killed_instrs", killedInstrs);
+    field("killed_frontend", killedFrontend);
+    field("committed_branches", committedBranches);
+    field("mispredicted_branches", mispredictedBranches);
+    field("committed_returns", committedReturns);
+    field("mispredicted_returns", mispredictedReturns);
+    field("low_confidence_branches", lowConfidenceBranches);
+    field("low_confidence_mispredicts", lowConfidenceMispredicts);
+    field("high_confidence_mispredicts", highConfidenceMispredicts);
+    field("divergences", divergences);
+    field("divergences_suppressed", divergencesSuppressed);
+    field("recoveries", recoveries);
+    field("recoveries_correct_path", recoveriesCorrectPath);
+    field("ret_recoveries", retRecoveries);
+    field("fetch_cycle_slots_used", fetchCycleSlotsUsed);
+    field("fetch_stall_no_ctx", fetchStallNoCtx);
+    field("fetch_stall_frontend_full", fetchStallFrontendFull);
+    field("loads_forwarded", loadsForwarded);
+    field("load_blocked_events", loadBlockedEvents);
+    field("dcache_hits", dcacheHits);
+    field("dcache_misses", dcacheMisses);
+    field("window_occupancy_sum", windowOccupancySum);
+    field("live_paths_sum", livePathsSum);
+    os << "    \"fu_issued\": [";
+    for (size_t i = 0; i < fuIssued.size(); ++i)
+        os << (i ? ", " : "") << fuIssued[i];
+    os << "],\n";
+    os << "    \"live_paths_histogram\": [";
+    for (size_t i = 0; i < livePathsHistogram.size(); ++i)
+        os << (i ? ", " : "") << livePathsHistogram[i];
+    os << "],\n";
+    derived("ipc", ipc());
+    derived("mispredict_rate", mispredictRate());
+    derived("pvn", pvn());
+    derived("fetch_to_commit_ratio", fetchToCommitRatio());
+    derived("avg_live_paths", avgLivePaths());
+    derived("avg_window_occupancy", avgWindowOccupancy());
+    os << "    \"halted\": " << (halted ? "true" : "false") << "\n";
+    os << "  }";
+    return os.str();
 }
 
 } // namespace polypath

@@ -148,6 +148,12 @@ struct SimStats
 
     /** Multi-line human-readable dump. */
     std::string toString() const;
+
+    /**
+     * All counters plus the headline derived metrics as a JSON object
+     * (same rendering style as DiagnosticEngine::renderJson).
+     */
+    std::string toJson() const;
 };
 
 } // namespace polypath

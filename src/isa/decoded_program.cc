@@ -1,0 +1,21 @@
+#include "decoded_program.hh"
+
+namespace polypath
+{
+
+DecodedProgram::DecodedProgram(Addr code_base, const u32 *words,
+                               size_t count)
+    : base(code_base), limitBytes(static_cast<u64>(count) * 4)
+{
+    table.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        // Decode the *encoded word*, not any pre-encoding Instr the
+        // producer may have held: the table must reproduce exactly what
+        // a runtime decodeInstr(mem.read32(pc)) of the loaded image
+        // would return.
+        Instr instr = decodeInstr(words[i]);
+        table.push_back({instr, &opInfo(instr.op)});
+    }
+}
+
+} // namespace polypath

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Predecoded program text: every static instruction of a code image
+ * decoded exactly once into a dense, PC-indexed table.
+ *
+ * Both the timing core's fetch loop and the golden-run interpreter pull
+ * one instruction per simulated fetch; with SEE the timing core decodes
+ * *both* arms of every low-confidence branch, so the same static word
+ * is re-decoded thousands of times per run. PPR code is read-only (the
+ * store queue writes data, never text), so the decode of a text word
+ * can be computed once at program load and never invalidated.
+ *
+ * The table covers exactly [codeBase, codeBase + 4*size). Lookups
+ * outside that range — or at a misaligned PC, which wrong-path returns
+ * can produce from garbage register values — return nullptr and the
+ * caller must fall back to decodeInstr(mem.read32(pc)), preserving the
+ * wrong-path garbage semantics bit for bit (unwritten memory reads as
+ * zero and decodes to Opcode::INVALID).
+ */
+
+#ifndef POLYPATH_ISA_DECODED_PROGRAM_HH
+#define POLYPATH_ISA_DECODED_PROGRAM_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instr.hh"
+
+namespace polypath
+{
+
+/** One predecoded slot: the instruction plus its cached OpInfo. */
+struct PredecodedInstr
+{
+    Instr instr;
+    const OpInfo *info;     //!< == &opInfo(instr.op), cached
+};
+
+/** Immutable decode table for one program's text segment. */
+class DecodedProgram
+{
+  public:
+    /** Decode @p count words starting at address @p code_base. */
+    DecodedProgram(Addr code_base, const u32 *words, size_t count);
+
+    /**
+     * The predecoded slot at @p pc, or nullptr when @p pc is outside
+     * the text segment or not word-aligned (slow-path fallback).
+     */
+    const PredecodedInstr *
+    lookup(Addr pc) const
+    {
+        // A single unsigned subtraction handles both range ends: a pc
+        // below codeBase wraps to a huge offset and fails the compare.
+        u64 off = pc - base;
+        if (off < limitBytes && (off & 3u) == 0)
+            return &table[off >> 2];
+        return nullptr;
+    }
+
+    Addr codeBase() const { return base; }
+    size_t size() const { return table.size(); }
+
+    /** Slot by static instruction index (bounds unchecked). */
+    const PredecodedInstr &at(size_t idx) const { return table[idx]; }
+
+    /** Raw table access for hot loops that cache base/limit locally. */
+    const PredecodedInstr *data() const { return table.data(); }
+    u64 textBytes() const { return limitBytes; }
+
+  private:
+    Addr base;
+    u64 limitBytes;
+    std::vector<PredecodedInstr> table;
+};
+
+} // namespace polypath
+
+#endif // POLYPATH_ISA_DECODED_PROGRAM_HH

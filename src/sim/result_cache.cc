@@ -1,0 +1,303 @@
+#include "result_cache.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "asmkit/program.hh"
+#include "common/sha256.hh"
+
+namespace polypath
+{
+
+namespace
+{
+
+constexpr const char *kEntryMagic = "ppcache 1";
+
+void
+putU64(std::ostringstream &os, const char *nm, u64 v)
+{
+    os << nm << ' ' << v << '\n';
+}
+
+void
+putVec(std::ostringstream &os, const char *nm, const u64 *v, size_t n)
+{
+    os << nm << ' ' << n;
+    for (size_t i = 0; i < n; ++i)
+        os << ' ' << v[i];
+    os << '\n';
+}
+
+/**
+ * Strict line-oriented reader: every get* must see the expected field
+ * name; any deviation poisons the parse and the entry is a miss.
+ */
+class FieldReader
+{
+  public:
+    explicit FieldReader(const std::string &text) : in(text) {}
+
+    bool ok() const { return good; }
+
+    std::string
+    getString(const char *nm)
+    {
+        std::string line;
+        if (!good || !std::getline(in, line)) {
+            good = false;
+            return {};
+        }
+        std::string prefix = std::string(nm) + ' ';
+        if (line.rfind(prefix, 0) != 0) {
+            good = false;
+            return {};
+        }
+        return line.substr(prefix.size());
+    }
+
+    u64
+    getU64(const char *nm)
+    {
+        std::istringstream ls(getString(nm));
+        u64 v = 0;
+        if (!(ls >> v) || !(ls >> std::ws).eof())
+            good = false;
+        return good ? v : 0;
+    }
+
+    std::vector<u64>
+    getVec(const char *nm)
+    {
+        std::istringstream ls(getString(nm));
+        size_t n = 0;
+        std::vector<u64> v;
+        if (!(ls >> n) || n > (1u << 20)) {
+            good = false;
+            return v;
+        }
+        v.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            if (!(ls >> v[i])) {
+                good = false;
+                return v;
+            }
+        }
+        if (!(ls >> std::ws).eof())
+            good = false;
+        return v;
+    }
+
+  private:
+    std::istringstream in;
+    bool good = true;
+};
+
+} // anonymous namespace
+
+std::string
+serializeSimResult(const SimResult &result)
+{
+    const SimStats &s = result.stats;
+    std::ostringstream os;
+    os << "category " << result.category << '\n';
+    os << "workload " << result.workload << '\n';
+    putU64(os, "verified", result.verified ? 1 : 0);
+    putU64(os, "cycles", s.cycles);
+    putU64(os, "fetchedInstrs", s.fetchedInstrs);
+    putU64(os, "committedInstrs", s.committedInstrs);
+    putU64(os, "killedInstrs", s.killedInstrs);
+    putU64(os, "killedFrontend", s.killedFrontend);
+    putU64(os, "committedBranches", s.committedBranches);
+    putU64(os, "mispredictedBranches", s.mispredictedBranches);
+    putU64(os, "committedReturns", s.committedReturns);
+    putU64(os, "mispredictedReturns", s.mispredictedReturns);
+    putU64(os, "lowConfidenceBranches", s.lowConfidenceBranches);
+    putU64(os, "lowConfidenceMispredicts", s.lowConfidenceMispredicts);
+    putU64(os, "highConfidenceMispredicts", s.highConfidenceMispredicts);
+    putU64(os, "divergences", s.divergences);
+    putU64(os, "divergencesSuppressed", s.divergencesSuppressed);
+    putU64(os, "recoveries", s.recoveries);
+    putU64(os, "recoveriesCorrectPath", s.recoveriesCorrectPath);
+    putU64(os, "retRecoveries", s.retRecoveries);
+    putU64(os, "fetchCycleSlotsUsed", s.fetchCycleSlotsUsed);
+    putU64(os, "fetchStallNoCtx", s.fetchStallNoCtx);
+    putU64(os, "fetchStallFrontendFull", s.fetchStallFrontendFull);
+    putU64(os, "loadsForwarded", s.loadsForwarded);
+    putU64(os, "loadBlockedEvents", s.loadBlockedEvents);
+    putU64(os, "dcacheHits", s.dcacheHits);
+    putU64(os, "dcacheMisses", s.dcacheMisses);
+    putVec(os, "fuIssued", s.fuIssued.data(), s.fuIssued.size());
+    putU64(os, "windowOccupancySum", s.windowOccupancySum);
+    putU64(os, "livePathsSum", s.livePathsSum);
+    putVec(os, "livePathsHistogram", s.livePathsHistogram.data(),
+           s.livePathsHistogram.size());
+    putU64(os, "halted", s.halted ? 1 : 0);
+    return os.str();
+}
+
+std::optional<SimResult>
+parseSimResult(const std::string &text)
+{
+    FieldReader rd(text);
+    SimResult r;
+    SimStats &s = r.stats;
+    r.category = rd.getString("category");
+    r.workload = rd.getString("workload");
+    r.verified = rd.getU64("verified") != 0;
+    s.cycles = rd.getU64("cycles");
+    s.fetchedInstrs = rd.getU64("fetchedInstrs");
+    s.committedInstrs = rd.getU64("committedInstrs");
+    s.killedInstrs = rd.getU64("killedInstrs");
+    s.killedFrontend = rd.getU64("killedFrontend");
+    s.committedBranches = rd.getU64("committedBranches");
+    s.mispredictedBranches = rd.getU64("mispredictedBranches");
+    s.committedReturns = rd.getU64("committedReturns");
+    s.mispredictedReturns = rd.getU64("mispredictedReturns");
+    s.lowConfidenceBranches = rd.getU64("lowConfidenceBranches");
+    s.lowConfidenceMispredicts = rd.getU64("lowConfidenceMispredicts");
+    s.highConfidenceMispredicts = rd.getU64("highConfidenceMispredicts");
+    s.divergences = rd.getU64("divergences");
+    s.divergencesSuppressed = rd.getU64("divergencesSuppressed");
+    s.recoveries = rd.getU64("recoveries");
+    s.recoveriesCorrectPath = rd.getU64("recoveriesCorrectPath");
+    s.retRecoveries = rd.getU64("retRecoveries");
+    s.fetchCycleSlotsUsed = rd.getU64("fetchCycleSlotsUsed");
+    s.fetchStallNoCtx = rd.getU64("fetchStallNoCtx");
+    s.fetchStallFrontendFull = rd.getU64("fetchStallFrontendFull");
+    s.loadsForwarded = rd.getU64("loadsForwarded");
+    s.loadBlockedEvents = rd.getU64("loadBlockedEvents");
+    s.dcacheHits = rd.getU64("dcacheHits");
+    s.dcacheMisses = rd.getU64("dcacheMisses");
+    std::vector<u64> fu = rd.getVec("fuIssued");
+    if (fu.size() != s.fuIssued.size())
+        return std::nullopt;
+    std::copy(fu.begin(), fu.end(), s.fuIssued.begin());
+    s.windowOccupancySum = rd.getU64("windowOccupancySum");
+    s.livePathsSum = rd.getU64("livePathsSum");
+    s.livePathsHistogram = rd.getVec("livePathsHistogram");
+    s.halted = rd.getU64("halted") != 0;
+    if (!rd.ok())
+        return std::nullopt;
+    return r;
+}
+
+ResultCache::ResultCache(std::string dir, std::string version)
+    : dirPath(std::move(dir)), versionDigest(std::move(version))
+{
+}
+
+std::string
+ResultCache::keyFor(const Program &program, const SimConfig &cfg,
+                    const std::string &version)
+{
+    Sha256 h;
+    h.update("program\n");
+    h.update(program.name);
+    h.update("\n");
+    h.updateU64(program.entry);
+    h.updateU64(program.codeBase);
+    h.updateU64(program.code.size());
+    h.update(program.code.data(), program.code.size() * sizeof(u32));
+    h.updateU64(program.dataSegments.size());
+    for (const auto &[base, bytes] : program.dataSegments) {
+        h.updateU64(base);
+        h.updateU64(bytes.size());
+        h.update(bytes.data(), bytes.size());
+    }
+    h.update("config\n");
+    h.update(cfg.serialize());
+    h.update("version\n");
+    h.update(version);
+    return h.hexDigest();
+}
+
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    return dirPath + "/" + key + ".ppresult";
+}
+
+std::optional<SimResult>
+ResultCache::lookup(const std::string &key)
+{
+    if (!enabled()) {
+        ++missCount;
+        return std::nullopt;
+    }
+
+    std::ifstream in(entryPath(key));
+    if (!in) {
+        ++missCount;
+        return std::nullopt;
+    }
+
+    std::string magic, version_line, checksum_line;
+    if (!std::getline(in, magic) || magic != kEntryMagic ||
+        !std::getline(in, version_line) ||
+        version_line != "version " + versionDigest ||
+        !std::getline(in, checksum_line) ||
+        checksum_line.rfind("payload-sha256 ", 0) != 0) {
+        ++missCount;
+        return std::nullopt;
+    }
+
+    std::ostringstream payload;
+    payload << in.rdbuf();
+    std::string body = payload.str();
+    if (checksum_line.substr(15) != Sha256::hashHex(body)) {
+        ++missCount;
+        return std::nullopt;
+    }
+
+    std::optional<SimResult> result = parseSimResult(body);
+    if (!result) {
+        ++missCount;
+        return std::nullopt;
+    }
+    ++hitCount;
+    return result;
+}
+
+void
+ResultCache::store(const std::string &key, const SimResult &result)
+{
+    if (!enabled())
+        return;
+
+    std::error_code ec;
+    std::filesystem::create_directories(dirPath, ec);
+    if (ec)
+        return;
+
+    std::string body = serializeSimResult(result);
+    std::ostringstream entry;
+    entry << kEntryMagic << '\n'
+          << "version " << versionDigest << '\n'
+          << "payload-sha256 " << Sha256::hashHex(body) << '\n'
+          << body;
+
+    // Write-then-rename so concurrent readers (parallel sweeps sharing
+    // one cache dir) never observe a half-written entry.
+    std::string path = entryPath(key);
+    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return;
+        out << entry.str();
+        if (!out)
+            return;
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+    else
+        ++storeCount;
+}
+
+} // namespace polypath

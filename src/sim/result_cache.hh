@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Content-addressed on-disk cache of simulation results.
+ *
+ * Every experiment sweep re-simulates identical (program, config)
+ * points — each figure bench re-runs the gshare/monopath and
+ * gshare/JRS baselines the others already computed, and a second
+ * `run_all_experiments.sh` pass redoes everything. A timing run is a
+ * pure function of its inputs, so its SimResult can be cached on disk,
+ * keyed by SHA-256 over:
+ *
+ *   - the full program image (name, entry, code words, data segments);
+ *   - the full SimConfig serialization (SimConfig::serialize());
+ *   - the simulator version digest (kSimVersionDigest below).
+ *
+ * kSimVersionDigest MUST be bumped whenever a change alters timing
+ * behaviour or the SimStats a run produces — anything that would change
+ * the digests in tests/integration/test_sim_digest.cc, a stats field's
+ * meaning, or the golden interpreter's semantics. Purely host-side
+ * speedups that are observationally invisible (and pinned so by the
+ * digest test) do not need a bump.
+ *
+ * Entries are one file per key. Corrupt, truncated or
+ * version-mismatched entries are treated as misses and recomputed —
+ * never trusted, never fatal. An empty cache directory disables the
+ * cache entirely (every lookup misses, stores are dropped), which is
+ * the `--no-cache` path.
+ */
+
+#ifndef POLYPATH_SIM_RESULT_CACHE_HH
+#define POLYPATH_SIM_RESULT_CACHE_HH
+
+#include <optional>
+#include <string>
+
+#include "sim/machine.hh"
+
+namespace polypath
+{
+
+struct Program;
+
+/**
+ * Bump on any change to simulated timing behaviour or stats semantics
+ * (see file comment). Format: a short history of bumps, newest first.
+ */
+inline constexpr const char *kSimVersionDigest = "polypath-sim-v3";
+
+/** On-disk SimResult store; see file comment for the key scheme. */
+class ResultCache
+{
+  public:
+    /**
+     * @param dir cache directory (created on first store). An empty
+     *            string disables the cache: lookups miss, stores drop.
+     * @param version sim-version digest mixed into every entry;
+     *            overridable for tests
+     */
+    explicit ResultCache(std::string dir,
+                         std::string version = kSimVersionDigest);
+
+    /** Content key for one (program, config, sim version) point. */
+    static std::string keyFor(const Program &program,
+                              const SimConfig &cfg,
+                              const std::string &version =
+                                  kSimVersionDigest);
+
+    /**
+     * Fetch the cached result for @p key. Any problem — absent file,
+     * bad header, version mismatch, checksum mismatch, truncation,
+     * unparseable field — is a miss.
+     */
+    std::optional<SimResult> lookup(const std::string &key);
+
+    /** Persist @p result under @p key (no-op when disabled). */
+    void store(const std::string &key, const SimResult &result);
+
+    bool enabled() const { return !dirPath.empty(); }
+    const std::string &dir() const { return dirPath; }
+
+    // Counters (since construction). With the cache enabled, misses ==
+    // simulations actually executed by a cache-consulting driver.
+    u64 hits() const { return hitCount; }
+    u64 misses() const { return missCount; }
+    u64 stores() const { return storeCount; }
+
+  private:
+    std::string entryPath(const std::string &key) const;
+
+    std::string dirPath;
+    std::string versionDigest;
+    u64 hitCount = 0;
+    u64 missCount = 0;
+    u64 storeCount = 0;
+};
+
+/**
+ * Exact text serialization of a SimResult (used for cache entries; all
+ * fields are integers/bools/strings, so the round-trip is bit-exact).
+ */
+std::string serializeSimResult(const SimResult &result);
+
+/** Inverse of serializeSimResult; nullopt on any malformed input. */
+std::optional<SimResult> parseSimResult(const std::string &text);
+
+} // namespace polypath
+
+#endif // POLYPATH_SIM_RESULT_CACHE_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * FIPS 180-4 test vectors for the SHA-256 implementation backing the
+ * result cache's content addressing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/sha256.hh"
+
+namespace polypath
+{
+namespace
+{
+
+TEST(Sha256, EmptyInput)
+{
+    EXPECT_EQ(Sha256::hashHex(""),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(Sha256::hashHex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(Sha256::hashHex("abcdbcdecdefdefgefghfghighijhijk"
+                              "ijkljklmklmnlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 h;
+    std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk);
+    EXPECT_EQ(h.hexDigest(),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    Sha256 h;
+    h.update("ab");
+    h.update("c");
+    EXPECT_EQ(h.hexDigest(), Sha256::hashHex("abc"));
+}
+
+TEST(Sha256, U64UpdateChangesDigest)
+{
+    Sha256 a, b;
+    a.updateU64(1);
+    b.updateU64(2);
+    EXPECT_NE(a.hexDigest(), b.hexDigest());
+}
+
+} // anonymous namespace
+} // namespace polypath

@@ -15,9 +15,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 
 #include "sim/machine.hh"
+#include "sim/result_cache.hh"
 #include "workloads/workloads.hh"
 
 namespace polypath
@@ -93,6 +95,59 @@ INSTANTIATE_TEST_SUITE_P(
         return std::string(info.param.workload) + "_" +
                info.param.config;
     });
+
+// The predecode fast path (DecodedProgram tables in fetch and the
+// interpreter) must be observationally invisible: identical committed
+// counts, stats digest and final architectural state with the tables
+// on (default), off via SimConfig, and off via PP_NO_PREDECODE.
+// serializeSimResult covers every SimStats field; r.verified covers
+// the architectural end state (registers + memory vs the golden run).
+TEST(PredecodeEquivalence, ConfigKnobIsInvisible)
+{
+    WorkloadParams params;
+    params.scale = 0.02;
+    Program program = buildWorkload("gcc", params);
+    InterpResult golden = runGolden(program);
+
+    SimConfig on = SimConfig::seeJrs();
+    ASSERT_TRUE(on.predecode);
+    SimConfig off = on;
+    off.predecode = false;
+
+    SimResult with_tables = simulate(program, on, golden);
+    SimResult without = simulate(program, off, golden);
+    ASSERT_TRUE(with_tables.verified);
+    ASSERT_TRUE(without.verified);
+    EXPECT_EQ(serializeSimResult(with_tables),
+              serializeSimResult(without));
+
+    // Both must also still match the pinned gcc/see digest row above.
+    EXPECT_EQ(with_tables.stats.committedInstrs, 13102ull);
+    EXPECT_EQ(with_tables.stats.cycles, 5996ull);
+    EXPECT_EQ(with_tables.stats.fetchedInstrs, 35487ull);
+}
+
+TEST(PredecodeEquivalence, EnvKnobIsInvisible)
+{
+    WorkloadParams params;
+    params.scale = 0.02;
+    Program program = buildWorkload("compress", params);
+    InterpResult golden = runGolden(program);
+    SimConfig cfg = SimConfig::seeJrs();
+
+    SimResult with_tables = simulate(program, cfg, golden);
+
+    ::setenv("PP_NO_PREDECODE", "1", 1);
+    SimResult without = simulate(program, cfg, golden);
+    ::unsetenv("PP_NO_PREDECODE");
+
+    ASSERT_TRUE(with_tables.verified);
+    ASSERT_TRUE(without.verified);
+    EXPECT_EQ(serializeSimResult(with_tables),
+              serializeSimResult(without));
+    EXPECT_EQ(with_tables.stats.committedInstrs, 9193ull);
+    EXPECT_EQ(with_tables.stats.cycles, 4469ull);
+}
 
 } // anonymous namespace
 } // namespace polypath

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the content-addressed result cache: round-trip hits,
+ * key sensitivity, version-mismatch and corruption handling (always a
+ * recompute, never a crash or a stale result), and the --no-cache
+ * bypass (empty cache directory).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "sim/machine.hh"
+#include "sim/result_cache.hh"
+#include "workloads/workloads.hh"
+
+namespace polypath
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+class ResultCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = (fs::temp_directory_path() /
+               ("ppcache_test_" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                "_" + ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name()))
+                  .string();
+        fs::remove_all(dir);
+
+        WorkloadParams params;
+        params.scale = 0.01;
+        program = buildWorkload("compress", params);
+        golden = runGolden(program);
+        cfg = SimConfig::seeJrs();
+        result = simulate(program, cfg, golden);
+        ASSERT_TRUE(result.verified);
+    }
+
+    void TearDown() override { fs::remove_all(dir); }
+
+    std::string entryFile()
+    {
+        std::string key = ResultCache::keyFor(program, cfg);
+        return dir + "/" + key + ".ppresult";
+    }
+
+    std::string dir;
+    Program program;
+    InterpResult golden;
+    SimConfig cfg;
+    SimResult result;
+};
+
+TEST_F(ResultCacheTest, SerializeRoundTripIsExact)
+{
+    std::string text = serializeSimResult(result);
+    auto parsed = parseSimResult(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(serializeSimResult(*parsed), text);
+    EXPECT_EQ(parsed->category, result.category);
+    EXPECT_EQ(parsed->workload, result.workload);
+    EXPECT_EQ(parsed->verified, result.verified);
+    EXPECT_EQ(parsed->stats.cycles, result.stats.cycles);
+    EXPECT_EQ(parsed->stats.livePathsHistogram,
+              result.stats.livePathsHistogram);
+    EXPECT_EQ(parsed->stats.fuIssued, result.stats.fuIssued);
+}
+
+TEST_F(ResultCacheTest, StoreThenLookupHits)
+{
+    ResultCache cache(dir);
+    std::string key = ResultCache::keyFor(program, cfg);
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+
+    cache.store(key, result);
+    EXPECT_EQ(cache.stores(), 1u);
+    auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(serializeSimResult(*hit), serializeSimResult(result));
+}
+
+TEST_F(ResultCacheTest, KeyIsSensitiveToConfigAndProgram)
+{
+    std::string base = ResultCache::keyFor(program, cfg);
+
+    SimConfig other = cfg;
+    other.windowSize *= 2;
+    EXPECT_NE(ResultCache::keyFor(program, other), base);
+
+    SimConfig no_predecode = cfg;
+    no_predecode.predecode = false;
+    // predecode is observationally invisible but still part of the
+    // serialized config, so the key changes (conservative by design).
+    EXPECT_NE(ResultCache::keyFor(program, no_predecode), base);
+
+    WorkloadParams params;
+    params.scale = 0.02;
+    Program bigger = buildWorkload("compress", params);
+    EXPECT_NE(ResultCache::keyFor(bigger, cfg), base);
+
+    EXPECT_NE(ResultCache::keyFor(program, cfg, "other-version"), base);
+}
+
+TEST_F(ResultCacheTest, VersionMismatchIsAMiss)
+{
+    std::string key = ResultCache::keyFor(program, cfg);
+    {
+        ResultCache old_cache(dir, "polypath-sim-v0-test");
+        old_cache.store(key, result);
+    }
+    ResultCache cache(dir, "polypath-sim-v1-test");
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+
+    // Recompute-and-store under the new version works and hits.
+    cache.store(key, result);
+    EXPECT_TRUE(cache.lookup(key).has_value());
+}
+
+TEST_F(ResultCacheTest, TruncatedEntryIsAMissNotACrash)
+{
+    ResultCache cache(dir);
+    std::string key = ResultCache::keyFor(program, cfg);
+    cache.store(key, result);
+
+    std::string text;
+    {
+        std::ifstream in(entryFile());
+        std::getline(in, text, '\0');
+    }
+    {
+        std::ofstream out(entryFile(), std::ios::trunc);
+        out << text.substr(0, text.size() / 2);
+    }
+    EXPECT_FALSE(cache.lookup(key).has_value());
+
+    // Storing again repairs the entry.
+    cache.store(key, result);
+    EXPECT_TRUE(cache.lookup(key).has_value());
+}
+
+TEST_F(ResultCacheTest, CorruptPayloadIsAMissNotACrash)
+{
+    ResultCache cache(dir);
+    std::string key = ResultCache::keyFor(program, cfg);
+    cache.store(key, result);
+
+    // Flip one digit in the payload: the checksum must catch it.
+    std::string text;
+    {
+        std::ifstream in(entryFile());
+        std::getline(in, text, '\0');
+    }
+    size_t pos = text.find("cycles ");
+    ASSERT_NE(pos, std::string::npos);
+    char &digit = text[pos + 7];
+    digit = digit == '9' ? '8' : digit + 1;
+    {
+        std::ofstream out(entryFile(), std::ios::trunc);
+        out << text;
+    }
+    EXPECT_FALSE(cache.lookup(key).has_value());
+}
+
+TEST_F(ResultCacheTest, GarbageFileIsAMissNotACrash)
+{
+    ResultCache cache(dir);
+    std::string key = ResultCache::keyFor(program, cfg);
+    fs::create_directories(dir);
+    {
+        std::ofstream out(entryFile(), std::ios::trunc);
+        out << "not a cache entry at all\n\x01\x02\x03";
+    }
+    EXPECT_FALSE(cache.lookup(key).has_value());
+}
+
+TEST_F(ResultCacheTest, EmptyDirDisablesTheCache)
+{
+    ResultCache cache{std::string()};
+    EXPECT_FALSE(cache.enabled());
+    std::string key = ResultCache::keyFor(program, cfg);
+    cache.store(key, result);
+    EXPECT_EQ(cache.stores(), 0u);
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+} // anonymous namespace
+} // namespace polypath

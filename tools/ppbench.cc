@@ -1,0 +1,220 @@
+/**
+ * @file
+ * ppbench — run any subset of the paper-figure benches against one
+ * shared, content-addressed result cache.
+ *
+ *     ppbench --list
+ *     ppbench fig8_baseline
+ *     ppbench fig8 fig9 fig10            # unique prefixes work
+ *     ppbench --all --cache-dir /tmp/pc
+ *     ppbench --all --json manifest.json
+ *
+ * Options:
+ *     --cache-dir DIR   result cache location
+ *                       (default bench_results/.ppcache)
+ *     --no-cache        bypass the cache entirely
+ *     --json PATH       write a machine-readable run manifest
+ *     --list            list available figures and exit
+ *     --all             run every figure
+ *
+ * Figure tables go to stdout and are byte-identical between a cold
+ * (all-miss) and a warm (all-hit) run; cache statistics and progress go
+ * to stderr. With the cache enabled, every miss is exactly one timing
+ * simulation executed, so a fully warm run reports zero misses and
+ * performs zero simulations (golden reference runs still execute: they
+ * provide the instruction counts and are not cached).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "figures.hh"
+
+using namespace polypath;
+using namespace polypath::benchfig;
+
+namespace
+{
+
+int
+usage(int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: ppbench [options] FIGURE...\n"
+        "       ppbench --all | --list\n"
+        "options:\n"
+        "  --cache-dir DIR  result cache (default "
+        "bench_results/.ppcache)\n"
+        "  --no-cache       bypass the result cache\n"
+        "  --json PATH      write a run manifest\n");
+    return code;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/** One figure's slice of the shared cache counters. */
+struct FigureReport
+{
+    std::string name;
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 stores = 0;
+    double seconds = 0;
+};
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string cache_dir = "bench_results/.ppcache";
+    std::string json_path;
+    bool no_cache = false;
+    bool all = false;
+    std::vector<std::string> names;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "ppbench: %s needs an argument\n",
+                             arg.c_str());
+                std::exit(usage(1));
+            }
+            return argv[++i];
+        };
+        if (arg == "--cache-dir") {
+            cache_dir = next();
+        } else if (arg == "--no-cache") {
+            no_cache = true;
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--all") {
+            all = true;
+        } else if (arg == "--list") {
+            for (const FigureBench &fig : figureRegistry())
+                std::printf("%-22s %s\n", fig.name.c_str(),
+                            fig.description.c_str());
+            return 0;
+        } else if (arg == "--help") {
+            return usage(0);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "ppbench: unknown option %s\n",
+                         arg.c_str());
+            return usage(1);
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    std::vector<const FigureBench *> figures;
+    if (all) {
+        for (const FigureBench &fig : figureRegistry())
+            figures.push_back(&fig);
+    } else if (names.empty()) {
+        return usage(1);
+    } else {
+        for (const std::string &name : names) {
+            const FigureBench *fig = findFigure(name);
+            if (!fig) {
+                std::fprintf(stderr,
+                             "ppbench: unknown or ambiguous figure "
+                             "'%s' (try --list)\n",
+                             name.c_str());
+                return 1;
+            }
+            figures.push_back(fig);
+        }
+    }
+
+    ResultCache cache(no_cache ? std::string() : cache_dir);
+    setResultCache(&cache);
+    if (cache.enabled())
+        std::fprintf(stderr, "ppbench: result cache at %s (%s)\n",
+                     cache.dir().c_str(), kSimVersionDigest);
+    else
+        std::fprintf(stderr, "ppbench: result cache disabled\n");
+
+    std::vector<FigureReport> reports;
+    for (size_t i = 0; i < figures.size(); ++i) {
+        const FigureBench *fig = figures[i];
+        std::fprintf(stderr, "ppbench: [%zu/%zu] %s\n", i + 1,
+                     figures.size(), fig->name.c_str());
+        FigureReport rep;
+        rep.name = fig->name;
+        u64 h0 = cache.hits(), m0 = cache.misses(), s0 = cache.stores();
+        auto start = std::chrono::steady_clock::now();
+        fig->fn();
+        auto stop = std::chrono::steady_clock::now();
+        std::fflush(stdout);
+        rep.hits = cache.hits() - h0;
+        rep.misses = cache.misses() - m0;
+        rep.stores = cache.stores() - s0;
+        rep.seconds =
+            std::chrono::duration<double>(stop - start).count();
+        std::fprintf(stderr,
+                     "ppbench: %s: %llu cached, %llu simulated, "
+                     "%.1f s\n",
+                     fig->name.c_str(),
+                     static_cast<unsigned long long>(rep.hits),
+                     static_cast<unsigned long long>(rep.misses),
+                     rep.seconds);
+        reports.push_back(std::move(rep));
+    }
+
+    std::fprintf(stderr,
+                 "ppbench: total %llu cache hits, %llu simulations, "
+                 "%llu results stored\n",
+                 static_cast<unsigned long long>(cache.hits()),
+                 static_cast<unsigned long long>(cache.misses()),
+                 static_cast<unsigned long long>(cache.stores()));
+    setResultCache(nullptr);
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "ppbench: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        out << "{\n"
+            << "  \"sim_version\": \"" << jsonEscape(kSimVersionDigest)
+            << "\",\n"
+            << "  \"cache_enabled\": "
+            << (cache.enabled() ? "true" : "false") << ",\n"
+            << "  \"cache_dir\": \"" << jsonEscape(cache.dir())
+            << "\",\n"
+            << "  \"figures\": [\n";
+        for (size_t i = 0; i < reports.size(); ++i) {
+            const FigureReport &r = reports[i];
+            out << "    {\"name\": \"" << jsonEscape(r.name)
+                << "\", \"cache_hits\": " << r.hits
+                << ", \"simulations\": " << r.misses
+                << ", \"stored\": " << r.stores << ", \"seconds\": "
+                << r.seconds << "}"
+                << (i + 1 < reports.size() ? "," : "") << "\n";
+        }
+        out << "  ],\n"
+            << "  \"total\": {\"cache_hits\": " << cache.hits()
+            << ", \"simulations\": " << cache.misses()
+            << ", \"stored\": " << cache.stores() << "}\n"
+            << "}\n";
+    }
+    return 0;
+}

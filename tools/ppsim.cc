@@ -29,6 +29,8 @@
  *     --compare           run all six paper categories and summarise
  *     --kips              also time the run and report simulated KIPS
  *                         (committed kilo-instructions per host second)
+ *     --stats-json FILE   also write the run's statistics to FILE as
+ *                         JSON (single-run modes; not --compare)
  */
 
 #include <algorithm>
@@ -101,6 +103,7 @@ main(int argc, char **argv)
 {
     std::string workload;
     std::string source_path;
+    std::string stats_json_path;
     double scale = 1.0;
     SimConfig cfg = SimConfig::seeJrs();
     bool trace = false;
@@ -149,6 +152,8 @@ main(int argc, char **argv)
             compare = true;
         } else if (arg == "--kips") {
             kips = true;
+        } else if (arg == "--stats-json") {
+            stats_json_path = next();
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage();
@@ -217,6 +222,25 @@ main(int argc, char **argv)
                     lint.numBlocks, lint.numRoutines);
     }
 
+    // -1 = unknown (modes that skip end-state verification).
+    auto write_stats_json = [&](const SimStats &stats,
+                                const std::string &category,
+                                int verified_state) {
+        if (stats_json_path.empty())
+            return;
+        std::ofstream out(stats_json_path);
+        if (!out)
+            fatal("cannot write --stats-json file '%s'",
+                  stats_json_path.c_str());
+        out << "{\n  \"program\": \"" << program.name << "\",\n"
+            << "  \"category\": \"" << category << "\",\n"
+            << "  \"verified\": "
+            << (verified_state < 0 ? "null"
+                                   : verified_state ? "true" : "false")
+            << ",\n"
+            << stats.toJson() << "\n}\n";
+    };
+
     std::printf("program '%s': %zu static instructions\n",
                 program.name.c_str(), program.codeSize());
     InterpResult golden = runGolden(program);
@@ -252,6 +276,7 @@ main(int argc, char **argv)
         while (!core.halted())
             core.tick();
         std::printf("\n%s", core.stats().toString().c_str());
+        write_stats_json(core.stats(), cfg.categoryName(), -1);
         return 0;
     }
 
@@ -288,6 +313,7 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(
                             prof.divergences));
         }
+        write_stats_json(core.stats(), cfg.categoryName(), -1);
         return 0;
     }
 
@@ -297,6 +323,7 @@ main(int argc, char **argv)
     std::printf("configuration: %s\n%s", r.category.c_str(),
                 r.stats.toString().c_str());
     std::printf("verified: %s\n", r.verified ? "yes" : "NO");
+    write_stats_json(r.stats, r.category, r.verified ? 1 : 0);
     if (kips) {
         double secs =
             std::chrono::duration<double>(stop - start).count();
