@@ -8,6 +8,10 @@
 #   5. result-cache coherence: the same figure run twice against a
 #      fresh cache must produce byte-identical tables, with the second
 #      (all-hit) pass performing zero simulations
+#   6. differential fuzz: ppfuzz sweeps a fixed seed budget across all
+#      machine configurations against the lockstep oracle, then the
+#      reducer is exercised end-to-end on a fault-injected failure,
+#      which must shrink to at most 25 static instructions
 #
 #   scripts/ci.sh [build-dir]
 #
@@ -19,25 +23,25 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-ci}"
 jobs="$(nproc 2> /dev/null || echo 4)"
 
-echo "=== [1/5] configure + build (Debug, asan+ubsan) ==="
+echo "=== [1/6] configure + build (Debug, asan+ubsan) ==="
 cmake -B "$build_dir" -S "$repo_root" \
     -DCMAKE_BUILD_TYPE=Debug \
     -DPOLYPATH_SANITIZE=ON > /dev/null
 cmake --build "$build_dir" -j "$jobs"
 
-echo "=== [2/5] ctest ==="
+echo "=== [2/6] ctest ==="
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
-echo "=== [3/5] clang-tidy ==="
+echo "=== [3/6] clang-tidy ==="
 "$repo_root/scripts/run_clang_tidy.sh" "$build_dir"
 
-echo "=== [4/5] pplint corpus ==="
+echo "=== [4/6] pplint corpus ==="
 "$build_dir/tools/pplint" --all-workloads --quiet --min-severity warning
 for example in "$repo_root"/examples/asm/*.s; do
     "$build_dir/tools/pplint" --quiet --min-severity warning "$example"
 done
 
-echo "=== [5/5] result-cache coherence (fig8, scale 0.05, twice) ==="
+echo "=== [5/6] result-cache coherence (fig8, scale 0.05, twice) ==="
 cache_tmp="$(mktemp -d)"
 trap 'rm -rf "$cache_tmp"' EXIT
 PP_BENCH_SCALE=0.05 "$build_dir/tools/ppbench" fig8_baseline \
@@ -56,5 +60,26 @@ grep -Eq '"total": \{"cache_hits": [1-9][0-9]*, "simulations": 0,' \
     exit 1
 }
 echo "warm pass: byte-identical tables, zero simulations"
+
+echo "=== [6/6] differential fuzz (ppfuzz, 500 seeds x all configs) ==="
+"$build_dir/tools/ppfuzz" --seeds 0..500 --configs all --jobs "$jobs" \
+    --quiet
+
+# Reducer end-to-end: plant a divergence with the fault-injection knob
+# and require the minimised repro to stay within 25 static instructions.
+"$build_dir/tools/ppfuzz" --reduce 0 --preset mixed --config see \
+    --bug-corrupt-output --quiet -o "$cache_tmp/reduced.s" \
+    > "$cache_tmp/reduce.txt"
+cat "$cache_tmp/reduce.txt"
+reduced_instrs="$(sed -nE \
+    's/.* from [0-9]+ to ([0-9]+) static instructions.*/\1/p' \
+    "$cache_tmp/reduce.txt")"
+if [ -z "$reduced_instrs" ] || [ "$reduced_instrs" -gt 25 ]; then
+    echo "ci: FAIL: ppfuzz --reduce did not shrink to <= 25 static" \
+         "instructions (got '${reduced_instrs:-none}')" >&2
+    exit 1
+fi
+# The reduced artifact must still assemble (ppdis round-trips it).
+"$build_dir/tools/ppdis" "$cache_tmp/reduced.s" > /dev/null
 
 echo "ci: all green"

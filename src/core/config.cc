@@ -138,6 +138,7 @@ SimConfig::serialize() const
         << "verify " << verify << '\n'
         << "predecode " << predecode << '\n'
         << "profileBranches " << profileBranches << '\n'
+        << "bugCorruptStoreAbove " << bugCorruptStoreAbove << '\n'
         << "selfCheckInterval " << selfCheckInterval << '\n';
     return out.str();
 }

@@ -149,6 +149,19 @@ struct SimConfig
     bool profileBranches = false;
 
     /**
+     * Fault injection for the differential-testing subsystem
+     * (src/testkit/): when non-zero, every committed store whose
+     * effective address is >= this threshold writes its data XOR 1 to
+     * memory instead of the correct value. This plants a genuine
+     * final-state bug for the lockstep oracle and the ppfuzz reducer to
+     * find, without perturbing control flow: generated programs keep a
+     * write-only output region (testkit::outputBase) above all read
+     * data, so the corruption can never feed back into a branch and
+     * trip the core's trace-grounding panics. Never set outside tests.
+     */
+    Addr bugCorruptStoreAbove = 0;
+
+    /**
      * Deep structural self-check every N cycles (0 = off). Validates
      * resource-conservation and path-tree invariants; used heavily by
      * the test suite, costs O(window) per check.

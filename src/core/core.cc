@@ -971,8 +971,26 @@ PolyPathCore::commitInst(const DynInstPtr &inst)
         physFile.release(prev);
     }
 
-    if (inst->instr.isStore())
+    if (inst->instr.isStore()) {
+        // Fault injection (cfg.bugCorruptStoreAbove): capture the
+        // entry before commit drops it, then overwrite the committed
+        // bytes with corrupted data. See the knob's SimConfig comment.
+        Addr bug_addr = 0;
+        u64 bug_data = 0;
+        unsigned bug_size = 0;
+        if (cfg.bugCorruptStoreAbove) {
+            if (const StoreQueueEntry *e = storeQueue.find(inst->seq)) {
+                if (e->addr >= cfg.bugCorruptStoreAbove) {
+                    bug_addr = e->addr;
+                    bug_data = e->data ^ 1;
+                    bug_size = e->size;
+                }
+            }
+        }
         storeQueue.commit(inst->seq, mem);
+        if (bug_size)
+            mem.write(bug_addr, bug_data, bug_size);
+    }
 
     if (inst->isCondBranch() || inst->isReturn())
         commitControl(inst);

@@ -12,6 +12,7 @@
 #define POLYPATH_CORE_TRACE_HH
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,50 @@ class VectorTraceSink : public TraceSink
     }
 
     std::vector<TraceRecord> records;
+};
+
+/**
+ * Records only the committed-instruction stream — the architectural
+ * retirement order, which is what differential oracles compare against
+ * the golden interpreter (src/testkit/oracle.hh). Every other pipeline
+ * event (fetch, kill, wrong-path execution...) is speculation noise for
+ * that purpose and is dropped at the sink.
+ *
+ * The callback is invoked once per committed instruction, in commit
+ * order, while the core is inside its commit phase; it must not touch
+ * the core. A callback is used instead of buffering so a lockstep
+ * consumer can flag divergence the moment it happens (the driver stops
+ * ticking) rather than after a full — possibly wedged — run.
+ */
+class CommitRecorder : public TraceSink
+{
+  public:
+    using Callback = std::function<void(const TraceRecord &)>;
+
+    explicit CommitRecorder(Callback on_commit = {})
+        : onCommit(std::move(on_commit))
+    {}
+
+    void
+    record(const TraceRecord &rec) override
+    {
+        if (rec.event != PipeEvent::Commit)
+            return;
+        ++numCommitted;
+        if (onCommit)
+            onCommit(rec);
+        else
+            committed.push_back(rec);
+    }
+
+    /** Commit records seen so far (buffered mode only). */
+    std::vector<TraceRecord> committed;
+
+    /** Commits seen (both modes). */
+    u64 numCommitted = 0;
+
+  private:
+    Callback onCommit;
 };
 
 /** Streams records to a FILE (human-readable pipeline viewer). */

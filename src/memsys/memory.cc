@@ -1,5 +1,7 @@
 #include "memory.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace polypath
@@ -105,6 +107,42 @@ SparseMemory::contentsEqual(const SparseMemory &other) const
         return true;
     };
     return pages_match(*this, other) && pages_match(other, *this);
+}
+
+std::vector<SparseMemory::ByteDiff>
+SparseMemory::diffBytes(const SparseMemory &other, size_t max_entries) const
+{
+    // Union of materialised page numbers, sorted so the report reads in
+    // address order.
+    std::vector<u64> page_nums;
+    page_nums.reserve(pages.size() + other.pages.size());
+    for (const auto &[num, page] : pages)
+        page_nums.push_back(num);
+    for (const auto &[num, page] : other.pages) {
+        if (!pages.count(num))
+            page_nums.push_back(num);
+    }
+    std::sort(page_nums.begin(), page_nums.end());
+
+    std::vector<ByteDiff> diffs;
+    for (u64 num : page_nums) {
+        auto mine_it = pages.find(num);
+        auto theirs_it = other.pages.find(num);
+        const Page *mine = mine_it != pages.end()
+                               ? mine_it->second.get() : nullptr;
+        const Page *theirs = theirs_it != other.pages.end()
+                                 ? theirs_it->second.get() : nullptr;
+        for (size_t i = 0; i < pageBytes; ++i) {
+            u8 a = mine ? (*mine)[i] : 0;
+            u8 b = theirs ? (*theirs)[i] : 0;
+            if (a == b)
+                continue;
+            diffs.push_back({(num << pageShift) + i, a, b});
+            if (max_entries && diffs.size() >= max_entries)
+                return diffs;
+        }
+    }
+    return diffs;
 }
 
 } // namespace polypath

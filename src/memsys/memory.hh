@@ -18,6 +18,7 @@
 #include <array>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -61,6 +62,23 @@ class SparseMemory
      * identical in both (zero-filled pages are equivalent to absent ones).
      */
     bool contentsEqual(const SparseMemory &other) const;
+
+    /** One byte that differs between two memories. */
+    struct ByteDiff
+    {
+        Addr addr;
+        u8 mine;
+        u8 theirs;
+    };
+
+    /**
+     * The differing bytes between this memory and @p other, in
+     * ascending address order, capped at @p max_entries (0 = no cap).
+     * Same zero-fill convention as contentsEqual. Used by the
+     * differential oracle to report *where* final memory diverged.
+     */
+    std::vector<ByteDiff> diffBytes(const SparseMemory &other,
+                                    size_t max_entries = 0) const;
 
   private:
     using Page = std::array<u8, pageBytes>;

@@ -1,0 +1,278 @@
+#include "testkit/oracle.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "core/core.hh"
+#include "core/trace.hh"
+#include "isa/instr.hh"
+
+namespace polypath
+{
+namespace testkit
+{
+namespace
+{
+
+std::string
+hex(u64 value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%#llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+std::string
+regName(LogReg reg)
+{
+    char buf[8];
+    if (reg >= 32)
+        std::snprintf(buf, sizeof(buf), "f%u", reg - 32);
+    else
+        std::snprintf(buf, sizeof(buf), "r%u", reg);
+    return buf;
+}
+
+} // anonymous namespace
+
+const char *
+divergenceKindName(DivergenceKind kind)
+{
+    switch (kind) {
+      case DivergenceKind::None: return "none";
+      case DivergenceKind::CommitPc: return "commit-pc";
+      case DivergenceKind::ExtraCommit: return "extra-commit";
+      case DivergenceKind::MissingCommits: return "missing-commits";
+      case DivergenceKind::FinalRegs: return "final-registers";
+      case DivergenceKind::FinalMem: return "final-memory";
+      case DivergenceKind::CycleCap: return "cycle-cap";
+    }
+    return "?";
+}
+
+std::string
+disasmAt(const Program &program, Addr pc)
+{
+    Addr base = program.codeBase;
+    Addr limit = base + 4 * program.code.size();
+    if (pc < base || pc >= limit || (pc - base) % 4 != 0)
+        return "<outside text>";
+    return decodeInstr(program.code[(pc - base) / 4]).toString();
+}
+
+std::vector<RegDiff>
+diffRegs(const ArchState &core, const ArchState &golden, size_t max_entries)
+{
+    std::vector<RegDiff> diffs;
+    for (LogReg r = 0; r < numLogRegs; ++r) {
+        if (isZeroReg(r))
+            continue;
+        if (core.reg(r) == golden.reg(r))
+            continue;
+        diffs.push_back({r, core.reg(r), golden.reg(r)});
+        if (max_entries && diffs.size() >= max_entries)
+            break;
+    }
+    return diffs;
+}
+
+std::string
+Divergence::report() const
+{
+    if (!diverged())
+        return "";
+    std::string out = "divergence: ";
+    out += divergenceKindName(kind);
+    out += " at committed instruction #" + std::to_string(commitIndex);
+    out += '\n';
+    switch (kind) {
+      case DivergenceKind::CommitPc:
+        out += "  core committed:  pc " + hex(corePc) + "  " +
+               coreDisasm + '\n';
+        out += "  golden executed: pc " + hex(goldenPc) + "  " +
+               goldenDisasm + '\n';
+        break;
+      case DivergenceKind::ExtraCommit:
+        out += "  core committed pc " + hex(corePc) + "  " + coreDisasm +
+               " after the golden run halted\n";
+        break;
+      case DivergenceKind::MissingCommits:
+        out += "  core halted; golden expected pc " + hex(goldenPc) +
+               "  " + goldenDisasm + '\n';
+        break;
+      case DivergenceKind::CycleCap:
+        out += "  core exceeded its cycle budget; golden expected pc " +
+               hex(goldenPc) + "  " + goldenDisasm + '\n';
+        break;
+      default:
+        break;
+    }
+    if (!regDiffs.empty()) {
+        out += "architectural register diff (core vs golden):\n";
+        for (const RegDiff &d : regDiffs) {
+            out += "  " + regName(d.reg) + ": " + hex(d.core) + " vs " +
+                   hex(d.golden) + '\n';
+        }
+    }
+    if (!memDiffs.empty()) {
+        out += "memory diff (core vs golden):\n";
+        for (const SparseMemory::ByteDiff &d : memDiffs) {
+            out += "  [" + hex(d.addr) + "]: " + hex(d.mine) + " vs " +
+                   hex(d.theirs) + '\n';
+        }
+    }
+    return out;
+}
+
+// --- LockstepChecker --------------------------------------------------
+
+LockstepChecker::LockstepChecker(const Program &program,
+                                 u64 max_golden_instrs)
+    : program(program),
+      golden(std::make_unique<Interpreter>(program)),
+      maxGoldenInstrs(max_golden_instrs)
+{}
+
+LockstepChecker::~LockstepChecker() = default;
+
+bool
+LockstepChecker::onCommit(Addr pc)
+{
+    if (div.diverged())
+        return false;
+    if (golden->halted()) {
+        div.kind = DivergenceKind::ExtraCommit;
+        div.commitIndex = commits;
+        div.corePc = pc;
+        div.coreDisasm = disasmAt(program, pc);
+        return false;
+    }
+    Addr expected = golden->state().pc;
+    if (pc != expected) {
+        div.kind = DivergenceKind::CommitPc;
+        div.commitIndex = commits;
+        div.corePc = pc;
+        div.goldenPc = expected;
+        div.coreDisasm = disasmAt(program, pc);
+        div.goldenDisasm = disasmAt(program, expected);
+        return false;
+    }
+    fatal_if(commits >= maxGoldenInstrs,
+             "lockstep oracle: %s exceeded %llu golden instructions",
+             program.name.c_str(),
+             static_cast<unsigned long long>(maxGoldenInstrs));
+    golden->step();
+    ++commits;
+    return true;
+}
+
+void
+LockstepChecker::finish(const ArchState &core_regs,
+                        const SparseMemory &core_mem,
+                        size_t max_diff_entries)
+{
+    if (div.diverged())
+        return;
+    if (!golden->halted()) {
+        div.kind = DivergenceKind::MissingCommits;
+        div.commitIndex = commits;
+        div.goldenPc = golden->state().pc;
+        div.goldenDisasm = disasmAt(program, div.goldenPc);
+        return;
+    }
+    std::vector<RegDiff> reg_diffs =
+        diffRegs(core_regs, golden->state(), max_diff_entries);
+    std::vector<SparseMemory::ByteDiff> mem_diffs =
+        core_mem.diffBytes(golden->memory(), max_diff_entries);
+    if (reg_diffs.empty() && mem_diffs.empty())
+        return;
+    div.kind = reg_diffs.empty() ? DivergenceKind::FinalMem
+                                 : DivergenceKind::FinalRegs;
+    div.commitIndex = commits;
+    div.regDiffs = std::move(reg_diffs);
+    div.memDiffs = std::move(mem_diffs);
+}
+
+// --- runOracle --------------------------------------------------------
+
+OracleResult
+runOracle(const Program &program, SimConfig cfg,
+          const InterpResult &golden, const OracleOptions &opts)
+{
+    // The oracle replaces the digest check — and the core's commit-time
+    // trace panic would fire *before* the lockstep comparison could
+    // produce its report.
+    cfg.verify = false;
+
+    PolyPathCore core(cfg, program, golden);
+    LockstepChecker checker(program, opts.maxGoldenInstrs);
+
+    bool stream_diverged = false;
+    CommitRecorder recorder([&](const TraceRecord &rec) {
+        if (!stream_diverged && !checker.onCommit(rec.pc))
+            stream_diverged = true;
+    });
+    core.setTraceSink(&recorder);
+
+    u64 max_cycles = opts.maxCycles;
+    if (!max_cycles) {
+        max_cycles = cfg.maxCycles ? cfg.maxCycles
+                                   : 50 * golden.instructions + 1'000'000;
+    }
+
+    OracleResult result;
+    result.goldenInstructions = golden.instructions;
+
+    bool cycle_capped = false;
+    while (!core.halted() && !stream_diverged) {
+        if (core.cycle() >= max_cycles) {
+            cycle_capped = true;
+            break;
+        }
+        core.tick();
+    }
+    result.stats = core.stats();
+    result.stats.halted = core.halted();
+
+    if (cycle_capped) {
+        Divergence &div = result.divergence;
+        div.kind = DivergenceKind::CycleCap;
+        div.commitIndex = checker.committed();
+        if (!checker.interp().halted()) {
+            div.goldenPc = checker.interp().state().pc;
+            div.goldenDisasm = disasmAt(program, div.goldenPc);
+        }
+        return result;
+    }
+
+    if (!stream_diverged) {
+        checker.finish(core.architecturalState(), core.memory(),
+                       opts.maxDiffEntries);
+        result.divergence = checker.divergence();
+        return result;
+    }
+
+    // Stream divergence: attach the architectural-state delta at the
+    // moment of death so the report shows *how far* values had drifted.
+    result.divergence = checker.divergence();
+    result.divergence.regDiffs =
+        diffRegs(core.architecturalState(), checker.interp().state(),
+                 opts.maxDiffEntries);
+    return result;
+}
+
+OracleResult
+runOracle(const Program &program, SimConfig cfg, const OracleOptions &opts)
+{
+    InterpResult golden = interpret(program, opts.maxGoldenInstrs);
+    fatal_if(!golden.halted,
+             "oracle: golden run of %s did not halt within %llu "
+             "instructions — not a terminating-by-construction program?",
+             program.name.c_str(),
+             static_cast<unsigned long long>(opts.maxGoldenInstrs));
+    return runOracle(program, cfg, golden, opts);
+}
+
+} // namespace testkit
+} // namespace polypath

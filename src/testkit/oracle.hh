@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Lockstep differential oracle: golden Interpreter vs timing core.
+ *
+ * The digest-style check in sim/machine.cc answers only "did the run
+ * match?" — a bare panic on mismatch. This oracle instead runs the
+ * golden interpreter *in lockstep* with the timing core's committed
+ * instruction stream (captured by a CommitRecorder trace sink) and, on
+ * the first divergence, reports exactly where and how the two machines
+ * disagree: the committed-instruction index, both PCs with
+ * disassembly, and an architectural register/memory diff. That is the
+ * difference between "seed 1234 failed" and a debuggable bug report.
+ *
+ * Detectable divergence classes (DivergenceKind):
+ *   - CommitPc:       the core committed a different instruction than
+ *                     the golden run executed at that position;
+ *   - ExtraCommit:    the core kept committing after the golden run
+ *                     halted;
+ *   - MissingCommits: the core halted before committing everything the
+ *                     golden run executed;
+ *   - FinalRegs/FinalMem: the streams matched but the final
+ *                     architectural state does not;
+ *   - CycleCap:       the core exceeded its cycle budget (a probable
+ *                     hang, reported instead of aborting the process).
+ *
+ * Internal invariant violations inside the core (panic/fatal) still
+ * abort — those are simulator bugs of a different kind, and a trashed
+ * core cannot be trusted to keep producing a commit stream anyway.
+ */
+
+#ifndef POLYPATH_TESTKIT_ORACLE_HH
+#define POLYPATH_TESTKIT_ORACLE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/interpreter.hh"
+#include "asmkit/program.hh"
+#include "core/config.hh"
+#include "core/stats.hh"
+#include "memsys/memory.hh"
+
+namespace polypath
+{
+namespace testkit
+{
+
+/** What kind of disagreement the oracle found first. */
+enum class DivergenceKind : u8
+{
+    None,
+    CommitPc,
+    ExtraCommit,
+    MissingCommits,
+    FinalRegs,
+    FinalMem,
+    CycleCap,
+};
+
+/** Printable kind name. */
+const char *divergenceKindName(DivergenceKind kind);
+
+/** One architectural register the two machines disagree on. */
+struct RegDiff
+{
+    LogReg reg;
+    u64 core;
+    u64 golden;
+};
+
+/** A fully located first divergence. */
+struct Divergence
+{
+    DivergenceKind kind = DivergenceKind::None;
+
+    /** Committed-instruction index of the first disagreement (for the
+     *  final-state kinds: the total committed count). */
+    u64 commitIndex = 0;
+
+    Addr corePc = 0;            //!< what the core committed
+    Addr goldenPc = 0;          //!< what the golden run executed
+    std::string coreDisasm;
+    std::string goldenDisasm;
+
+    std::vector<RegDiff> regDiffs;
+    std::vector<SparseMemory::ByteDiff> memDiffs;
+
+    bool diverged() const { return kind != DivergenceKind::None; }
+
+    /** Multi-line human-readable report ("" when !diverged()). */
+    std::string report() const;
+};
+
+/** Oracle run limits and report sizing. */
+struct OracleOptions
+{
+    u64 maxGoldenInstrs = 100'000'000ull;
+
+    /** Timing-run cycle cap; 0 = auto (as sim/machine.cc computes). */
+    u64 maxCycles = 0;
+
+    /** Cap on reported register/memory diff entries. */
+    size_t maxDiffEntries = 8;
+};
+
+/** Outcome of one differential run. */
+struct OracleResult
+{
+    Divergence divergence;
+    SimStats stats;             //!< timing-core statistics
+    u64 goldenInstructions = 0;
+
+    bool ok() const { return !divergence.diverged(); }
+};
+
+/**
+ * The stream half of the oracle, separated out so it can be unit
+ * tested against synthetic (deliberately corrupted) commit streams
+ * without a timing core. Feed committed PCs in order; the checker
+ * steps its own golden interpreter one instruction per commit.
+ */
+class LockstepChecker
+{
+  public:
+    explicit LockstepChecker(const Program &program,
+                             u64 max_golden_instrs = 100'000'000ull);
+    ~LockstepChecker();
+
+    /**
+     * Record that the core committed the instruction at @p pc.
+     * @return false on the first divergence (stop feeding).
+     */
+    bool onCommit(Addr pc);
+
+    /**
+     * The core's run ended; verify it committed everything and that
+     * the final architectural state matches. No-op after a stream
+     * divergence.
+     */
+    void finish(const ArchState &core_regs, const SparseMemory &core_mem,
+                size_t max_diff_entries);
+
+    const Divergence &divergence() const { return div; }
+    u64 committed() const { return commits; }
+    const Interpreter &interp() const { return *golden; }
+
+  private:
+    const Program &program;
+    std::unique_ptr<Interpreter> golden;
+    u64 maxGoldenInstrs;
+    u64 commits = 0;
+    Divergence div;
+};
+
+/** Registers where @p core and @p golden disagree (zero regs skipped). */
+std::vector<RegDiff> diffRegs(const ArchState &core,
+                              const ArchState &golden,
+                              size_t max_entries = 0);
+
+/** Disassembly of the instruction at @p pc, or "<outside text>". */
+std::string disasmAt(const Program &program, Addr pc);
+
+/**
+ * Run the timing core for @p cfg against the golden interpreter in
+ * lockstep and report the first divergence. @p cfg's own verify flag
+ * is ignored (the oracle replaces the digest check with its richer
+ * one). The overload without @p golden runs the reference itself.
+ */
+OracleResult runOracle(const Program &program, SimConfig cfg,
+                       const InterpResult &golden,
+                       const OracleOptions &opts = {});
+OracleResult runOracle(const Program &program, SimConfig cfg,
+                       const OracleOptions &opts = {});
+
+} // namespace testkit
+} // namespace polypath
+
+#endif // POLYPATH_TESTKIT_ORACLE_HH

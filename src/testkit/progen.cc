@@ -1,0 +1,460 @@
+#include "testkit/progen.hh"
+
+#include <utility>
+
+#include "asmkit/assembler.hh"
+#include "common/logging.hh"
+#include "common/prng.hh"
+#include "workloads/workload_util.hh"
+
+namespace polypath
+{
+namespace testkit
+{
+namespace
+{
+
+using namespace wreg;
+
+/** Weighted draw of one body operation kind. */
+GenOpKind
+pickKind(Prng &prng, const ProgenOptions &opts, bool allow_structured)
+{
+    // Structured kinds (branches, calls, inner loops) are excluded
+    // inside inner-loop bodies so nesting stays one level deep and
+    // every branch in an inner body is the loop's own backward branch.
+    const std::pair<GenOpKind, unsigned> table[] = {
+        {GenOpKind::Alu, opts.wAlu},
+        {GenOpKind::Shift, opts.wShift},
+        {GenOpKind::Load, opts.wLoad},
+        {GenOpKind::Store, opts.wStore},
+        {GenOpKind::FwdBranch, allow_structured ? opts.wFwdBranch : 0},
+        {GenOpKind::Mix, opts.wMix},
+        {GenOpKind::Call, allow_structured ? opts.wCall : 0},
+        {GenOpKind::Accum, opts.wAccum},
+        {GenOpKind::Fp, opts.wFp},
+        {GenOpKind::OutputStore, opts.wOutputStore},
+        {GenOpKind::InnerLoop, allow_structured ? opts.wInnerLoop : 0},
+    };
+    u64 total = 0;
+    for (const auto &[kind, weight] : table)
+        total += weight;
+    fatal_if(total == 0, "progen: all grammar weights are zero");
+    u64 roll = prng.nextBelow(total);
+    for (const auto &[kind, weight] : table) {
+        if (roll < weight)
+            return kind;
+        roll -= weight;
+    }
+    panic("unreachable");
+}
+
+/** Random temporary register (t0..t7 = logical 1..8). */
+u8
+tempReg(Prng &prng)
+{
+    return static_cast<u8>(1 + prng.nextBelow(8));
+}
+
+GenOp
+buildOp(Prng &prng, const ProgenOptions &opts, bool allow_structured)
+{
+    GenOp op;
+    op.kind = pickKind(prng, opts, allow_structured);
+    op.r1 = tempReg(prng);
+    op.r2 = tempReg(prng);
+    op.rd = tempReg(prng);
+    switch (op.kind) {
+      case GenOpKind::Alu:
+        op.sub = static_cast<u8>(prng.nextBelow(5));
+        break;
+      case GenOpKind::Shift:
+        op.amount = static_cast<u32>(prng.nextBelow(8));
+        break;
+      case GenOpKind::FwdBranch:
+        op.sub = static_cast<u8>(prng.nextBelow(3));
+        op.amount = static_cast<u32>(1 + prng.nextBelow(opts.fwdSkipMax));
+        break;
+      case GenOpKind::Fp:
+        op.sub = static_cast<u8>(prng.nextBelow(5));
+        break;
+      case GenOpKind::OutputStore:
+        op.amount =
+            static_cast<u32>(8 * prng.nextBelow(outputBytes / 8));
+        break;
+      case GenOpKind::InnerLoop: {
+        op.amount = static_cast<u32>(1 + prng.nextBelow(opts.innerTripsMax));
+        unsigned nested = 1 + prng.nextBelow(opts.innerBodyMaxOps);
+        for (unsigned i = 0; i < nested; ++i)
+            op.nested.push_back(buildOp(prng, opts, false));
+        break;
+      }
+      default:
+        break;
+    }
+    return op;
+}
+
+/** Worst-case dynamic instructions one execution of @p op can take. */
+u64
+opMaxDynamic(const GenOp &op)
+{
+    switch (op.kind) {
+      case GenOpKind::Load:
+      case GenOpKind::Store:
+        return 3;                       // andi + add + ldq/stq
+      case GenOpKind::Call:
+        return 1 + 3;                   // jsr + straight-line leaf
+      case GenOpKind::InnerLoop: {
+        u64 body = 0;
+        for (const GenOp &nested : op.nested)
+            body += opMaxDynamic(nested);
+        return 1 + op.amount * (body + 2);  // li + trips*(body+addi+bgt)
+      }
+      default:
+        return 1;
+    }
+}
+
+/** Emit one body operation (shared by outer and inner bodies). */
+void
+emitOp(Assembler &a, const GenPlan &plan, const GenOp &op,
+       Label leaf, u32 arena_mask)
+{
+    switch (op.kind) {
+      case GenOpKind::Alu:
+        switch (op.sub % 5) {
+          case 0: a.add(op.r1, op.r2, op.rd); break;
+          case 1: a.sub(op.r1, op.r2, op.rd); break;
+          case 2: a.xor_(op.r1, op.r2, op.rd); break;
+          case 3: a.mul(op.r1, op.r2, op.rd); break;
+          default: a.cmplt(op.r1, op.r2, op.rd); break;
+        }
+        break;
+      case GenOpKind::Shift:
+        a.srli(op.r1, static_cast<s32>(op.amount & 7), op.rd);
+        break;
+      case GenOpKind::Load:
+        a.andi(op.r1, static_cast<s32>(arena_mask), op.rd);
+        a.add(s1, op.rd, op.rd);
+        a.ldq(op.rd, 0, op.rd);
+        break;
+      case GenOpKind::Store:
+        a.andi(op.r1, static_cast<s32>(arena_mask), op.rd);
+        a.add(s1, op.rd, op.rd);
+        a.stq(op.r2, 0, op.rd);
+        break;
+      case GenOpKind::Mix:
+        a.xor_(op.r1, s2, op.rd);
+        break;
+      case GenOpKind::Call:
+        a.jsr(ra, leaf);
+        break;
+      case GenOpKind::Accum:
+        a.add(s3, op.r1, s3);
+        break;
+      case GenOpKind::Fp:
+        switch (op.sub % 5) {
+          case 0: a.cvtif(op.r1, op.rd & 3); break;
+          case 1: a.fadd(op.r1 & 3, op.r2 & 3, op.rd & 3); break;
+          case 2: a.fsub(op.r1 & 3, op.r2 & 3, op.rd & 3); break;
+          case 3: a.fmul(op.r1 & 3, op.r2 & 3, op.rd & 3); break;
+          default: a.fcmplt(op.r1 & 3, op.r2 & 3, op.rd); break;
+        }
+        break;
+      case GenOpKind::OutputStore:
+        a.stq(op.r1, static_cast<s32>(op.amount), s5);
+        break;
+      case GenOpKind::InnerLoop: {
+        a.li(s4, op.amount);
+        Label top = a.here();
+        for (const GenOp &nested : op.nested)
+            emitOp(a, plan, nested, leaf, arena_mask);
+        a.addi(s4, -1, s4);
+        a.bgt(s4, top);
+        break;
+      }
+      case GenOpKind::FwdBranch:
+        // Handled by the caller (needs the pending-label bookkeeping);
+        // reaching here means a FwdBranch leaked into an inner body.
+        panic("progen: FwdBranch emitted outside the outer body");
+    }
+}
+
+ProgenOptions
+smallSweepBase()
+{
+    ProgenOptions opts;
+    opts.outerTripsMin = 60;
+    opts.outerTripsMax = 119;
+    return opts;
+}
+
+} // anonymous namespace
+
+bool
+GenPlan::usesKind(GenOpKind kind) const
+{
+    for (const GenOp &op : body) {
+        if (op.kind == kind)
+            return true;
+        for (const GenOp &nested : op.nested) {
+            if (nested.kind == kind)
+                return true;
+        }
+    }
+    return false;
+}
+
+u64
+GenPlan::maxDynamicInstrs() const
+{
+    u64 body_cost = 0;
+    for (const GenOp &op : body)
+        body_cost += opMaxDynamic(op);
+    u64 per_iter = 2 + body_cost + 1;           // beq + addi ... br
+    if (keepXorshift)
+        per_iter += 6 + 1;                      // xorshift + checksum fold
+    // Generous fixed preamble/tail slack (li expansions, final store,
+    // HALT); an overcount only loosens the termination bound.
+    return 64 + static_cast<u64>(outerTrips) * per_iter;
+}
+
+GenPlan
+buildPlan(const ProgenOptions &opts, u64 seed)
+{
+    fatal_if(opts.bodyMinOps == 0 || opts.bodyMaxOps < opts.bodyMinOps,
+             "progen: bad body size range [%u, %u]",
+             opts.bodyMinOps, opts.bodyMaxOps);
+    fatal_if(opts.outerTripsMin == 0 ||
+                 opts.outerTripsMax < opts.outerTripsMin,
+             "progen: bad outer trip range [%u, %u]",
+             opts.outerTripsMin, opts.outerTripsMax);
+    fatal_if(opts.arenaBytes < 16 || (opts.arenaBytes & 7),
+             "progen: arenaBytes must be a multiple of 8 and >= 16");
+
+    Prng prng(seed);
+    GenPlan plan;
+    plan.seed = seed;
+    plan.name = opts.name;
+    plan.arenaBytes = opts.arenaBytes;
+    plan.outerTrips =
+        opts.outerTripsMin +
+        static_cast<unsigned>(prng.nextBelow(
+            opts.outerTripsMax - opts.outerTripsMin + 1));
+    plan.xorshiftSeed = prng.next() | 1;
+    for (unsigned i = 0; i < opts.arenaInitWords; ++i)
+        plan.arenaInit.push_back(prng.next());
+
+    unsigned body_len =
+        opts.bodyMinOps +
+        static_cast<unsigned>(prng.nextBelow(
+            opts.bodyMaxOps - opts.bodyMinOps + 1));
+    for (unsigned i = 0; i < body_len; ++i)
+        plan.body.push_back(buildOp(prng, opts, true));
+    return plan;
+}
+
+Program
+emitPlan(const GenPlan &plan)
+{
+    Assembler a;
+
+    Addr arena = a.dZero(plan.arenaBytes);
+    for (u64 word : plan.arenaInit)
+        a.d64(word);
+
+    emitWorkloadInit(a);
+    Label leaf_fn = a.newLabel();
+
+    bool uses_call = plan.usesKind(GenOpKind::Call);
+    bool uses_output = plan.usesKind(GenOpKind::OutputStore);
+    u32 arena_mask = (plan.arenaBytes - 8) & ~7u;
+
+    a.li(s0, plan.outerTrips);
+    a.li(s1, arena);
+    if (plan.keepXorshift)
+        a.li(s2, plan.xorshiftSeed | 1);
+    a.li(s3, 0);
+    if (uses_output)
+        a.li(s5, outputBase);
+
+    Label outer = a.newLabel();
+    Label done = a.newLabel();
+    a.bind(outer);
+    a.beq(s0, done);
+    a.addi(s0, -1, s0);
+    if (plan.keepXorshift)
+        emitXorshift(a, s2, t0);
+
+    // Forward-branch joins still waiting for their landing site. The
+    // distance is measured in body *operations*, exactly like the
+    // original ad-hoc generator.
+    std::vector<Label> pending;
+    std::vector<unsigned> pending_dist;
+    auto bind_due = [&]() {
+        for (size_t i = 0; i < pending.size();) {
+            if (pending_dist[i] == 0) {
+                a.bind(pending[i]);
+                pending.erase(pending.begin() + i);
+                pending_dist.erase(pending_dist.begin() + i);
+            } else {
+                --pending_dist[i];
+                ++i;
+            }
+        }
+    };
+
+    for (const GenOp &op : plan.body) {
+        bind_due();
+        if (op.kind == GenOpKind::FwdBranch) {
+            Label skip = a.newLabel();
+            switch (op.sub % 3) {
+              case 0: a.beq(op.r1, skip); break;
+              case 1: a.blt(op.r1, skip); break;
+              default: a.bgt(op.r1, skip); break;
+            }
+            pending.push_back(skip);
+            pending_dist.push_back(op.amount);
+        } else {
+            emitOp(a, plan, op, leaf_fn, arena_mask);
+        }
+    }
+    for (Label &label : pending)
+        a.bind(label);
+    if (plan.keepXorshift)
+        a.add(s3, t0, s3);
+    a.br(outer);
+
+    a.bind(done);
+    if (plan.keepFinalStore)
+        a.stq(s3, 0, s1);
+    a.halt();
+
+    if (uses_call) {
+        // Leaf function: a little work, no stack use.
+        a.bind(leaf_fn);
+        a.addi(v0, 3, v0);
+        a.xor_(v0, a0, v0);
+        a.ret(ra);
+    }
+
+    return a.assemble(plan.name + "_" + std::to_string(plan.seed));
+}
+
+Program
+generate(const ProgenOptions &opts, u64 seed)
+{
+    return emitPlan(buildPlan(opts, seed));
+}
+
+// --- presets ----------------------------------------------------------
+
+ProgenOptions
+presetLegacy()
+{
+    ProgenOptions opts;     // the defaults *are* the legacy shape
+    opts.name = "legacy";
+    return opts;
+}
+
+ProgenOptions
+presetBranchy()
+{
+    ProgenOptions opts = smallSweepBase();
+    opts.name = "branchy";
+    opts.wFwdBranch = 6;
+    opts.wAlu = 4;
+    opts.wMix = 3;
+    opts.wCall = 0;
+    opts.fwdSkipMax = 4;
+    opts.bodyMinOps = 24;
+    opts.bodyMaxOps = 48;
+    return opts;
+}
+
+ProgenOptions
+presetMemory()
+{
+    ProgenOptions opts = smallSweepBase();
+    opts.name = "memory";
+    opts.wLoad = 5;
+    opts.wStore = 5;
+    opts.wAlu = 3;
+    return opts;
+}
+
+ProgenOptions
+presetCalls()
+{
+    ProgenOptions opts = smallSweepBase();
+    opts.name = "calls";
+    opts.wCall = 6;
+    opts.wAlu = 3;
+    return opts;
+}
+
+ProgenOptions
+presetFp()
+{
+    ProgenOptions opts = smallSweepBase();
+    opts.name = "fp";
+    opts.wFp = 5;
+    opts.wAlu = 3;
+    return opts;
+}
+
+ProgenOptions
+presetMixed()
+{
+    ProgenOptions opts;
+    opts.name = "mixed";
+    opts.wAlu = 4;
+    opts.wShift = 1;
+    opts.wLoad = 2;
+    opts.wStore = 2;
+    opts.wFwdBranch = 2;
+    opts.wMix = 1;
+    opts.wCall = 1;
+    opts.wAccum = 1;
+    opts.wFp = 1;
+    opts.wOutputStore = 2;
+    opts.wInnerLoop = 1;
+    opts.bodyMinOps = 16;
+    opts.bodyMaxOps = 32;
+    opts.outerTripsMin = 40;
+    opts.outerTripsMax = 79;
+    return opts;
+}
+
+const std::vector<std::string> &
+presetNames()
+{
+    static const std::vector<std::string> names = {
+        "legacy", "branchy", "memory", "calls", "fp", "mixed",
+    };
+    return names;
+}
+
+ProgenOptions
+presetByName(const std::string &name)
+{
+    if (name == "legacy")
+        return presetLegacy();
+    if (name == "branchy")
+        return presetBranchy();
+    if (name == "memory")
+        return presetMemory();
+    if (name == "calls")
+        return presetCalls();
+    if (name == "fp")
+        return presetFp();
+    if (name == "mixed")
+        return presetMixed();
+    fatal("unknown progen preset '%s' (have: legacy branchy memory "
+          "calls fp mixed)",
+          name.c_str());
+}
+
+} // namespace testkit
+} // namespace polypath

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Grammar-driven random PPR program generator.
+ *
+ * Programs are *terminating by construction*: one outer counted loop
+ * (the trip counter lives in a register no body operation may write),
+ * forward-only data-dependent branches inside the body, counted inner
+ * loops with immediate trip counts, and straight-line leaf calls. The
+ * dynamic instruction count is therefore statically bounded
+ * (GenPlan::maxDynamicInstrs), which is what lets the differential
+ * fuzzer run millions of them without a watchdog.
+ *
+ * Generation is split into two phases so failures can be *reduced
+ * structurally* (src/testkit/reduce.hh):
+ *
+ *   buildPlan(options, seed)  ->  GenPlan   (the decision log)
+ *   emitPlan(plan)            ->  Program   (deterministic emission)
+ *
+ * A GenPlan is the generator's complete decision log: deleting a body
+ * operation, lowering the trip count, or dropping a scaffolding flag
+ * always yields another valid, terminating plan — so delta debugging
+ * works on plans, never on raw instruction bytes.
+ *
+ * Register discipline: body operations read and write only the
+ * temporaries t0..t7 plus the dedicated accumulator s3; s0 (outer trip
+ * counter), s1 (arena base), s2 (xorshift state), s4 (inner-loop
+ * counter), s5 (output-region base), ra and sp are reserved for
+ * scaffolding. Loads are masked into the arena; stores go to the arena
+ * or the write-only output region — never anywhere control flow could
+ * observe indirectly (stack, code).
+ */
+
+#ifndef POLYPATH_TESTKIT_PROGEN_HH
+#define POLYPATH_TESTKIT_PROGEN_HH
+
+#include <string>
+#include <vector>
+
+#include "asmkit/program.hh"
+#include "common/types.hh"
+
+namespace polypath
+{
+namespace testkit
+{
+
+/**
+ * Base of the write-only output region. Generated OutputStore
+ * operations store here and nothing ever loads from at or above this
+ * address, so a corrupted committed store (SimConfig::
+ * bugCorruptStoreAbove = outputBase) shows up as a final-memory
+ * divergence without feeding back into control flow.
+ */
+constexpr Addr outputBase = 0x300000;
+
+/** Size of the output region (stores are masked into it). */
+constexpr unsigned outputBytes = 2048;
+
+/** Body operation kinds the grammar can draw. */
+enum class GenOpKind : u8
+{
+    Alu,            //!< add/sub/xor/mul/cmplt rd, r1, r2
+    Shift,          //!< srli r1, amount, rd
+    Load,           //!< masked register-indexed arena load
+    Store,          //!< masked register-indexed arena store
+    FwdBranch,      //!< conditional skip over the next few operations
+    Mix,            //!< xor with the xorshift state (fresh entropy)
+    Call,           //!< jsr to the straight-line leaf function
+    Accum,          //!< fold a temporary into the s3 checksum
+    Fp,             //!< cvtif/fadd/fsub/fmul/fcmplt over f0..f3
+    OutputStore,    //!< store a temporary into the write-only region
+    InnerLoop,      //!< counted backward-branch loop (one level deep)
+};
+
+/** One recorded generator decision (a body operation). */
+struct GenOp
+{
+    GenOpKind kind = GenOpKind::Alu;
+    u8 sub = 0;             //!< opcode variant within the kind
+    u8 r1 = 1;              //!< source temporary (t-register index 1..8)
+    u8 r2 = 1;              //!< second source temporary
+    u8 rd = 1;              //!< destination temporary
+    u32 amount = 0;         //!< shift count / skip distance / disp / trips
+    std::vector<GenOp> nested;  //!< InnerLoop body (never nests further)
+};
+
+/** Tunable grammar weights and size ranges. */
+struct ProgenOptions
+{
+    // Relative selection weights; 0 disables a kind.
+    unsigned wAlu = 5;
+    unsigned wShift = 1;
+    unsigned wLoad = 1;
+    unsigned wStore = 1;
+    unsigned wFwdBranch = 1;
+    unsigned wMix = 1;
+    unsigned wCall = 1;
+    unsigned wAccum = 1;
+    unsigned wFp = 0;
+    unsigned wOutputStore = 0;
+    unsigned wInnerLoop = 0;
+
+    unsigned bodyMinOps = 20;       //!< operations per iteration body
+    unsigned bodyMaxOps = 40;
+    unsigned outerTripsMin = 150;   //!< outer loop trip count range
+    unsigned outerTripsMax = 249;
+    unsigned fwdSkipMax = 5;        //!< max ops a forward branch skips
+    unsigned innerTripsMax = 4;     //!< inner loop trip count 1..max
+    unsigned innerBodyMaxOps = 4;   //!< inner loop body 1..max ops
+    unsigned arenaBytes = 2048;     //!< private load/store arena
+    unsigned arenaInitWords = 64;   //!< random 64-bit words pre-seeded
+
+    std::string name = "custom";    //!< preset name (program naming)
+};
+
+/**
+ * The generator's complete decision log for one program. Any
+ * sub-structure of a valid plan is again a valid, terminating plan.
+ */
+struct GenPlan
+{
+    u64 seed = 0;
+    std::string name;               //!< preset name
+    unsigned outerTrips = 1;
+    u64 xorshiftSeed = 1;
+    std::vector<u64> arenaInit;     //!< pre-seeded arena words
+    std::vector<GenOp> body;        //!< one outer-loop iteration
+    unsigned arenaBytes = 2048;
+
+    // Scaffolding the reducer may strip.
+    bool keepXorshift = true;       //!< per-iteration xorshift + t0 fold
+    bool keepFinalStore = true;     //!< checksum store before HALT
+
+    /** Upper bound on golden dynamic instructions (termination bound). */
+    u64 maxDynamicInstrs() const;
+
+    /** True if any (possibly nested) op has kind @p kind. */
+    bool usesKind(GenOpKind kind) const;
+};
+
+/** Build the decision log for @p seed under @p opts. */
+GenPlan buildPlan(const ProgenOptions &opts, u64 seed);
+
+/** Deterministically emit @p plan as an assembled Program. */
+Program emitPlan(const GenPlan &plan);
+
+/** Convenience: buildPlan + emitPlan. */
+Program generate(const ProgenOptions &opts, u64 seed);
+
+// --- named presets ----------------------------------------------------
+
+/** The exact shape of the original tests/integration/test_fuzz.cc
+ *  generator: equal-weight ALU/shift/load/store/forward-branch/mix/
+ *  call/accum over a 2 KiB arena, 150..249 outer trips. */
+ProgenOptions presetLegacy();
+
+/** Branch-dense bodies with short skips — stresses divergence,
+ *  out-of-order resolution and wrong-path containment. */
+ProgenOptions presetBranchy();
+
+/** Load/store-dense bodies — stresses CTX-tagged store forwarding and
+ *  disambiguation. */
+ProgenOptions presetMemory();
+
+/** Call/return-dense bodies — stresses per-path RAS cloning. */
+ProgenOptions presetCalls();
+
+/** Integer/FP mix — exercises the FP units and cross-domain moves. */
+ProgenOptions presetFp();
+
+/** Everything enabled, including inner loops and output stores;
+ *  smaller trip counts so wide sweeps stay cheap. */
+ProgenOptions presetMixed();
+
+/** All preset names, in a stable order. */
+const std::vector<std::string> &presetNames();
+
+/** Look up a preset by name; fatals on an unknown name. */
+ProgenOptions presetByName(const std::string &name);
+
+} // namespace testkit
+} // namespace polypath
+
+#endif // POLYPATH_TESTKIT_PROGEN_HH

@@ -1,0 +1,206 @@
+#include "testkit/reduce.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace polypath
+{
+namespace testkit
+{
+namespace
+{
+
+/** Shared state for one reduction session. */
+struct Session
+{
+    const ReduceOptions &opts;
+    DivergenceKind targetKind;
+    unsigned runs = 0;
+    Divergence lastDivergence;
+
+    /** Does @p plan still exhibit the target failure? */
+    bool
+    fails(const GenPlan &plan)
+    {
+        Program program = emitPlan(plan);
+        OracleResult result =
+            runOracle(program, opts.cfg, opts.oracle);
+        ++runs;
+        if (result.divergence.kind != targetKind)
+            return false;
+        lastDivergence = result.divergence;
+        return true;
+    }
+
+    void
+    note(const char *what, const GenPlan &plan)
+    {
+        if (!opts.verbose)
+            return;
+        std::fprintf(stderr, "reduce: %s -> %zu body ops, %u trips\n",
+                     what, plan.body.size(), plan.outerTrips);
+    }
+};
+
+/** ddmin-style pass: remove chunks of body ops while the failure
+ *  persists. Returns true if anything was removed. */
+bool
+reduceBody(Session &session, GenPlan &plan)
+{
+    bool shrunk = false;
+    size_t chunk = std::max<size_t>(plan.body.size() / 2, 1);
+    while (!plan.body.empty()) {
+        bool removed = false;
+        for (size_t at = 0; at < plan.body.size();) {
+            GenPlan candidate = plan;
+            size_t end = std::min(at + chunk, candidate.body.size());
+            candidate.body.erase(candidate.body.begin() + at,
+                                 candidate.body.begin() + end);
+            if (session.fails(candidate)) {
+                plan = std::move(candidate);
+                removed = true;
+                session.note("drop ops", plan);
+                // Retry the same index: the list shifted left.
+            } else {
+                at += chunk;
+            }
+        }
+        shrunk |= removed;
+        if (chunk > 1)
+            chunk /= 2;         // finer granularity next sweep
+        else if (!removed)
+            break;              // single-op sweep with no progress: done
+    }
+    return shrunk;
+}
+
+/** Flatten inner loops into their nested ops and shrink trip counts. */
+bool
+reduceInnerLoops(Session &session, GenPlan &plan)
+{
+    bool shrunk = false;
+    for (size_t i = 0; i < plan.body.size(); ++i) {
+        if (plan.body[i].kind != GenOpKind::InnerLoop)
+            continue;
+        // First try replacing the whole loop with its body, once.
+        GenPlan flat = plan;
+        std::vector<GenOp> nested = flat.body[i].nested;
+        flat.body.erase(flat.body.begin() + i);
+        flat.body.insert(flat.body.begin() + i, nested.begin(),
+                         nested.end());
+        if (session.fails(flat)) {
+            plan = std::move(flat);
+            shrunk = true;
+            session.note("flatten inner loop", plan);
+            continue;
+        }
+        // Keep the loop but try a single trip.
+        if (plan.body[i].amount > 1) {
+            GenPlan once = plan;
+            once.body[i].amount = 1;
+            if (session.fails(once)) {
+                plan = std::move(once);
+                shrunk = true;
+                session.note("inner trips -> 1", plan);
+            }
+        }
+    }
+    return shrunk;
+}
+
+/** Find the smallest failing outer trip count by upward probing. */
+bool
+reduceTrips(Session &session, GenPlan &plan)
+{
+    if (plan.outerTrips <= 1)
+        return false;
+    for (unsigned trips = 1; trips < plan.outerTrips; trips *= 2) {
+        GenPlan candidate = plan;
+        candidate.outerTrips = trips;
+        if (session.fails(candidate)) {
+            plan = std::move(candidate);
+            session.note("outer trips", plan);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Drop optional scaffolding (xorshift, final store, arena seed). */
+bool
+reduceScaffolding(Session &session, GenPlan &plan)
+{
+    bool shrunk = false;
+    if (plan.keepXorshift) {
+        GenPlan candidate = plan;
+        candidate.keepXorshift = false;
+        if (session.fails(candidate)) {
+            plan = std::move(candidate);
+            shrunk = true;
+            session.note("drop xorshift", plan);
+        }
+    }
+    if (plan.keepFinalStore) {
+        GenPlan candidate = plan;
+        candidate.keepFinalStore = false;
+        if (session.fails(candidate)) {
+            plan = std::move(candidate);
+            shrunk = true;
+            session.note("drop final store", plan);
+        }
+    }
+    if (!plan.arenaInit.empty()) {
+        GenPlan candidate = plan;
+        candidate.arenaInit.clear();
+        if (session.fails(candidate)) {
+            plan = std::move(candidate);
+            shrunk = true;
+            session.note("drop arena seed", plan);
+        }
+    }
+    return shrunk;
+}
+
+} // anonymous namespace
+
+ReduceResult
+reduceFailure(const GenPlan &initial, const ReduceOptions &opts)
+{
+    ReduceResult result;
+    result.plan = initial;
+    result.program = emitPlan(initial);
+    result.staticBefore = result.program.codeSize();
+
+    // Establish the failure kind we must preserve.
+    OracleResult first = runOracle(result.program, opts.cfg, opts.oracle);
+    if (!first.divergence.diverged()) {
+        result.failedInitially = false;
+        result.staticAfter = result.staticBefore;
+        result.oracleRuns = 1;
+        return result;
+    }
+
+    Session session{opts, first.divergence.kind, 1, first.divergence};
+    GenPlan plan = initial;
+    for (unsigned round = 0; round < opts.maxRounds; ++round) {
+        bool progress = false;
+        progress |= reduceTrips(session, plan);
+        progress |= reduceBody(session, plan);
+        progress |= reduceInnerLoops(session, plan);
+        progress |= reduceScaffolding(session, plan);
+        if (!progress)
+            break;
+    }
+
+    result.plan = plan;
+    result.program = emitPlan(plan);
+    result.staticAfter = result.program.codeSize();
+    result.divergence = session.lastDivergence;
+    result.oracleRuns = session.runs;
+    return result;
+}
+
+} // namespace testkit
+} // namespace polypath

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Structural delta-debugging over generator plans.
+ *
+ * Reduction never edits instruction bytes: it edits the *decision log*
+ * (GenPlan) the program was generated from, so every candidate is by
+ * construction a valid, terminating program — no reduced artifact can
+ * hang, jump off the text segment, or unbalance the call stack. Passes:
+ *
+ *   1. ddmin over the body operation list (chunks halving to 1);
+ *   2. inner loops: flatten to their nested ops, then shrink trips;
+ *   3. outer trip count: smallest failing value by downward probing;
+ *   4. scaffolding: drop the per-iteration xorshift, the final
+ *      checksum store, and the arena pre-seed words.
+ *
+ * "Still fails" means the lockstep oracle (testkit/oracle.hh) reports
+ * a divergence of the same kind as the original failure under the same
+ * machine configuration (including fault-injection knobs).
+ */
+
+#ifndef POLYPATH_TESTKIT_REDUCE_HH
+#define POLYPATH_TESTKIT_REDUCE_HH
+
+#include "core/config.hh"
+#include "testkit/oracle.hh"
+#include "testkit/progen.hh"
+
+namespace polypath
+{
+namespace testkit
+{
+
+/** Reduction parameters. */
+struct ReduceOptions
+{
+    SimConfig cfg;              //!< configuration that fails (incl. knobs)
+    OracleOptions oracle;
+    unsigned maxRounds = 16;    //!< outer fixpoint iterations
+    bool verbose = false;       //!< progress notes on stderr
+};
+
+/** Outcome of a reduction. */
+struct ReduceResult
+{
+    GenPlan plan;               //!< minimal failing plan
+    Program program;            //!< emitPlan(plan)
+    Divergence divergence;      //!< how the minimal program still fails
+    size_t staticBefore = 0;    //!< static instructions, original
+    size_t staticAfter = 0;     //!< static instructions, reduced
+    unsigned oracleRuns = 0;    //!< total differential runs performed
+    bool failedInitially = true;//!< false: the input plan did not fail
+};
+
+/** Shrink @p initial while the oracle keeps reporting the failure. */
+ReduceResult reduceFailure(const GenPlan &initial,
+                           const ReduceOptions &opts);
+
+} // namespace testkit
+} // namespace polypath
+
+#endif // POLYPATH_TESTKIT_REDUCE_HH

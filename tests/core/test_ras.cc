@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the per-path return-address stack (core/ras.hh):
+ * LIFO prediction, the empty-stack 0 sentinel, circular overflow
+ * (oldest entry overwritten, depth-bounded occupancy), and the
+ * copy-on-path-creation independence the multipath core relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ras.hh"
+
+namespace polypath
+{
+namespace
+{
+
+TEST(ReturnAddressStack, PushPopIsLifo)
+{
+    ReturnAddressStack ras;
+    ras.push(0x1000);
+    ras.push(0x2000);
+    ras.push(0x3000);
+    EXPECT_EQ(ras.size(), 3u);
+    EXPECT_EQ(ras.pop(), 0x3000u);
+    EXPECT_EQ(ras.pop(), 0x2000u);
+    EXPECT_EQ(ras.pop(), 0x1000u);
+    EXPECT_EQ(ras.size(), 0u);
+}
+
+TEST(ReturnAddressStack, EmptyPopPredictsZero)
+{
+    ReturnAddressStack ras;
+    EXPECT_EQ(ras.pop(), 0u);   // guaranteed misprediction sentinel
+    EXPECT_EQ(ras.size(), 0u);
+
+    // Underflow must not corrupt subsequent pushes.
+    ras.push(0x4000);
+    EXPECT_EQ(ras.pop(), 0x4000u);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(ReturnAddressStack, DefaultDepth)
+{
+    ReturnAddressStack ras;
+    EXPECT_EQ(ras.depth(), 32u);
+    ReturnAddressStack small(4);
+    EXPECT_EQ(small.depth(), 4u);
+}
+
+TEST(ReturnAddressStack, OverflowOverwritesOldest)
+{
+    ReturnAddressStack ras(4);
+    for (Addr addr = 1; addr <= 6; ++addr)
+        ras.push(addr * 0x100);
+
+    // Occupancy saturates at the depth; the two oldest entries (0x100,
+    // 0x200) were overwritten by the circular wrap.
+    EXPECT_EQ(ras.size(), 4u);
+    EXPECT_EQ(ras.pop(), 0x600u);
+    EXPECT_EQ(ras.pop(), 0x500u);
+    EXPECT_EQ(ras.pop(), 0x400u);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.size(), 0u);
+    EXPECT_EQ(ras.pop(), 0u);   // the wrapped-out entries are gone
+}
+
+TEST(ReturnAddressStack, ReusableAfterOverflowAndDrain)
+{
+    ReturnAddressStack ras(2);
+    for (Addr addr = 1; addr <= 5; ++addr)
+        ras.push(addr);
+    EXPECT_EQ(ras.pop(), 5u);
+    EXPECT_EQ(ras.pop(), 4u);
+    EXPECT_EQ(ras.pop(), 0u);
+
+    ras.push(0xabc);
+    EXPECT_EQ(ras.size(), 1u);
+    EXPECT_EQ(ras.pop(), 0xabcu);
+}
+
+TEST(ReturnAddressStack, CopiesAreIndependent)
+{
+    // Path creation clones the parent RAS; wrong-path call/return
+    // activity must never leak into the parent's copy.
+    ReturnAddressStack parent;
+    parent.push(0x1000);
+    parent.push(0x2000);
+
+    ReturnAddressStack child = parent;
+    EXPECT_EQ(child.pop(), 0x2000u);
+    child.push(0xdead);
+    child.push(0xbeef);
+
+    EXPECT_EQ(parent.size(), 2u);
+    EXPECT_EQ(parent.pop(), 0x2000u);
+    EXPECT_EQ(parent.pop(), 0x1000u);
+
+    EXPECT_EQ(child.pop(), 0xbeefu);
+    EXPECT_EQ(child.pop(), 0xdeadu);
+    EXPECT_EQ(child.pop(), 0x1000u);
+}
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the deferred branch-commit broadcast log
+ * (ctx/clear_log.hh): watermark bookkeeping, the O(1) staleness query
+ * (pendingSince), suffix application to a tag, position reuse after
+ * wrap-around, and the rebase that bounds log growth.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ctx/clear_log.hh"
+#include "ctx/ctx_tag.hh"
+
+namespace polypath
+{
+namespace
+{
+
+TEST(CommitClearLog, WatermarkCountsRecords)
+{
+    CommitClearLog log;
+    EXPECT_EQ(log.watermark(), 0u);
+    log.record(3);
+    EXPECT_EQ(log.watermark(), 1u);
+    log.record(3);              // same position again (reuse) still counts
+    log.record(7);
+    EXPECT_EQ(log.watermark(), 3u);
+}
+
+TEST(CommitClearLog, PendingSinceSeesOnlyNewerClears)
+{
+    CommitClearLog log;
+    log.record(2);
+    u32 seen = log.watermark();     // instruction fetched here
+
+    // Nothing cleared after the watermark yet.
+    EXPECT_FALSE(log.pendingSince(seen, 2));
+    EXPECT_FALSE(log.pendingSince(seen, 5));
+
+    log.record(5);
+    EXPECT_TRUE(log.pendingSince(seen, 5));     // cleared after fetch
+    EXPECT_FALSE(log.pendingSince(seen, 2));    // cleared before fetch
+
+    // An older instruction (watermark 0) sees both clears as pending.
+    EXPECT_TRUE(log.pendingSince(0, 2));
+    EXPECT_TRUE(log.pendingSince(0, 5));
+}
+
+TEST(CommitClearLog, PendingSinceTracksMostRecentClear)
+{
+    CommitClearLog log;
+    log.record(4);
+    u32 seen = log.watermark();
+    EXPECT_FALSE(log.pendingSince(seen, 4));
+
+    // Position 4 is recycled by a younger branch and cleared again:
+    // the newer clear must dominate.
+    log.record(4);
+    EXPECT_TRUE(log.pendingSince(seen, 4));
+}
+
+TEST(CommitClearLog, ApplyClearsSuffixAndAdvancesWatermark)
+{
+    CommitClearLog log;
+    CtxTag tag;
+    tag.setPosition(1, true);
+    tag.setPosition(3, false);
+    tag.setPosition(6, true);
+
+    log.record(1);
+    u32 seen = 0;
+    log.apply(tag, seen);
+    EXPECT_EQ(seen, 1u);
+    EXPECT_FALSE(tag.valid(1));
+    EXPECT_TRUE(tag.valid(3));
+    EXPECT_TRUE(tag.valid(6));
+
+    // Clears already absorbed are not re-applied: position 3 set anew
+    // (recycled to a younger branch this tag follows) must survive an
+    // apply() that only covers the suffix.
+    log.record(6);
+    log.apply(tag, seen);
+    EXPECT_EQ(seen, 2u);
+    EXPECT_FALSE(tag.valid(6));
+    EXPECT_TRUE(tag.valid(3));
+
+    tag.setPosition(1, false);  // position 1 recycled, tag extends on it
+    log.apply(tag, seen);       // nothing new in the log: no-op
+    EXPECT_TRUE(tag.valid(1));
+    EXPECT_FALSE(tag.taken(1));
+}
+
+TEST(CommitClearLog, ApplyOnEmptyLogIsNoop)
+{
+    CommitClearLog log;
+    CtxTag tag;
+    tag.setPosition(0, true);
+    u32 seen = 0;
+    log.apply(tag, seen);
+    EXPECT_EQ(seen, 0u);
+    EXPECT_TRUE(tag.valid(0));
+}
+
+TEST(CommitClearLog, RebaseForgetsHistory)
+{
+    CommitClearLog log;
+    log.record(2);
+    log.record(9);
+    ASSERT_TRUE(log.pendingSince(0, 2));
+    ASSERT_TRUE(log.pendingSince(0, 9));
+
+    // Precondition for rebase: every live tag absorbed the full log and
+    // had its watermark rebased to zero by the core.
+    log.rebase();
+    EXPECT_EQ(log.watermark(), 0u);
+    EXPECT_FALSE(log.pendingSince(0, 2));
+    EXPECT_FALSE(log.pendingSince(0, 9));
+
+    // The log keeps working after a rebase.
+    log.record(9);
+    EXPECT_EQ(log.watermark(), 1u);
+    EXPECT_TRUE(log.pendingSince(0, 9));
+
+    CtxTag tag;
+    tag.setPosition(9, true);
+    u32 seen = 0;
+    log.apply(tag, seen);
+    EXPECT_FALSE(tag.valid(9));
+    EXPECT_EQ(seen, 1u);
+}
+
+} // anonymous namespace
+} // namespace polypath

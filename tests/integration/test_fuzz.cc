@@ -7,143 +7,64 @@
  * out-of-order resolution, recovery — because the programs have no
  * structure the implementation could accidentally depend on.
  *
- * Program shape: an outer counted loop whose body is a random DAG of
- * straight-line ALU ops, data-dependent forward branches, loads and
- * stores into a private arena, and occasional calls to a small leaf
- * function. Only forward branches appear inside the body, so
- * termination is structural.
+ * The programs come from testkit::progen's "legacy" preset — the exact
+ * shape this test generated inline before the testkit existed — and
+ * each configuration is checked with the lockstep oracle, so a failure
+ * reports the first diverging commit rather than a bare digest
+ * mismatch. Every assertion prints the failing seed and the exact
+ * `ppfuzz --repro <seed>` command line that reproduces it standalone.
+ *
+ * Iteration count: 12 seeds by default. The PP_FUZZ_ITERS CMake cache
+ * entry changes the compiled-in default (keeping ctest discovery and
+ * execution in agreement); the PP_FUZZ_ITERS environment variable
+ * overrides it when running the binary by hand.
  */
 
 #include <gtest/gtest.h>
 
-#include "asmkit/assembler.hh"
-#include "common/prng.hh"
-#include "sim/machine.hh"
-#include "workloads/workload_util.hh"
+#include <cstdlib>
+#include <string>
+
+#include "core/config.hh"
+#include "testkit/oracle.hh"
+#include "testkit/progen.hh"
 
 namespace polypath
 {
 namespace
 {
 
-Program
-randomProgram(u64 seed)
+#ifndef PP_FUZZ_ITERS_DEFAULT
+#define PP_FUZZ_ITERS_DEFAULT 12
+#endif
+
+int
+fuzzIters()
 {
-    using namespace wreg;
-    Prng prng(seed);
-    Assembler a;
-
-    Addr arena = a.dZero(2048);
-    // Pre-seed the arena with random data.
-    for (int i = 0; i < 64; ++i)
-        a.d64(prng.next());
-
-    emitWorkloadInit(a);
-    Label leaf_fn = a.newLabel();
-
-    a.li(s0, 150 + prng.nextBelow(100));    // outer trip count
-    a.li(s1, arena);
-    a.li(s2, prng.next() | 1);              // xorshift state
-    a.li(s3, 0);                            // checksum
-
-    Label outer = a.newLabel();
-    Label done = a.newLabel();
-    a.bind(outer);
-    a.beq(s0, done);
-    a.addi(s0, -1, s0);
-    emitXorshift(a, s2, t0);
-
-    // Random body: 20-40 operations.
-    unsigned body_len = 20 + prng.nextBelow(21);
-    std::vector<Label> pending;             // forward-branch joins
-    std::vector<unsigned> pending_dist;
-    auto bind_due = [&]() {
-        for (size_t i = 0; i < pending.size();) {
-            if (pending_dist[i] == 0) {
-                a.bind(pending[i]);
-                pending.erase(pending.begin() + i);
-                pending_dist.erase(pending_dist.begin() + i);
-            } else {
-                --pending_dist[i];
-                ++i;
-            }
-        }
-    };
-
-    for (unsigned i = 0; i < body_len; ++i) {
-        bind_due();
-        u8 r1 = static_cast<u8>(1 + prng.nextBelow(8));     // t regs
-        u8 r2 = static_cast<u8>(1 + prng.nextBelow(8));
-        u8 rd = static_cast<u8>(1 + prng.nextBelow(8));
-        switch (prng.nextBelow(12)) {
-          case 0: a.add(r1, r2, rd); break;
-          case 1: a.sub(r1, r2, rd); break;
-          case 2: a.xor_(r1, r2, rd); break;
-          case 3: a.mul(r1, r2, rd); break;
-          case 4: a.srli(r1, static_cast<s32>(prng.nextBelow(8)), rd);
-                  break;
-          case 5: a.cmplt(r1, r2, rd); break;
-          case 6: {
-            // Load from a random arena slot (register-indexed).
-            a.andi(r1, 2040 & ~7, rd);
-            a.add(s1, rd, rd);
-            a.ldq(rd, 0, rd);
-            break;
-          }
-          case 7: {
-            // Store to a random arena slot.
-            a.andi(r1, 2040 & ~7, rd);
-            a.add(s1, rd, rd);
-            a.stq(r2, 0, rd);
-            break;
-          }
-          case 8: {
-            // Data-dependent forward branch over the next few ops.
-            Label skip = a.newLabel();
-            switch (prng.nextBelow(3)) {
-              case 0: a.beq(r1, skip); break;
-              case 1: a.blt(r1, skip); break;
-              default: a.bgt(r1, skip); break;
-            }
-            pending.push_back(skip);
-            pending_dist.push_back(1 + prng.nextBelow(5));
-            break;
-          }
-          case 9: {
-            // Mix in fresh randomness so branches stay unpredictable.
-            a.xor_(r1, s2, rd);
-            break;
-          }
-          case 10: a.jsr(ra, leaf_fn); break;
-          default: a.add(s3, r1, s3); break;
-        }
+    if (const char *env = std::getenv("PP_FUZZ_ITERS")) {
+        int iters = std::atoi(env);
+        if (iters > 0)
+            return iters;
     }
-    // Bind any branches still pending past the body.
-    for (Label &label : pending)
-        a.bind(label);
-    a.add(s3, t0, s3);
-    a.br(outer);
+    return PP_FUZZ_ITERS_DEFAULT;
+}
 
-    a.bind(done);
-    a.stq(s3, 0, s1);
-    a.halt();
-
-    // Leaf function: a little work, no stack use.
-    a.bind(leaf_fn);
-    a.addi(v0, 3, v0);
-    a.xor_(v0, a0, v0);
-    a.ret(ra);
-
-    return a.assemble("fuzz_" + std::to_string(seed));
+std::string
+reproCommand(u64 seed)
+{
+    return "ppfuzz --repro " + std::to_string(seed) + " --preset legacy";
 }
 
 class FuzzPrograms : public ::testing::TestWithParam<int> {};
 
 TEST_P(FuzzPrograms, AllConfigurationsVerify)
 {
-    Program program = randomProgram(0xf00d + 977 * GetParam());
-    InterpResult golden = runGolden(program, 100'000'000);
-    ASSERT_TRUE(golden.halted);
+    using namespace testkit;
+
+    u64 seed = 0xf00d + 977 * static_cast<u64>(GetParam());
+    Program program = generate(presetLegacy(), seed);
+    InterpResult golden = interpret(program, 100'000'000);
+    ASSERT_TRUE(golden.halted) << "seed " << seed;
 
     const SimConfig configs[] = {
         SimConfig::monopath(),
@@ -170,14 +91,19 @@ TEST_P(FuzzPrograms, AllConfigurationsVerify)
         }(),
     };
     for (const SimConfig &cfg : configs) {
-        SimResult r = simulate(program, cfg, golden);
-        EXPECT_TRUE(r.verified) << cfg.categoryName();
-        EXPECT_EQ(r.stats.committedInstrs, golden.instructions)
-            << cfg.categoryName();
+        OracleResult result = runOracle(program, cfg, golden);
+        EXPECT_TRUE(result.ok())
+            << "seed " << seed << " config " << cfg.categoryName() << "\n"
+            << result.divergence.report()
+            << "repro: " << reproCommand(seed);
+        EXPECT_EQ(result.stats.committedInstrs, golden.instructions)
+            << "seed " << seed << " config " << cfg.categoryName()
+            << "\nrepro: " << reproCommand(seed);
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPrograms, ::testing::Range(0, 12));
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPrograms,
+                         ::testing::Range(0, fuzzIters()));
 
 } // anonymous namespace
 } // namespace polypath

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the lockstep differential oracle (testkit/oracle.hh).
+ *
+ * The stream checker is exercised against synthetic commit streams —
+ * deliberately corrupted PC sequences — because a real timing core
+ * cannot be made to emit a wrong correct-path commit without tripping
+ * its own internal trace-grounding panic first. The end-to-end
+ * runOracle() path is exercised with the one corruption the core *can*
+ * survive: the SimConfig::bugCorruptStoreAbove fault-injection knob,
+ * which breaks committed stores into the generator's write-only output
+ * region and must surface as a final-memory divergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/interpreter.hh"
+#include "asmkit/assembler.hh"
+#include "core/config.hh"
+#include "core/trace.hh"
+#include "testkit/oracle.hh"
+#include "testkit/progen.hh"
+
+namespace polypath
+{
+namespace
+{
+
+using namespace testkit;
+
+/** A tiny fixed program plus its golden commit-order PC stream. */
+struct TinyProgram
+{
+    Program program;
+    std::vector<Addr> pcs;      //!< every executed PC, in order
+    InterpResult golden;
+};
+
+TinyProgram
+tinyProgram()
+{
+    Assembler a;
+    a.li(1, 3);                 // t0 = 3
+    Label loop = a.newLabel();
+    Label done = a.newLabel();
+    a.bind(loop);
+    a.beq(1, done);
+    a.addi(1, -1, 1);
+    a.addi(2, 5, 2);
+    a.br(loop);
+    a.bind(done);
+    a.halt();
+
+    TinyProgram tiny;
+    tiny.program = a.assemble("tiny");
+
+    Interpreter interp(tiny.program);
+    while (!interp.halted()) {
+        tiny.pcs.push_back(interp.state().pc);
+        interp.step();
+    }
+    tiny.golden = interpret(tiny.program);
+    return tiny;
+}
+
+TEST(LockstepChecker, CleanStreamAndStateMatch)
+{
+    TinyProgram tiny = tinyProgram();
+    LockstepChecker checker(tiny.program);
+    for (Addr pc : tiny.pcs)
+        ASSERT_TRUE(checker.onCommit(pc)) << "at pc " << std::hex << pc;
+    EXPECT_EQ(checker.committed(), tiny.pcs.size());
+
+    checker.finish(tiny.golden.finalRegs, *tiny.golden.finalMem, 8);
+    EXPECT_FALSE(checker.divergence().diverged());
+    EXPECT_EQ(checker.divergence().report(), "");
+}
+
+TEST(LockstepChecker, WrongPcIsReportedAsFirstDivergence)
+{
+    TinyProgram tiny = tinyProgram();
+    ASSERT_GE(tiny.pcs.size(), 4u);
+
+    LockstepChecker checker(tiny.program);
+    EXPECT_TRUE(checker.onCommit(tiny.pcs[0]));
+    EXPECT_TRUE(checker.onCommit(tiny.pcs[1]));
+    // The "core" now commits the wrong instruction.
+    Addr wrong = tiny.pcs[3];
+    ASSERT_NE(wrong, tiny.pcs[2]);
+    EXPECT_FALSE(checker.onCommit(wrong));
+
+    const Divergence &div = checker.divergence();
+    EXPECT_EQ(div.kind, DivergenceKind::CommitPc);
+    EXPECT_EQ(div.commitIndex, 2u);
+    EXPECT_EQ(div.corePc, wrong);
+    EXPECT_EQ(div.goldenPc, tiny.pcs[2]);
+    EXPECT_FALSE(div.coreDisasm.empty());
+    EXPECT_FALSE(div.goldenDisasm.empty());
+
+    std::string report = div.report();
+    EXPECT_NE(report.find("commit-pc"), std::string::npos);
+    EXPECT_NE(report.find(div.coreDisasm), std::string::npos);
+    EXPECT_NE(report.find(div.goldenDisasm), std::string::npos);
+
+    // Further commits after a divergence are ignored, not re-checked.
+    EXPECT_FALSE(checker.onCommit(tiny.pcs[2]));
+    EXPECT_EQ(div.commitIndex, 2u);
+}
+
+TEST(LockstepChecker, ExtraCommitAfterGoldenHalt)
+{
+    TinyProgram tiny = tinyProgram();
+    LockstepChecker checker(tiny.program);
+    for (Addr pc : tiny.pcs)
+        ASSERT_TRUE(checker.onCommit(pc));
+    EXPECT_FALSE(checker.onCommit(tiny.pcs[0]));
+    EXPECT_EQ(checker.divergence().kind, DivergenceKind::ExtraCommit);
+    EXPECT_EQ(checker.divergence().commitIndex, tiny.pcs.size());
+}
+
+TEST(LockstepChecker, MissingCommitsAtFinish)
+{
+    TinyProgram tiny = tinyProgram();
+    LockstepChecker checker(tiny.program);
+    for (size_t i = 0; i + 1 < tiny.pcs.size(); ++i)
+        ASSERT_TRUE(checker.onCommit(tiny.pcs[i]));
+
+    checker.finish(tiny.golden.finalRegs, *tiny.golden.finalMem, 8);
+    EXPECT_EQ(checker.divergence().kind, DivergenceKind::MissingCommits);
+    EXPECT_EQ(checker.divergence().commitIndex, tiny.pcs.size() - 1);
+}
+
+TEST(LockstepChecker, FinalRegisterMismatch)
+{
+    TinyProgram tiny = tinyProgram();
+    LockstepChecker checker(tiny.program);
+    for (Addr pc : tiny.pcs)
+        ASSERT_TRUE(checker.onCommit(pc));
+
+    ArchState regs = tiny.golden.finalRegs;
+    regs.setReg(2, regs.reg(2) + 1);
+    checker.finish(regs, *tiny.golden.finalMem, 8);
+
+    const Divergence &div = checker.divergence();
+    EXPECT_EQ(div.kind, DivergenceKind::FinalRegs);
+    ASSERT_EQ(div.regDiffs.size(), 1u);
+    EXPECT_EQ(div.regDiffs[0].reg, 2);
+    EXPECT_EQ(div.regDiffs[0].core, div.regDiffs[0].golden + 1);
+    EXPECT_NE(div.report().find("final-registers"), std::string::npos);
+}
+
+TEST(LockstepChecker, FinalMemoryMismatch)
+{
+    TinyProgram tiny = tinyProgram();
+    LockstepChecker checker(tiny.program);
+    for (Addr pc : tiny.pcs)
+        ASSERT_TRUE(checker.onCommit(pc));
+
+    // SparseMemory is move-only; a second reference run produces an
+    // independent, identical memory image to perturb.
+    InterpResult other = interpret(tiny.program);
+    other.finalMem->write(0x100008, 0xff, 1);
+    checker.finish(tiny.golden.finalRegs, *other.finalMem, 8);
+
+    const Divergence &div = checker.divergence();
+    EXPECT_EQ(div.kind, DivergenceKind::FinalMem);
+    ASSERT_EQ(div.memDiffs.size(), 1u);
+    EXPECT_EQ(div.memDiffs[0].addr, 0x100008u);
+    EXPECT_EQ(div.memDiffs[0].mine, 0xffu);
+    EXPECT_NE(div.report().find("final-memory"), std::string::npos);
+}
+
+TEST(DiffRegs, CapsReportedEntries)
+{
+    ArchState a, b;
+    b.setReg(1, 10);
+    b.setReg(2, 20);
+    b.setReg(3, 30);
+    EXPECT_EQ(diffRegs(a, b).size(), 3u);
+    EXPECT_EQ(diffRegs(a, b, 2).size(), 2u);
+    EXPECT_EQ(diffRegs(a, a).size(), 0u);
+}
+
+TEST(CommitRecorder, FiltersToCommitEvents)
+{
+    CommitRecorder buffered;
+    TraceRecord fetch{1, PipeEvent::Fetch, 1, 0x1000, ""};
+    TraceRecord commit{2, PipeEvent::Commit, 1, 0x1000, ""};
+    TraceRecord kill{2, PipeEvent::Kill, 2, 0x1004, ""};
+    buffered.record(fetch);
+    buffered.record(commit);
+    buffered.record(kill);
+    EXPECT_EQ(buffered.numCommitted, 1u);
+    ASSERT_EQ(buffered.committed.size(), 1u);
+    EXPECT_EQ(buffered.committed[0].pc, 0x1000u);
+
+    std::vector<Addr> seen;
+    CommitRecorder streaming(
+        [&](const TraceRecord &rec) { seen.push_back(rec.pc); });
+    streaming.record(commit);
+    streaming.record(fetch);
+    streaming.record(commit);
+    EXPECT_EQ(streaming.numCommitted, 2u);
+    EXPECT_TRUE(streaming.committed.empty());   // callback mode: no buffer
+    EXPECT_EQ(seen, (std::vector<Addr>{0x1000, 0x1000}));
+}
+
+TEST(RunOracle, CleanRunVerifies)
+{
+    Program program = generate(presetLegacy(), 0xf00d);
+    InterpResult golden = interpret(program, 100'000'000);
+    ASSERT_TRUE(golden.halted);
+
+    OracleResult result = runOracle(program, SimConfig::seeJrs(), golden);
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.goldenInstructions, golden.instructions);
+    EXPECT_EQ(result.stats.committedInstrs, golden.instructions);
+
+    // The convenience overload runs the reference itself.
+    OracleResult again = runOracle(program, SimConfig::monopath());
+    EXPECT_TRUE(again.ok());
+    EXPECT_EQ(again.goldenInstructions, golden.instructions);
+}
+
+/** First mixed-preset seed whose plan stores to the output region. */
+u64
+seedWithOutputStore()
+{
+    for (u64 seed = 0; seed < 64; ++seed) {
+        if (buildPlan(presetMixed(), seed)
+                .usesKind(GenOpKind::OutputStore))
+            return seed;
+    }
+    ADD_FAILURE() << "no mixed-preset seed below 64 uses OutputStore";
+    return 0;
+}
+
+TEST(RunOracle, BrokenStoreKnobSurfacesAsFinalMemoryDivergence)
+{
+    u64 seed = seedWithOutputStore();
+    Program program = generate(presetMixed(), seed);
+    InterpResult golden = interpret(program, 100'000'000);
+    ASSERT_TRUE(golden.halted);
+
+    // Sanity: the same seed is clean without the fault injection.
+    SimConfig cfg = SimConfig::seeJrs();
+    ASSERT_TRUE(runOracle(program, cfg, golden).ok());
+
+    cfg.bugCorruptStoreAbove = outputBase;
+    OracleResult result = runOracle(program, cfg, golden);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.divergence.kind, DivergenceKind::FinalMem);
+    ASSERT_FALSE(result.divergence.memDiffs.empty());
+    for (const SparseMemory::ByteDiff &diff : result.divergence.memDiffs)
+        EXPECT_GE(diff.addr, outputBase);
+    EXPECT_NE(result.divergence.report().find("final-memory"),
+              std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the random program generator (testkit/progen.hh):
+ * determinism (one seed, one byte-identical program), the structural
+ * termination bound, preset coverage, and the plan/emission split the
+ * reducer depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/interpreter.hh"
+#include "testkit/progen.hh"
+
+namespace polypath
+{
+namespace
+{
+
+using namespace testkit;
+
+TEST(Progen, SameSeedSameBytes)
+{
+    for (const std::string &name : presetNames()) {
+        ProgenOptions opts = presetByName(name);
+        for (u64 seed : {u64(0), u64(7), u64(0xf00d)}) {
+            Program a = generate(opts, seed);
+            Program b = generate(opts, seed);
+            EXPECT_EQ(a.code, b.code) << name << " seed " << seed;
+            EXPECT_EQ(a.dataSegments, b.dataSegments)
+                << name << " seed " << seed;
+            EXPECT_EQ(a.entry, b.entry) << name << " seed " << seed;
+            EXPECT_EQ(a.codeBase, b.codeBase) << name << " seed " << seed;
+        }
+    }
+}
+
+TEST(Progen, DifferentSeedsDiffer)
+{
+    // Not a hard guarantee for any single pair, but across the body ops
+    // and trip counts two seeds colliding byte-for-byte would indicate
+    // the seed is not reaching the Prng.
+    Program a = generate(presetLegacy(), 1);
+    Program b = generate(presetLegacy(), 2);
+    EXPECT_NE(a.code, b.code);
+}
+
+TEST(Progen, PlanEmissionIsDeterministic)
+{
+    GenPlan plan = buildPlan(presetMixed(), 42);
+    Program a = emitPlan(plan);
+    Program b = emitPlan(plan);
+    EXPECT_EQ(a.code, b.code);
+    EXPECT_EQ(a.dataSegments, b.dataSegments);
+
+    // generate() is exactly buildPlan + emitPlan.
+    Program c = generate(presetMixed(), 42);
+    EXPECT_EQ(a.code, c.code);
+}
+
+TEST(Progen, GoldenRunHaltsWithinStaticBound)
+{
+    for (const std::string &name : presetNames()) {
+        ProgenOptions opts = presetByName(name);
+        for (u64 seed = 0; seed < 5; ++seed) {
+            GenPlan plan = buildPlan(opts, seed);
+            u64 bound = plan.maxDynamicInstrs();
+            ASSERT_GT(bound, 0u) << name << " seed " << seed;
+
+            Program program = emitPlan(plan);
+            Interpreter interp(program);
+            u64 steps = 0;
+            while (steps < bound && interp.step())
+                ++steps;
+            EXPECT_TRUE(interp.halted())
+                << name << " seed " << seed << ": not halted after "
+                << steps << " steps (bound " << bound << ")";
+        }
+    }
+}
+
+TEST(Progen, PresetRegistryIsConsistent)
+{
+    const std::vector<std::string> &names = presetNames();
+    ASSERT_GE(names.size(), 6u);
+    for (const std::string &name : names)
+        EXPECT_EQ(presetByName(name).name, name);
+    EXPECT_EQ(presetLegacy().name, "legacy");
+    EXPECT_EQ(presetMixed().name, "mixed");
+}
+
+/** Union of op kinds drawn by @p opts across a few seeds. */
+bool
+presetEverUses(const ProgenOptions &opts, GenOpKind kind, unsigned seeds)
+{
+    for (u64 seed = 0; seed < seeds; ++seed) {
+        if (buildPlan(opts, seed).usesKind(kind))
+            return true;
+    }
+    return false;
+}
+
+TEST(Progen, PresetsCoverTheirAdvertisedKinds)
+{
+    EXPECT_TRUE(presetEverUses(presetBranchy(), GenOpKind::FwdBranch, 4));
+    EXPECT_TRUE(presetEverUses(presetMemory(), GenOpKind::Load, 4));
+    EXPECT_TRUE(presetEverUses(presetMemory(), GenOpKind::Store, 4));
+    EXPECT_TRUE(presetEverUses(presetCalls(), GenOpKind::Call, 4));
+    EXPECT_TRUE(presetEverUses(presetFp(), GenOpKind::Fp, 4));
+    // The mixed preset enables everything, including the kinds no other
+    // preset draws.
+    EXPECT_TRUE(presetEverUses(presetMixed(), GenOpKind::OutputStore, 16));
+    EXPECT_TRUE(presetEverUses(presetMixed(), GenOpKind::InnerLoop, 16));
+
+    // The legacy preset must not draw the post-legacy kinds: its whole
+    // point is bit-compatibility with the original fuzz shape.
+    EXPECT_FALSE(presetEverUses(presetLegacy(), GenOpKind::Fp, 8));
+    EXPECT_FALSE(presetEverUses(presetLegacy(), GenOpKind::OutputStore, 8));
+    EXPECT_FALSE(presetEverUses(presetLegacy(), GenOpKind::InnerLoop, 8));
+}
+
+TEST(Progen, TripCountsRespectOptions)
+{
+    ProgenOptions opts = presetLegacy();
+    for (u64 seed = 0; seed < 16; ++seed) {
+        GenPlan plan = buildPlan(opts, seed);
+        EXPECT_GE(plan.outerTrips, opts.outerTripsMin);
+        EXPECT_LE(plan.outerTrips, opts.outerTripsMax);
+        EXPECT_GE(plan.body.size(), opts.bodyMinOps);
+        EXPECT_LE(plan.body.size(), opts.bodyMaxOps);
+    }
+}
+
+} // anonymous namespace
+} // namespace polypath

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the structural reducer (testkit/reduce.hh): a seeded
+ * artificial-bug failure must shrink to a handful of static
+ * instructions with the divergence kind preserved, every intermediate
+ * candidate being a valid terminating plan by construction; and a plan
+ * that never failed must be returned untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/interpreter.hh"
+#include "core/config.hh"
+#include "testkit/oracle.hh"
+#include "testkit/progen.hh"
+#include "testkit/reduce.hh"
+
+namespace polypath
+{
+namespace
+{
+
+using namespace testkit;
+
+/** First mixed-preset seed whose plan stores to the output region
+ *  (which is what the fault-injection knob corrupts). */
+GenPlan
+failingPlan()
+{
+    for (u64 seed = 0; seed < 64; ++seed) {
+        GenPlan plan = buildPlan(presetMixed(), seed);
+        if (plan.usesKind(GenOpKind::OutputStore))
+            return plan;
+    }
+    ADD_FAILURE() << "no mixed-preset seed below 64 uses OutputStore";
+    return GenPlan{};
+}
+
+TEST(Reduce, ShrinksArtificialBugToMinimalRepro)
+{
+    ReduceOptions opts;
+    opts.cfg = SimConfig::seeJrs();
+    opts.cfg.bugCorruptStoreAbove = outputBase;
+
+    GenPlan plan = failingPlan();
+    ReduceResult result = reduceFailure(plan, opts);
+
+    ASSERT_TRUE(result.failedInitially);
+    EXPECT_EQ(result.divergence.kind, DivergenceKind::FinalMem);
+    EXPECT_LT(result.staticAfter, result.staticBefore);
+    EXPECT_LE(result.staticAfter, 25u);     // the acceptance bound
+    EXPECT_GT(result.oracleRuns, 1u);
+
+    // The reduced program must still be terminating and still exhibit
+    // the exact divergence kind under the same configuration.
+    Program reduced = emitPlan(result.plan);
+    EXPECT_EQ(reduced.codeSize(), result.staticAfter);
+    InterpResult golden = interpret(reduced, result.plan.maxDynamicInstrs());
+    EXPECT_TRUE(golden.halted);
+
+    OracleResult check = runOracle(reduced, opts.cfg, golden);
+    ASSERT_FALSE(check.ok());
+    EXPECT_EQ(check.divergence.kind, DivergenceKind::FinalMem);
+
+    // ...and must be clean without the fault injection (the bug is in
+    // the injected config, not the program).
+    SimConfig clean = SimConfig::seeJrs();
+    EXPECT_TRUE(runOracle(reduced, clean, golden).ok());
+}
+
+TEST(Reduce, NonFailingPlanIsReturnedUntouched)
+{
+    ReduceOptions opts;
+    opts.cfg = SimConfig::seeJrs();     // no fault injection: no failure
+
+    GenPlan plan = buildPlan(presetLegacy(), 5);
+    ReduceResult result = reduceFailure(plan, opts);
+
+    EXPECT_FALSE(result.failedInitially);
+    EXPECT_EQ(result.staticAfter, result.staticBefore);
+    EXPECT_EQ(result.oracleRuns, 1u);
+    EXPECT_FALSE(result.divergence.diverged());
+    EXPECT_EQ(emitPlan(plan).code, result.program.code);
+}
+
+} // anonymous namespace
+} // namespace polypath

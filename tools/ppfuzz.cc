@@ -1,0 +1,481 @@
+/**
+ * @file
+ * ppfuzz — differential fuzzer for the PolyPath timing core.
+ *
+ * Sweeps seeds of the testkit program generator across machine
+ * configurations, checking every run with the lockstep oracle; writes
+ * failing programs to a corpus directory and delta-debugs any failure
+ * down to a minimal reproducer.
+ *
+ *     ppfuzz --seeds 0..500 --configs all
+ *     ppfuzz --seeds 0..500 --preset branchy --configs see,tight
+ *     ppfuzz --repro 1234 --preset legacy
+ *     ppfuzz --reduce 7 --config see --bug-corrupt-output -o repro.s
+ *
+ * Modes (exactly one):
+ *     --seeds A..B        sweep seeds A (inclusive) to B (exclusive)
+ *     --repro SEED        run one seed verbosely across the configs
+ *     --reduce SEED       shrink a failing seed to a minimal .s repro
+ *
+ * Options:
+ *     --preset NAME       generator preset (default mixed); one of
+ *                         legacy branchy memory calls fp mixed
+ *     --configs LIST      comma-separated config names, or 'all':
+ *                         monopath see see-oracle oracle dual-path
+ *                         see-adaptive eager tight   (default all)
+ *     --config NAME       single config for --reduce (default see)
+ *     --jobs N            sweep worker threads (default: hardware)
+ *     --corpus DIR        write failing programs there as .s files
+ *     --bug-corrupt-output
+ *                         fault injection: corrupt committed stores to
+ *                         the write-only output region (plants a real
+ *                         divergence; for exercising this tool and the
+ *                         reducer — see SimConfig::bugCorruptStoreAbove)
+ *     --max-instrs N      golden instruction cap (default 100M)
+ *     -o FILE             --reduce output path (default reduced_SEED.s)
+ *     --quiet             only print the final summary
+ *
+ * Exit status: 0 all runs verified, 1 divergences found (or --reduce
+ * given a seed that does not fail), 2 usage error.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asmkit/disasm.hh"
+#include "common/logging.hh"
+#include "sim/machine.hh"
+#include "testkit/oracle.hh"
+#include "testkit/progen.hh"
+#include "testkit/reduce.hh"
+
+using namespace polypath;
+using namespace polypath::testkit;
+
+namespace
+{
+
+struct NamedConfig
+{
+    std::string name;
+    SimConfig cfg;
+};
+
+SimConfig
+eagerConfig()
+{
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.confidence = ConfidenceKind::AlwaysLow;     // max divergence
+    return cfg;
+}
+
+SimConfig
+tightConfig()
+{
+    SimConfig cfg = SimConfig::seeJrs();
+    cfg.windowSize = 32;        // tight resources
+    cfg.tagWidth = 4;
+    cfg.numIntAlu0 = 1;
+    cfg.numIntAlu1 = 1;
+    cfg.numFpAdd = 1;
+    cfg.numFpMul = 1;
+    cfg.numMemPorts = 1;
+    return cfg;
+}
+
+const std::vector<NamedConfig> &
+configRegistry()
+{
+    static const std::vector<NamedConfig> registry = {
+        {"monopath", SimConfig::monopath()},
+        {"see", SimConfig::seeJrs()},
+        {"see-oracle", SimConfig::seeOracleConfidence()},
+        {"oracle", SimConfig::oraclePrediction()},
+        {"dual-path", SimConfig::dualPathJrs()},
+        {"see-adaptive", SimConfig::seeAdaptiveJrs()},
+        {"eager", eagerConfig()},
+        {"tight", tightConfig()},
+    };
+    return registry;
+}
+
+SimConfig
+configByName(const std::string &name)
+{
+    for (const NamedConfig &entry : configRegistry()) {
+        if (entry.name == name)
+            return entry.cfg;
+    }
+    std::string have;
+    for (const NamedConfig &entry : configRegistry())
+        have += " " + entry.name;
+    fatal("unknown config '%s' (have:%s)", name.c_str(), have.c_str());
+}
+
+std::vector<NamedConfig>
+parseConfigs(const std::string &list)
+{
+    if (list == "all")
+        return configRegistry();
+    std::vector<NamedConfig> configs;
+    std::stringstream stream(list);
+    std::string name;
+    while (std::getline(stream, name, ',')) {
+        if (name.empty())
+            continue;
+        configs.push_back({name, configByName(name)});
+    }
+    if (configs.empty())
+        fatal("--configs: empty config list '%s'", list.c_str());
+    return configs;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: ppfuzz --seeds A..B [--preset P] [--configs "
+                 "LIST|all] [--jobs N]\n"
+                 "              [--corpus DIR] [--bug-corrupt-output] "
+                 "[--quiet]\n"
+                 "       ppfuzz --repro SEED [--preset P] [--configs ...]\n"
+                 "       ppfuzz --reduce SEED [--preset P] [--config NAME] "
+                 "[-o FILE]\n"
+                 "see the header of tools/ppfuzz.cc for details\n");
+    std::exit(2);
+}
+
+/** One verified mismatch found by the sweep. */
+struct Failure
+{
+    u64 seed;
+    std::string preset;
+    std::string config;
+    Divergence divergence;
+};
+
+/** The canonical repro command line for a seed (printed everywhere a
+ *  failure is reported, including by the ported fuzz gtest). */
+std::string
+reproCommand(const std::string &preset, u64 seed, bool bug_knob)
+{
+    std::string cmd = "ppfuzz --repro " + std::to_string(seed) +
+                      " --preset " + preset;
+    if (bug_knob)
+        cmd += " --bug-corrupt-output";
+    return cmd;
+}
+
+/** Prefix every line of @p text with "; " (assembly comment). */
+std::string
+asComment(const std::string &text)
+{
+    std::string out;
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line))
+        out += "; " + line + "\n";
+    return out;
+}
+
+void
+writeCorpusFile(const std::string &dir, const Failure &failure,
+                const Program &program)
+{
+    std::filesystem::create_directories(dir);
+    std::string path = dir + "/" + failure.preset + "_seed" +
+                       std::to_string(failure.seed) + "_" +
+                       failure.config + ".s";
+    std::ofstream out(path);
+    fatal_if(!out, "cannot write corpus file %s", path.c_str());
+    out << "; ppfuzz failure: preset=" << failure.preset
+        << " seed=" << failure.seed << " config=" << failure.config
+        << "\n; repro: "
+        << reproCommand(failure.preset, failure.seed, false) << "\n;\n"
+        << asComment(failure.divergence.report()) << "\n"
+        << disassembleProgram(program);
+}
+
+unsigned
+parseJobs(const std::string &value)
+{
+    unsigned long parsed = std::strtoul(value.c_str(), nullptr, 10);
+    fatal_if(parsed == 0, "--jobs needs a positive integer");
+    return static_cast<unsigned>(parsed);
+}
+
+int
+runSweep(u64 seed_begin, u64 seed_end, const ProgenOptions &preset,
+         const std::vector<NamedConfig> &configs, unsigned jobs,
+         const std::string &corpus_dir, bool bug_knob, u64 max_instrs,
+         bool quiet)
+{
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 2;
+    }
+
+    OracleOptions oracle_opts;
+    oracle_opts.maxGoldenInstrs = max_instrs;
+
+    std::atomic<u64> next{seed_begin};
+    std::atomic<u64> runs{0};
+    std::mutex failures_mutex;
+    std::vector<Failure> failures;
+
+    auto worker = [&]() {
+        while (true) {
+            u64 seed = next.fetch_add(1);
+            if (seed >= seed_end)
+                break;
+            GenPlan plan = buildPlan(preset, seed);
+            Program program = emitPlan(plan);
+            InterpResult golden = interpret(program, max_instrs);
+            fatal_if(!golden.halted,
+                     "seed %llu: golden run did not halt — generator "
+                     "termination bug",
+                     static_cast<unsigned long long>(seed));
+            for (const NamedConfig &entry : configs) {
+                SimConfig cfg = entry.cfg;
+                if (bug_knob)
+                    cfg.bugCorruptStoreAbove = outputBase;
+                OracleResult result =
+                    runOracle(program, cfg, golden, oracle_opts);
+                runs.fetch_add(1);
+                if (result.ok())
+                    continue;
+                Failure failure{seed, preset.name, entry.name,
+                                result.divergence};
+                std::lock_guard<std::mutex> lock(failures_mutex);
+                if (!quiet) {
+                    std::fprintf(
+                        stderr,
+                        "FAIL seed %llu preset %s config %s: %s\n%s",
+                        static_cast<unsigned long long>(seed),
+                        preset.name.c_str(), entry.name.c_str(),
+                        divergenceKindName(result.divergence.kind),
+                        result.divergence.report().c_str());
+                    std::fprintf(
+                        stderr, "  repro: %s\n",
+                        reproCommand(preset.name, seed, bug_knob)
+                            .c_str());
+                }
+                if (!corpus_dir.empty())
+                    writeCorpusFile(corpus_dir, failure, program);
+                failures.push_back(std::move(failure));
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    unsigned spawn = static_cast<unsigned>(
+        std::min<u64>(jobs, seed_end - seed_begin));
+    for (unsigned i = 0; i < spawn; ++i)
+        threads.emplace_back(worker);
+    for (std::thread &thread : threads)
+        thread.join();
+
+    std::printf("ppfuzz: %llu runs (%llu seeds x %zu configs, preset "
+                "%s): %zu divergence%s\n",
+                static_cast<unsigned long long>(runs.load()),
+                static_cast<unsigned long long>(seed_end - seed_begin),
+                configs.size(), preset.name.c_str(), failures.size(),
+                failures.size() == 1 ? "" : "s");
+    for (const Failure &failure : failures) {
+        std::printf("  seed %llu config %s: %s (%s)\n",
+                    static_cast<unsigned long long>(failure.seed),
+                    failure.config.c_str(),
+                    divergenceKindName(failure.divergence.kind),
+                    reproCommand(failure.preset, failure.seed, bug_knob)
+                        .c_str());
+    }
+    return failures.empty() ? 0 : 1;
+}
+
+int
+runRepro(u64 seed, const ProgenOptions &preset,
+         const std::vector<NamedConfig> &configs, bool bug_knob,
+         u64 max_instrs)
+{
+    GenPlan plan = buildPlan(preset, seed);
+    Program program = emitPlan(plan);
+    InterpResult golden = interpret(program, max_instrs);
+    fatal_if(!golden.halted, "golden run did not halt");
+
+    std::printf("seed %llu preset %s: %zu static instrs, %llu golden "
+                "instrs\n",
+                static_cast<unsigned long long>(seed),
+                preset.name.c_str(), program.codeSize(),
+                static_cast<unsigned long long>(golden.instructions));
+
+    OracleOptions oracle_opts;
+    oracle_opts.maxGoldenInstrs = max_instrs;
+    int status = 0;
+    for (const NamedConfig &entry : configs) {
+        SimConfig cfg = entry.cfg;
+        if (bug_knob)
+            cfg.bugCorruptStoreAbove = outputBase;
+        OracleResult result = runOracle(program, cfg, golden, oracle_opts);
+        if (result.ok()) {
+            std::printf("  %-14s ok (%llu cycles, IPC %.2f)\n",
+                        entry.name.c_str(),
+                        static_cast<unsigned long long>(
+                            result.stats.cycles),
+                        result.stats.ipc());
+        } else {
+            status = 1;
+            std::printf("  %-14s FAIL\n%s", entry.name.c_str(),
+                        result.divergence.report().c_str());
+        }
+    }
+    return status;
+}
+
+int
+runReduce(u64 seed, const ProgenOptions &preset,
+          const NamedConfig &config, bool bug_knob, u64 max_instrs,
+          const std::string &out_path, bool quiet)
+{
+    ReduceOptions opts;
+    opts.cfg = config.cfg;
+    if (bug_knob)
+        opts.cfg.bugCorruptStoreAbove = outputBase;
+    opts.oracle.maxGoldenInstrs = max_instrs;
+    opts.verbose = !quiet;
+
+    GenPlan plan = buildPlan(preset, seed);
+    ReduceResult result = reduceFailure(plan, opts);
+    if (!result.failedInitially) {
+        std::fprintf(stderr,
+                     "ppfuzz: seed %llu preset %s config %s does not "
+                     "diverge — nothing to reduce\n",
+                     static_cast<unsigned long long>(seed),
+                     preset.name.c_str(), config.name.c_str());
+        return 1;
+    }
+
+    std::string path = out_path.empty()
+                           ? "reduced_" + std::to_string(seed) + ".s"
+                           : out_path;
+    std::ofstream out(path);
+    fatal_if(!out, "cannot write %s", path.c_str());
+    out << "; ppfuzz reduced repro: preset=" << preset.name
+        << " seed=" << seed << " config=" << config.name << "\n;\n"
+        << asComment(result.divergence.report()) << "\n"
+        << disassembleProgram(result.program);
+    out.close();
+
+    std::printf("ppfuzz: reduced seed %llu from %zu to %zu static "
+                "instructions (%u oracle runs)\n",
+                static_cast<unsigned long long>(seed),
+                result.staticBefore, result.staticAfter,
+                result.oracleRuns);
+    std::printf("  divergence preserved: %s\n",
+                divergenceKindName(result.divergence.kind));
+    std::printf("  wrote %s\n", path.c_str());
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    enum class Mode { None, Sweep, Repro, Reduce };
+    Mode mode = Mode::None;
+    u64 seed_begin = 0;
+    u64 seed_end = 0;
+    u64 single_seed = 0;
+    std::string preset_name = "mixed";
+    std::string configs_list = "all";
+    std::string single_config = "see";
+    std::string corpus_dir;
+    std::string out_path;
+    unsigned jobs = 0;
+    bool bug_knob = false;
+    bool quiet = false;
+    u64 max_instrs = 100'000'000ull;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs an argument", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--seeds") {
+            mode = Mode::Sweep;
+            std::string range = next();
+            size_t dots = range.find("..");
+            if (dots == std::string::npos) {
+                seed_begin = 0;
+                seed_end = std::strtoull(range.c_str(), nullptr, 10);
+            } else {
+                seed_begin = std::strtoull(range.substr(0, dots).c_str(),
+                                           nullptr, 10);
+                seed_end = std::strtoull(range.substr(dots + 2).c_str(),
+                                         nullptr, 10);
+            }
+            if (seed_end <= seed_begin)
+                fatal("--seeds: empty range '%s'", range.c_str());
+        } else if (arg == "--repro") {
+            mode = Mode::Repro;
+            single_seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--reduce") {
+            mode = Mode::Reduce;
+            single_seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--preset") {
+            preset_name = next();
+        } else if (arg == "--configs") {
+            configs_list = next();
+        } else if (arg == "--config") {
+            single_config = next();
+        } else if (arg == "--jobs") {
+            jobs = parseJobs(next());
+        } else if (arg == "--corpus") {
+            corpus_dir = next();
+        } else if (arg == "-o") {
+            out_path = next();
+        } else if (arg == "--bug-corrupt-output") {
+            bug_knob = true;
+        } else if (arg == "--max-instrs") {
+            max_instrs = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+        } else {
+            std::fprintf(stderr, "ppfuzz: unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+        }
+    }
+
+    ProgenOptions preset = presetByName(preset_name);
+    switch (mode) {
+      case Mode::Sweep:
+        return runSweep(seed_begin, seed_end, preset,
+                        parseConfigs(configs_list), jobs, corpus_dir,
+                        bug_knob, max_instrs, quiet);
+      case Mode::Repro:
+        return runRepro(single_seed, preset, parseConfigs(configs_list),
+                        bug_knob, max_instrs);
+      case Mode::Reduce:
+        return runReduce(single_seed, preset,
+                         {single_config, configByName(single_config)},
+                         bug_knob, max_instrs, out_path, quiet);
+      case Mode::None:
+        usage();
+    }
+    return 2;
+}
