@@ -112,6 +112,115 @@ BM_StoreQueueLoadQuery(benchmark::State &state)
 }
 BENCHMARK(BM_StoreQueueLoadQuery)->Arg(4)->Arg(16)->Arg(64);
 
+/**
+ * The common case the O(1) fast path targets: a load that overlaps no
+ * queued store and is blocked by nothing. range(0) = queue depth;
+ * range(1) selects the indexed fast path (1) or the legacy walk (0).
+ */
+void
+BM_StoreQueueLoadNoConflict(benchmark::State &state)
+{
+    StoreQueue sq;
+    sq.setFastPathEnabled(state.range(1) != 0);
+    SparseMemory mem;
+    CtxTag tag;
+    unsigned stores = static_cast<unsigned>(state.range(0));
+    for (unsigned i = 0; i < stores; ++i) {
+        sq.insert(i + 1, tag, 8);
+        sq.setAddress(i + 1, 0x1000 + 8 * i);
+        sq.setData(i + 1, i);
+    }
+    // Load far from every store: nothing forwards, nothing blocks.
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sq.queryLoad(stores + 5, tag, 0x90000, 8, mem));
+    }
+}
+BENCHMARK(BM_StoreQueueLoadNoConflict)
+    ->Args({0, 1})->Args({0, 0})
+    ->Args({16, 1})->Args({16, 0})
+    ->Args({64, 1})->Args({64, 0});
+
+/** Deep-queue forwarding hit: the youngest of range(0) stores supplies
+ *  the whole load (the walk's best case; the fast path must fall back
+ *  without hurting it). */
+void
+BM_StoreQueueForwardHit(benchmark::State &state)
+{
+    StoreQueue sq;
+    SparseMemory mem;
+    CtxTag tag;
+    unsigned stores = static_cast<unsigned>(state.range(0));
+    for (unsigned i = 0; i < stores; ++i) {
+        sq.insert(i + 1, tag, 8);
+        sq.setAddress(i + 1, 0x1000 + 8 * (i % 4));
+        sq.setData(i + 1, i);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sq.queryLoad(stores + 5, tag, 0x1000, 8, mem));
+    }
+}
+BENCHMARK(BM_StoreQueueForwardHit)->Arg(4)->Arg(64);
+
+/** Unknown-address stall check: one unpublished store forces MustWait.
+ *  The unknownAddrCount summary must make the common no-unknowns case
+ *  (other benches) cheap without slowing this one. */
+void
+BM_StoreQueueUnknownAddrStall(benchmark::State &state)
+{
+    StoreQueue sq;
+    SparseMemory mem;
+    CtxTag tag;
+    unsigned stores = static_cast<unsigned>(state.range(0));
+    for (unsigned i = 0; i < stores; ++i) {
+        sq.insert(i + 1, tag, 8);
+        if (i != 0) {   // the oldest store's address stays unknown
+            sq.setAddress(i + 1, 0x1000 + 8 * i);
+            sq.setData(i + 1, i);
+        }
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sq.queryLoad(stores + 5, tag, 0x90000, 8, mem));
+    }
+}
+BENCHMARK(BM_StoreQueueUnknownAddrStall)->Arg(4)->Arg(64);
+
+/**
+ * Wakeup-list churn as the scheduler sees it: dependent instructions
+ * enqueue on a producer's physical register and a completion wakes the
+ * whole list. Exercises the intrusive tagged-pointer lists through the
+ * real core (a tight dependence chain keeps every instruction waiting
+ * on its predecessor).
+ */
+void
+BM_WakeupChainedDeps(benchmark::State &state)
+{
+    Assembler a;
+    a.li(1, 200000);
+    Label loop = a.here();
+    // Serial dependence chain: each op waits on the previous result.
+    a.addi(1, -1, 1);
+    a.add(2, 1, 2);
+    a.add(3, 2, 3);
+    a.add(2, 3, 2);
+    a.bgt(1, loop);
+    a.halt();
+    Program p = a.assemble("wakeup_chain");
+    InterpResult golden = runGolden(p);
+
+    for (auto _ : state) {
+        PolyPathCore core(SimConfig::seeJrs(), p, golden);
+        u64 budget = 20000;
+        while (!core.halted() && core.cycle() < budget)
+            core.tick();
+        state.counters["cycles"] = static_cast<double>(core.cycle());
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_WakeupChainedDeps)->Unit(benchmark::kMillisecond);
+
 /** Full-core throughput: simulated cycles per second on a small loop. */
 void
 BM_CoreCyclesPerSecond(benchmark::State &state)

@@ -18,6 +18,13 @@
  * Environment:
  *   PP_BENCH_SCALE   workload scale factor (default 1.0)
  *   PP_BENCH_REPS    repetitions per workload (default 2, min 1)
+ *   PP_GIT_COMMIT    commit hash recorded in the JSON host block
+ *                    (wrapper scripts export it; "unknown" otherwise)
+ *
+ * `sim_speed --profile` additionally turns on pp_prof and prints the
+ * suite-aggregated per-stage host-time breakdown after the KIPS table
+ * (the timing of the profiled runs is NOT comparable to default runs:
+ * collection adds clock reads to every phase).
  *
  * NOTE: this file deliberately uses only long-stable APIs (loadWorkloads,
  * simulate) so it can be dropped into an older checkout unchanged to
@@ -27,6 +34,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -35,6 +44,7 @@
 
 #include "bench_util.hh"
 #include "common/logging.hh"
+#include "common/prof.hh"
 
 // Build provenance, normally injected by bench/CMakeLists.txt.
 #ifndef PP_BUILD_TYPE
@@ -67,6 +77,41 @@ hostCpuModel()
     return "unknown";
 }
 
+/** Commit hash for the JSON host block: PP_GIT_COMMIT if exported by
+ *  the wrapper script, else a direct `git rev-parse` attempt. */
+std::string
+gitCommit()
+{
+    if (const char *env = std::getenv("PP_GIT_COMMIT");
+        env && env[0] != '\0') {
+        return env;
+    }
+    std::string commit = "unknown";
+    if (FILE *pipe = popen("git rev-parse --short=12 HEAD 2>/dev/null",
+                           "r")) {
+        char buf[64] = {};
+        if (std::fgets(buf, sizeof(buf), pipe)) {
+            buf[std::strcspn(buf, "\r\n")] = '\0';
+            if (buf[0] != '\0')
+                commit = buf;
+        }
+        pclose(pipe);
+    }
+    return commit;
+}
+
+/** Current UTC date-time, ISO 8601. */
+std::string
+utcDate()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    gmtime_r(&now, &tm_utc);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    return buf;
+}
+
 struct SpeedRow
 {
     std::string workload;
@@ -90,18 +135,36 @@ benchReps()
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool profile = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--profile") == 0) {
+            profile = true;
+        } else {
+            std::fprintf(stderr, "usage: sim_speed [--profile]\n");
+            return 1;
+        }
+    }
+    if (profile)
+        prof::setEnabled(true);
+    if (prof::enabled())
+        prof::reset();
+
     double scale = benchScale(1.0);
     unsigned reps = benchReps();
     SimConfig cfg = SimConfig::seeJrs();
 
     std::printf("sim_speed: simulator throughput, config %s, scale %g, "
-                "%u rep(s)\n\n",
-                cfg.categoryName().c_str(), scale, reps);
+                "%u rep(s)%s\n\n",
+                cfg.categoryName().c_str(), scale, reps,
+                prof::enabled() ? ", pp_prof ON (timings not "
+                                  "baseline-comparable)"
+                                : "");
 
     WorkloadSet suite = loadWorkloads(scale);
 
+    u64 total_sim_ns = 0;
     std::vector<SpeedRow> rows;
     for (size_t w = 0; w < suite.size(); ++w) {
         SpeedRow row;
@@ -113,6 +176,10 @@ main()
             auto stop = std::chrono::steady_clock::now();
             double secs =
                 std::chrono::duration<double>(stop - start).count();
+            total_sim_ns += static_cast<u64>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    stop - start)
+                    .count());
             fatal_if(!r.verified, "%s failed verification",
                      row.workload.c_str());
             row.committed = r.stats.committedInstrs;
@@ -136,6 +203,12 @@ main()
         inv_sum += 1.0 / row.kips();
     double hmean = rows.size() / inv_sum;
     std::printf("\nharmonic mean: %.1f KIPS\n", hmean);
+
+    if (prof::enabled()) {
+        // Aggregated over every repetition of every workload; "total"
+        // is the summed simulate() wall time, so rows + other = total.
+        std::printf("\n%s", prof::report(total_sim_ns).c_str());
+    }
 
     // --- human-readable report ----------------------------------------
     std::filesystem::create_directories("bench_results");
@@ -166,7 +239,8 @@ main()
                  "\"scale\": %g, \"reps\": %u,\n"
                  " \"host\": {\"cpu\": \"%s\", \"cores\": %u, "
                  "\"compiler\": \"%s\", \"build_type\": \"%s\", "
-                 "\"flags\": \"%s\"},\n"
+                 "\"flags\": \"%s\", \"commit\": \"%s\", "
+                 "\"date_utc\": \"%s\", \"scale\": %g},\n"
                  " \"workloads\": [\n",
                  cfg.categoryName().c_str(), scale, reps,
                  hostCpuModel().c_str(),
@@ -178,7 +252,8 @@ main()
 #else
                  "unknown",
 #endif
-                 PP_BUILD_TYPE, PP_BUILD_FLAGS);
+                 PP_BUILD_TYPE, PP_BUILD_FLAGS, gitCommit().c_str(),
+                 utcDate().c_str(), scale);
     for (size_t i = 0; i < rows.size(); ++i) {
         const SpeedRow &row = rows[i];
         std::fprintf(json,

@@ -12,6 +12,9 @@
 #      machine configurations against the lockstep oracle, then the
 #      reducer is exercised end-to-end on a fault-injected failure,
 #      which must shrink to at most 25 static instructions
+#   7. perf smoke: a tiny-scale sim_speed run, then the --compare gate
+#      of scripts/run_sim_speed.sh is validated both ways (identical
+#      JSONs must pass; a doctored 50%-faster baseline must fail)
 #
 #   scripts/ci.sh [build-dir]
 #
@@ -23,25 +26,25 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-ci}"
 jobs="$(nproc 2> /dev/null || echo 4)"
 
-echo "=== [1/6] configure + build (Debug, asan+ubsan) ==="
+echo "=== [1/7] configure + build (Debug, asan+ubsan) ==="
 cmake -B "$build_dir" -S "$repo_root" \
     -DCMAKE_BUILD_TYPE=Debug \
     -DPOLYPATH_SANITIZE=ON > /dev/null
 cmake --build "$build_dir" -j "$jobs"
 
-echo "=== [2/6] ctest ==="
+echo "=== [2/7] ctest ==="
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
-echo "=== [3/6] clang-tidy ==="
+echo "=== [3/7] clang-tidy ==="
 "$repo_root/scripts/run_clang_tidy.sh" "$build_dir"
 
-echo "=== [4/6] pplint corpus ==="
+echo "=== [4/7] pplint corpus ==="
 "$build_dir/tools/pplint" --all-workloads --quiet --min-severity warning
 for example in "$repo_root"/examples/asm/*.s; do
     "$build_dir/tools/pplint" --quiet --min-severity warning "$example"
 done
 
-echo "=== [5/6] result-cache coherence (fig8, scale 0.05, twice) ==="
+echo "=== [5/7] result-cache coherence (fig8, scale 0.05, twice) ==="
 cache_tmp="$(mktemp -d)"
 trap 'rm -rf "$cache_tmp"' EXIT
 PP_BENCH_SCALE=0.05 "$build_dir/tools/ppbench" fig8_baseline \
@@ -61,7 +64,7 @@ grep -Eq '"total": \{"cache_hits": [1-9][0-9]*, "simulations": 0,' \
 }
 echo "warm pass: byte-identical tables, zero simulations"
 
-echo "=== [6/6] differential fuzz (ppfuzz, 500 seeds x all configs) ==="
+echo "=== [6/7] differential fuzz (ppfuzz, 500 seeds x all configs) ==="
 "$build_dir/tools/ppfuzz" --seeds 0..500 --configs all --jobs "$jobs" \
     --quiet
 
@@ -81,5 +84,39 @@ if [ -z "$reduced_instrs" ] || [ "$reduced_instrs" -gt 25 ]; then
 fi
 # The reduced artifact must still assemble (ppdis round-trips it).
 "$build_dir/tools/ppdis" "$cache_tmp/reduced.s" > /dev/null
+
+echo "=== [7/7] perf smoke (sim_speed scale 0.01 + compare gate) ==="
+# Run the benchmark at a tiny scale out of the repo root so the real
+# BENCH_sim_speed.json baseline is untouched, then validate the compare
+# gate machinery itself: a self-comparison must pass, and a doctored
+# baseline with inflated KIPS must trip the >5% hmean regression gate.
+(cd "$cache_tmp" && \
+    PP_BENCH_SCALE=0.01 PP_BENCH_REPS=1 "$build_dir/bench/sim_speed" \
+    > sim_speed_smoke.txt)
+smoke_json="$cache_tmp/BENCH_sim_speed.json"
+[ -f "$smoke_json" ] || {
+    echo "ci: FAIL: smoke sim_speed run produced no JSON" >&2
+    exit 1
+}
+# (Distinct paths: the comparer tells OLD from NEW by filename.)
+cp "$smoke_json" "$cache_tmp/self_baseline.json"
+"$repo_root/scripts/run_sim_speed.sh" --compare \
+    "$cache_tmp/self_baseline.json" "$smoke_json" || {
+    echo "ci: FAIL: compare gate rejected identical results" >&2
+    exit 1
+}
+awk '{
+    if ($0 ~ /"kips":/)
+        gsub(/"kips": /, "\"kips\": 9")
+    if ($0 ~ /"harmonic_mean_kips":/)
+        gsub(/"harmonic_mean_kips": /, "\"harmonic_mean_kips\": 9")
+    print
+}' "$smoke_json" > "$cache_tmp/doctored.json"
+if "$repo_root/scripts/run_sim_speed.sh" --compare \
+    "$cache_tmp/doctored.json" "$smoke_json" > /dev/null; then
+    echo "ci: FAIL: compare gate passed a >5% hmean regression" >&2
+    exit 1
+fi
+echo "perf smoke: compare gate passes identity, rejects regression"
 
 echo "ci: all green"

@@ -7,6 +7,11 @@
 # comparison baseline. To compare against an older commit, check it out,
 # run this script once to produce its JSON, then return and run again.
 #
+# Compare-only mode (no build, no benchmark run):
+#   scripts/run_sim_speed.sh --compare OLD.json NEW.json
+# prints the per-workload KIPS delta table and exits non-zero when the
+# harmonic mean regressed by more than 5% (the CI perf-smoke gate).
+#
 # Environment:
 #   PP_BENCH_SCALE       workload scale (default 1)
 #   PP_BENCH_REPS        repetitions per workload (default 2)
@@ -14,25 +19,11 @@
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-cd "$repo_root"
 
-build_dir=${PP_SPEED_BUILD_DIR:-build-release}
-
-cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$build_dir" --target sim_speed -j "$(nproc 2>/dev/null || echo 2)" >/dev/null
-
-prev_json=""
-if [ -f BENCH_sim_speed.json ]; then
-    prev_json=$(mktemp)
-    cp BENCH_sim_speed.json "$prev_json"
-fi
-
-PP_BENCH_SCALE=${PP_BENCH_SCALE:-1} "$build_dir/bench/sim_speed"
-
-if [ -n "$prev_json" ]; then
-    echo ""
-    echo "=== comparison vs previous BENCH_sim_speed.json ==="
-    awk '
+# compare_json OLD NEW GATE: per-workload KIPS delta table on stdout.
+# With GATE=1, exit 1 when the harmonic mean dropped more than 5%.
+compare_json() {
+    awk -v gate="$3" '
         # One workload object per line: pull out the name and kips.
         function field(line, key,    s) {
             s = line
@@ -61,8 +52,51 @@ if [ -n "$prev_json" ]; then
             }
             if (old_h > 0)
                 printf "%-10s %10.1f %10.1f %8.2fx\n", "hmean", old_h, new_h, new_h / old_h
+            if (gate + 0 == 1 && old_h > 0 && new_h < old_h * 0.95) {
+                printf "FAIL: harmonic mean regressed %.1f%% (> 5%% threshold)\n", \
+                       100 * (1 - new_h / old_h)
+                exit 1
+            }
         }
-    ' "$prev_json" BENCH_sim_speed.json | tee -a bench_results/sim_speed.txt
+    ' "$1" "$2"
+}
+
+if [ "${1:-}" = "--compare" ]; then
+    if [ $# -ne 3 ] || [ ! -f "$2" ] || [ ! -f "$3" ]; then
+        echo "usage: $0 --compare OLD.json NEW.json (both must exist)" >&2
+        exit 2
+    fi
+    compare_json "$2" "$3" 1
+    exit 0
+fi
+
+cd "$repo_root"
+
+build_dir=${PP_SPEED_BUILD_DIR:-build-release}
+
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build_dir" --target sim_speed -j "$(nproc 2>/dev/null || echo 2)" >/dev/null
+
+prev_json=""
+if [ -f BENCH_sim_speed.json ]; then
+    prev_json=$(mktemp)
+    cp BENCH_sim_speed.json "$prev_json"
+fi
+
+# Provenance for the JSON host block.
+PP_GIT_COMMIT=$(git -C "$repo_root" rev-parse --short=12 HEAD 2>/dev/null \
+                || echo unknown)
+export PP_GIT_COMMIT
+
+PP_BENCH_SCALE=${PP_BENCH_SCALE:-1} "$build_dir/bench/sim_speed"
+
+if [ -n "$prev_json" ]; then
+    echo ""
+    echo "=== comparison vs previous BENCH_sim_speed.json ==="
+    # Informational only (gate=0): refreshing the baseline after a slow
+    # host run must not fail; the hard gate is the --compare mode.
+    compare_json "$prev_json" BENCH_sim_speed.json 0 \
+        | tee -a bench_results/sim_speed.txt
     rm -f "$prev_json"
 else
     echo ""

@@ -1,0 +1,129 @@
+#include "prof.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace polypath
+{
+namespace prof
+{
+
+namespace detail
+{
+
+namespace
+{
+
+bool
+initFromEnv()
+{
+    const char *env = std::getenv("PP_PROF");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+} // anonymous namespace
+
+bool enabledFlag = initFromEnv();
+
+thread_local std::array<StageCost, numStages> costs{};
+
+} // namespace detail
+
+const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::Fetch: return "fetch";
+      case Stage::Rename: return "rename";
+      case Stage::Issue: return "issue";
+      case Stage::Writeback: return "writeback";
+      case Stage::Commit: return "commit";
+      case Stage::SqQuery: return "sq.query";
+      case Stage::SqKill: return "sq.kill";
+      case Stage::DCache: return "dcache";
+      case Stage::MemRead: return "mem.read";
+      case Stage::MemWrite: return "mem.write";
+      case Stage::NumStages: break;
+    }
+    return "?";
+}
+
+void
+setEnabled(bool on)
+{
+    detail::enabledFlag = on;
+}
+
+void
+reset()
+{
+    detail::costs.fill(StageCost{});
+}
+
+std::array<StageCost, numStages>
+snapshot()
+{
+    return detail::costs;
+}
+
+std::string
+report(u64 total_ns)
+{
+    const auto &costs = detail::costs;
+
+    auto row = [](std::string &out, const char *name, u64 ns,
+                  u64 total, u64 calls) {
+        char line[160];
+        double ms = static_cast<double>(ns) / 1e6;
+        double share =
+            total ? 100.0 * static_cast<double>(ns) /
+                        static_cast<double>(total)
+                  : 0.0;
+        if (calls) {
+            std::snprintf(line, sizeof(line),
+                          "  %-10s %10.2f ms  %5.1f%%  %12llu calls  "
+                          "%7.1f ns/call\n",
+                          name, ms, share,
+                          static_cast<unsigned long long>(calls),
+                          static_cast<double>(ns) /
+                              static_cast<double>(calls));
+        } else {
+            std::snprintf(line, sizeof(line),
+                          "  %-10s %10.2f ms  %5.1f%%\n", name, ms,
+                          share);
+        }
+        out += line;
+    };
+
+    u64 tracked = 0;
+    for (size_t i = 0; i < numPipelineStages; ++i)
+        tracked += costs[i].ns;
+
+    std::string out;
+    out += "pp_prof: per-stage cost attribution "
+           "(pipeline rows + other = total)\n";
+    for (size_t i = 0; i < numPipelineStages; ++i) {
+        row(out, stageName(static_cast<Stage>(i)), costs[i].ns,
+            total_ns, costs[i].calls);
+    }
+    row(out, "other", total_ns > tracked ? total_ns - tracked : 0,
+        total_ns, 0);
+    row(out, "total", total_ns, total_ns, 0);
+
+    bool any_nested = false;
+    for (size_t i = numPipelineStages; i < numStages; ++i)
+        any_nested |= costs[i].calls != 0;
+    if (any_nested) {
+        out += "components (nested: already included in a stage "
+               "above)\n";
+        for (size_t i = numPipelineStages; i < numStages; ++i) {
+            if (costs[i].calls)
+                row(out, stageName(static_cast<Stage>(i)),
+                    costs[i].ns, total_ns, costs[i].calls);
+        }
+    }
+    return out;
+}
+
+} // namespace prof
+} // namespace polypath

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * pp_prof — per-stage cycle-cost attribution for the simulator itself.
+ *
+ * Answers "where does the host time of one simulated cycle go?" with a
+ * breakdown over the pipeline phases (fetch/rename/issue/writeback/
+ * commit) plus the memory-system components nested inside them
+ * (store-queue load resolution, D-cache probes, SparseMemory
+ * multi-byte accesses). Every perf PR argues from this table instead
+ * of end-to-end numbers alone.
+ *
+ * Design constraints:
+ *
+ *   - Zero cost when disabled. Every instrumentation point is a single
+ *     predicted branch on a plain global bool; no clock is read, no
+ *     TLS is touched. Disabled is the default; `PP_PROF=1` in the
+ *     environment or prof::setEnabled(true) turns collection on.
+ *   - Observationally invisible. The profiler reads clocks and bumps
+ *     counters; it never feeds back into simulation state
+ *     (tests/integration/test_sim_digest.cc pins off == on).
+ *   - Thread-confined. Counters are thread_local, matching the
+ *     one-core-per-thread execution model, so parallel sweeps never
+ *     race; report() renders the calling thread's view.
+ *
+ * Usage:
+ *     { PP_PROF_SCOPE(Fetch); fetchPhase(); }
+ *     std::string table = prof::report(total_wall_ns);
+ */
+
+#ifndef POLYPATH_COMMON_PROF_HH
+#define POLYPATH_COMMON_PROF_HH
+
+#include <array>
+#include <chrono>
+#include <string>
+
+#include "common/types.hh"
+
+namespace polypath
+{
+namespace prof
+{
+
+/** Attribution buckets. The first five are the top-level pipeline
+ *  phases and partition the cycle loop: their times (plus "other") sum
+ *  to the wall time of the run. The remaining buckets are components
+ *  timed *inside* a phase and are reported separately, not summed. */
+enum class Stage : u8
+{
+    Fetch,
+    Rename,
+    Issue,
+    Writeback,      //!< completion + branch resolution / recovery
+    Commit,
+    // --- nested components (already included in a phase above) -------
+    SqQuery,        //!< StoreQueue::queryLoad (inside Issue)
+    SqKill,         //!< StoreQueue::killWrongPath (inside Writeback)
+    DCache,         //!< CacheModel::access (inside Issue)
+    MemRead,        //!< SparseMemory::read (fetch slow path, loads)
+    MemWrite,       //!< SparseMemory::write (store commit)
+    NumStages,
+};
+
+constexpr size_t numStages = static_cast<size_t>(Stage::NumStages);
+
+/** Stages before this index partition the run; the rest are nested. */
+constexpr size_t numPipelineStages = 5;
+
+/** Short display name ("fetch", "sq.query", ...). */
+const char *stageName(Stage stage);
+
+/** Accumulated cost of one stage on the calling thread. */
+struct StageCost
+{
+    u64 ns = 0;
+    u64 calls = 0;
+};
+
+namespace detail
+{
+
+/** The master switch. Plain global (not atomic): flipped only between
+ *  runs, read in the hot loop. Initialised from PP_PROF. */
+extern bool enabledFlag;
+
+/** Per-thread accumulation (one core per thread). */
+extern thread_local std::array<StageCost, numStages> costs;
+
+inline u64
+nowNs()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace detail
+
+/** Is collection on? Inline: one global load. */
+inline bool enabled() { return detail::enabledFlag; }
+
+/** Turn collection on/off (also see the PP_PROF environment knob). */
+void setEnabled(bool on);
+
+/** Zero the calling thread's counters. */
+void reset();
+
+/** Snapshot of the calling thread's counters. */
+std::array<StageCost, numStages> snapshot();
+
+/**
+ * Render the attribution table for a region of @p total_ns wall time
+ * (measure it around the simulation loop). Pipeline-stage rows plus a
+ * derived "other" row sum to the total by construction; nested
+ * component rows follow under a separator, marked as included in
+ * their parent phase.
+ */
+std::string report(u64 total_ns);
+
+/**
+ * RAII stage timer. When collection is disabled the constructor is a
+ * single branch and the destructor another; no clock is read.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Stage stage)
+    {
+        if (enabled()) {
+            profStage = stage;
+            startNs = detail::nowNs();
+            active = true;
+        }
+    }
+
+    ~ScopedTimer()
+    {
+        if (active) {
+            StageCost &cost =
+                detail::costs[static_cast<size_t>(profStage)];
+            cost.ns += detail::nowNs() - startNs;
+            ++cost.calls;
+        }
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Stage profStage = Stage::Fetch;
+    u64 startNs = 0;
+    bool active = false;
+};
+
+} // namespace prof
+} // namespace polypath
+
+/** Scoped attribution of the enclosing block to prof::Stage::stage. */
+#define PP_PROF_SCOPE(stage) \
+    ::polypath::prof::ScopedTimer pp_prof_scope_##stage( \
+        ::polypath::prof::Stage::stage)
+
+#endif // POLYPATH_COMMON_PROF_HH

@@ -9,6 +9,7 @@
 #include "bpred/confidence.hh"
 #include "bpred/gshare.hh"
 #include "common/logging.hh"
+#include "common/prof.hh"
 #include "isa/semantics.hh"
 
 namespace polypath
@@ -93,7 +94,7 @@ PolyPathCore::PolyPathCore(const SimConfig &config, const Program &program,
 
     frontendCapacity =
         static_cast<size_t>(cfg.frontendStages) * cfg.fetchWidth;
-    waiters.resize(cfg.effectivePhysRegs());
+    waiterHeads.assign(cfg.effectivePhysRegs(), 0);
     simStats.livePathsHistogram.assign(cfg.effectiveMaxPaths() + 2, 0);
 
     TraceCursor root_cursor;
@@ -106,7 +107,24 @@ PolyPathCore::PolyPathCore(const SimConfig &config, const Program &program,
     root->fetchStart = 0;
 }
 
-PolyPathCore::~PolyPathCore() = default;
+PolyPathCore::~PolyPathCore()
+{
+    // Drain the intrusive waiter lists: killed instructions whose source
+    // register is never written stay enqueued (holding a reference) for
+    // the core's lifetime, and the pool insists on zero live
+    // instructions at destruction.
+    for (uintptr_t node : waiterHeads) {
+        while (node) {
+            auto *inst = reinterpret_cast<DynInst *>(node &
+                                                     ~uintptr_t(1));
+            unsigned slot = static_cast<unsigned>(node & 1);
+            node = inst->waitNext[slot];
+            inst->waitNext[slot] = 0;
+            if (--inst->refCount == 0)
+                detail::destroyDynInst(inst);
+        }
+    }
+}
 
 PathContext &
 PolyPathCore::contextById(u32 id)
@@ -191,15 +209,32 @@ PolyPathCore::tick()
     panic_if(isHalted, "tick() after HALT committed");
 
     fuPool.newCycle();
-    commitPhase();
+    {
+        PP_PROF_SCOPE(Commit);
+        commitPhase();
+    }
     if (!isHalted) {
-        writebackPhase();
-        issuePhase();
-        renamePhase();
-        fetchPhase();
+        {
+            PP_PROF_SCOPE(Writeback);
+            writebackPhase();
+        }
+        {
+            PP_PROF_SCOPE(Issue);
+            issuePhase();
+        }
+        {
+            PP_PROF_SCOPE(Rename);
+            renamePhase();
+        }
+        {
+            PP_PROF_SCOPE(Fetch);
+            fetchPhase();
+        }
     }
 
-    // End-of-cycle sampling.
+    // End-of-cycle sampling. (Counters owned by other components —
+    // cycles, D-cache hits/misses — are synced in stats() instead of
+    // copied every tick.)
     simStats.windowOccupancySum += window.size();
     size_t live_paths = leaves.size();
     simStats.livePathsSum += live_paths;
@@ -208,9 +243,6 @@ PolyPathCore::tick()
     ++simStats.livePathsHistogram[bucket];
 
     ++currentCycle;
-    simStats.cycles = currentCycle;
-    simStats.dcacheHits = dcache.hits();
-    simStats.dcacheMisses = dcache.misses();
 
     if (cfg.selfCheckInterval &&
         currentCycle % cfg.selfCheckInterval == 0) {
@@ -236,8 +268,10 @@ PolyPathCore::tick()
 void
 PolyPathCore::fetchPhase()
 {
-    // Gather the paths that may fetch this cycle.
-    std::vector<PathContext *> cands;
+    // Gather the paths that may fetch this cycle (member scratch:
+    // reusing the buffer avoids a per-cycle allocation).
+    std::vector<PathContext *> &cands = fetchCands;
+    cands.clear();
     cands.reserve(leaves.size());
     for (PathContext *ctx : leaves) {
         if (ctx->fetchStopped || ctx->fetchStart > currentCycle)
@@ -560,12 +594,8 @@ PolyPathCore::renameInst(const DynInstPtr &inst, PathContext &ctx)
     }
 
     inst->waitingSrcs = 0;
-    for (PhysReg src : {inst->physSrc1, inst->physSrc2}) {
-        if (src != invalidPhysReg && !physFile.ready(src)) {
-            ++inst->waitingSrcs;
-            waiters[src].push_back(inst);
-        }
-    }
+    addWaiter(inst, 0, inst->physSrc1);
+    addWaiter(inst, 1, inst->physSrc2);
     inst->renamed = true;
 
     if (instr.isStore()) {
@@ -745,13 +775,12 @@ void
 PolyPathCore::writebackPhase()
 {
     auto &bucket = completionRing[currentCycle % completionRingSize];
-    // The bucket may gain entries only for future cycles, so iterating a
-    // copy is unnecessary; resolution may kill instructions in *other*
-    // buckets, which the killed flag handles lazily.
-    std::vector<DynInstPtr> completing;
-    completing.swap(bucket);
-
-    for (DynInstPtr &inst : completing) {
+    // In-place iteration is safe: scheduleCompletion requires latency
+    // >= 1, so nothing lands in the current bucket mid-walk; resolution
+    // may kill instructions in *other* buckets, which the killed flag
+    // handles lazily. Clearing (not swapping) keeps the bucket's
+    // capacity for its next lap around the ring.
+    for (const DynInstPtr &inst : bucket) {
         if (inst->killed)
             continue;
         inst->completed = true;
@@ -763,24 +792,48 @@ PolyPathCore::writebackPhase()
         if (inst->isCondBranch() || inst->isReturn())
             resolveControl(inst);
     }
+    bucket.clear();
+}
+
+void
+PolyPathCore::addWaiter(const DynInstPtr &inst, unsigned slot,
+                        PhysReg src)
+{
+    if (src == invalidPhysReg || physFile.ready(src))
+        return;
+    ++inst->waitingSrcs;
+    DynInst *raw = inst.get();
+    ++raw->refCount;    // the waiter list owns a reference
+    raw->waitNext[slot] = waiterHeads[src];
+    waiterHeads[src] = reinterpret_cast<uintptr_t>(raw) | slot;
 }
 
 void
 PolyPathCore::wakeDependents(PhysReg reg)
 {
-    std::vector<DynInstPtr> consumers;
-    consumers.swap(waiters[reg]);
-    for (DynInstPtr &inst : consumers) {
-        if (inst->killed)
+    // Walk the intrusive (inst, slot) stack. Wake order is the reverse
+    // of insertion order, which is observationally invisible: woken
+    // instructions go through a ready queue ordered by sequence number,
+    // and store address/data publication is idempotent.
+    uintptr_t node = waiterHeads[reg];
+    waiterHeads[reg] = 0;
+    while (node) {
+        auto *raw = reinterpret_cast<DynInst *>(node & ~uintptr_t(1));
+        unsigned slot = static_cast<unsigned>(node & 1);
+        node = raw->waitNext[slot];
+        raw->waitNext[slot] = 0;
+        DynInstPtr inst(raw);       // keep alive past the list's unref
+        --raw->refCount;            // drop the list's reference
+        if (raw->killed)
             continue;
-        if (inst->instr.isStore()) {
-            if (inst->physSrc1 == reg)
+        if (raw->instr.isStore()) {
+            if (raw->physSrc1 == reg)
                 publishStoreAddr(inst);
-            if (inst->physSrc2 == reg)
+            if (raw->physSrc2 == reg)
                 publishStoreData(inst);
         }
-        panic_if(inst->waitingSrcs == 0, "spurious wakeup");
-        if (--inst->waitingSrcs == 0)
+        panic_if(raw->waitingSrcs == 0, "spurious wakeup");
+        if (--raw->waitingSrcs == 0)
             enqueueReady(inst);
     }
 }

@@ -89,8 +89,18 @@ class PolyPathCore
     /** Current cycle. */
     Cycle cycle() const { return currentCycle; }
 
-    /** Statistics so far. */
-    const SimStats &stats() const { return simStats; }
+    /** Statistics so far (derived counters synced on demand). */
+    const SimStats &
+    stats() const
+    {
+        // Mirror counters owned by other components. The cycle loop used
+        // to copy these every tick; syncing at the (rare) read instead
+        // is observationally identical and keeps the hot loop clean.
+        simStats.cycles = currentCycle;
+        simStats.dcacheHits = dcache.hits();
+        simStats.dcacheMisses = dcache.misses();
+        return simStats;
+    }
 
     /** Committed architectural register state (via the retirement map). */
     ArchState architecturalState() const;
@@ -145,6 +155,7 @@ class PolyPathCore
     bool tryIssueLoad(const DynInstPtr &inst);
     void scheduleCompletion(const DynInstPtr &inst, unsigned latency);
     void enqueueReady(const DynInstPtr &inst);
+    void addWaiter(const DynInstPtr &inst, unsigned slot, PhysReg src);
     void wakeDependents(PhysReg reg);
 
     // --- resolution / recovery ---------------------------------------------
@@ -275,8 +286,19 @@ class PolyPathCore
     /** Loads blocked by disambiguation; retried every cycle. */
     std::vector<DynInstPtr> blockedLoads;
 
-    /** Wakeup lists: physical register -> consumers waiting on it. */
-    std::vector<std::vector<DynInstPtr>> waiters;
+    /**
+     * Wakeup lists: per physical register, an intrusive singly-linked
+     * stack of (instruction, source-slot) waiters threaded through
+     * DynInst::waitNext. Each link is a DynInst pointer with the waiting
+     * slot number in bit 0 (slots are 8-byte aligned); 0 terminates.
+     * Enqueuing bumps the instruction's refCount manually (the list owns
+     * a reference); wakeDependents and the destructor drop it.
+     */
+    std::vector<uintptr_t> waiterHeads;
+
+    /** Scratch for fetchPhase's priority sort (reused across cycles to
+     *  avoid a per-cycle allocation). */
+    std::vector<PathContext *> fetchCands;
 
     /** Completion ring buffer indexed by cycle modulo its size
      *  (bounds the largest schedulable latency, incl. cache misses). */
@@ -299,7 +321,8 @@ class PolyPathCore
     /** Per-PC branch profiles (cfg.profileBranches). */
     std::unordered_map<Addr, BranchProfile> profiles;
 
-    SimStats simStats;
+    /** mutable: stats() syncs derived counters on read. */
+    mutable SimStats simStats;
 };
 
 } // namespace polypath

@@ -54,24 +54,23 @@ struct BranchState
 class DynInstPool;
 struct PathContext;
 
-/** One in-flight instruction. */
+/**
+ * One in-flight instruction.
+ *
+ * Field order is deliberate: the members the scheduler touches every
+ * cycle — the reference count, wakeup bookkeeping, status flags, rename
+ * tags and the decoded instruction — are packed at the front so the
+ * issue/wakeup loops stay within the leading cache line; trace-only and
+ * recovery state (pc, path-context linkage, branch checkpoint) sits
+ * behind them.
+ */
 struct DynInst
 {
-    InstSeq seq = 0;
-    Addr pc = 0;
-    Instr instr;
-    CtxTag tag;
-    u32 ctxId = 0;                  //!< the path context it was fetched in
+    // --- hot: scheduling / wakeup (leading cache line) -----------------
 
-    /** The fetching path context. Dereferenced only while the
-     *  instruction is un-killed, which guarantees the context is live
-     *  (a kill that destroys the context kills its instructions in the
-     *  same resolution broadcast). */
-    PathContext *ctx = nullptr;
-
-    /** Commit-clear log watermark: broadcasts up to this index have
-     *  been applied to `tag` (see CommitClearLog). */
-    u32 clearsSeen = 0;
+    /** Intrusive reference count. Non-atomic: an instruction never
+     *  leaves its core's simulation thread. */
+    u32 refCount = 0;
 
     // Rename state.
     PhysReg physSrc1 = invalidPhysReg;
@@ -91,31 +90,55 @@ struct DynInst
     /** Extra execution latency (D-cache miss penalty). */
     u8 extraLatency = 0;
 
+    u8 histPos = noHistPos;         //!< CTX position (branches/returns)
+    bool hasResult = false;
+
+    InstSeq seq = 0;
+    Instr instr;
+
+    /**
+     * Intrusive per-source wakeup links (see PolyPathCore::waiterHeads):
+     * waitNext[s] chains the waiter list this instruction's source slot
+     * s sits on. Tagged-pointer encoding — bit 0 of a link holds the
+     * *next* node's slot number, valid because pool slots are aligned
+     * to alignof(DynInst) >= 8. Zero means end of list / not enqueued.
+     */
+    uintptr_t waitNext[2] = {0, 0};
+
+    CtxTag tag;
+
     // Execution results (computed at issue, visible at writeback).
     u64 result = 0;
-    bool hasResult = false;
     Addr effAddr = 0;
 
+    // --- cold: fetch/trace/recovery state ------------------------------
+
+    Addr pc = 0;
+    u32 ctxId = 0;                  //!< the path context it was fetched in
+
+    /** The fetching path context. Dereferenced only while the
+     *  instruction is un-killed, which guarantees the context is live
+     *  (a kill that destroys the context kills its instructions in the
+     *  same resolution broadcast). */
+    PathContext *ctx = nullptr;
+
+    /** Commit-clear log watermark: broadcasts up to this index have
+     *  been applied to `tag` (see CommitClearLog). */
+    u32 clearsSeen = 0;
+
     // Branch/return state (null for everything else).
-    u8 histPos = noHistPos;
     std::unique_ptr<BranchState> branch;
 
     Cycle fetchCycle = 0;
+
+    /** Owning pool; nullptr for plain heap allocations (tests). */
+    DynInstPool *pool = nullptr;
 
     bool isCondBranch() const { return instr.isCondBranch(); }
     bool isReturn() const { return instr.info().isReturn; }
 
     /** Does this instruction hold a CTX history position? */
     bool holdsHistPos() const { return histPos != noHistPos; }
-
-    // --- lifetime management (DynInstPtr / DynInstPool) ---------------
-
-    /** Intrusive reference count. Non-atomic: an instruction never
-     *  leaves its core's simulation thread. */
-    u32 refCount = 0;
-
-    /** Owning pool; nullptr for plain heap allocations (tests). */
-    DynInstPool *pool = nullptr;
 };
 
 namespace detail

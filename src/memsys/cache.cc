@@ -1,6 +1,7 @@
 #include "cache.hh"
 
 #include "common/bitutils.hh"
+#include "common/prof.hh"
 
 namespace polypath
 {
@@ -37,6 +38,7 @@ CacheModel::lineTag(Addr addr) const
 unsigned
 CacheModel::access(Addr addr)
 {
+    PP_PROF_SCOPE(DCache);
     if (cfg.perfect) {
         ++hitCount;
         return 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/prof.hh"
 
 namespace polypath
 {
@@ -55,6 +56,7 @@ SparseMemory::writeByte(Addr addr, u8 value)
 u64
 SparseMemory::read(Addr addr, unsigned size) const
 {
+    PP_PROF_SCOPE(MemRead);
     panic_if(size == 0 || size > 8, "memory read of size %u", size);
     // Fast path: the access lies within one page (the overwhelmingly
     // common case), so the page is resolved once instead of per byte.
@@ -77,6 +79,7 @@ SparseMemory::read(Addr addr, unsigned size) const
 void
 SparseMemory::write(Addr addr, u64 value, unsigned size)
 {
+    PP_PROF_SCOPE(MemWrite);
     panic_if(size == 0 || size > 8, "memory write of size %u", size);
     if ((addr >> pageShift) == ((addr + size - 1) >> pageShift)) {
         u8 *bytes = getPage(addr).data() + (addr & (pageBytes - 1));

@@ -1,22 +1,71 @@
 #include "store_queue.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/prof.hh"
 
 namespace polypath
 {
+
+StoreQueue::StoreQueue()
+{
+    const char *env = std::getenv("PP_NO_SQ_FASTPATH");
+    fastPathEnabled = !(env != nullptr && env[0] != '\0' &&
+                        env[0] != '0');
+}
+
+void
+StoreQueue::indexAdd(Addr addr, unsigned size)
+{
+    u64 first = addr >> chunkShift;
+    u64 last = (addr + size - 1) >> chunkShift;
+    for (u64 chunk = first;; ++chunk) {
+        ++chunkCounts[chunkSlot(chunk)];
+        if (chunk == last)
+            break;
+    }
+}
+
+void
+StoreQueue::indexRemove(Addr addr, unsigned size)
+{
+    u64 first = addr >> chunkShift;
+    u64 last = (addr + size - 1) >> chunkShift;
+    for (u64 chunk = first;; ++chunk) {
+        u16 &count = chunkCounts[chunkSlot(chunk)];
+        panic_if(count == 0, "store-queue chunk count underflow");
+        --count;
+        if (chunk == last)
+            break;
+    }
+}
+
+void
+StoreQueue::onEntryRemoved(const StoreQueueEntry &entry)
+{
+    if (entry.addrKnown) {
+        indexRemove(entry.addr, entry.size);
+    } else {
+        panic_if(unknownAddrCount == 0,
+                 "store-queue unknown-address count underflow");
+        --unknownAddrCount;
+    }
+}
 
 void
 StoreQueue::insert(InstSeq seq, const CtxTag &tag, u8 size)
 {
     panic_if(!entries.empty() && entries.back().seq >= seq,
              "store queue insertion out of fetch order");
+    panic_if(size == 0, "store of size 0");
     StoreQueueEntry entry;
     entry.seq = seq;
     entry.tag = tag;
     entry.size = size;
     entries.push_back(entry);
+    ++unknownAddrCount;
 }
 
 StoreQueueEntry *
@@ -42,8 +91,19 @@ StoreQueue::setAddress(InstSeq seq, Addr addr)
     StoreQueueEntry *entry = findMutable(seq);
     panic_if(!entry, "setAddress: store %llu not in queue",
              static_cast<unsigned long long>(seq));
+    if (entry->addrKnown) {
+        // Re-publication (the core republishes at issue); the address
+        // is a pure function of an already-written register, so it
+        // cannot change — but keep the index exact regardless.
+        if (entry->addr == addr)
+            return;
+        indexRemove(entry->addr, entry->size);
+    } else {
+        --unknownAddrCount;
+    }
     entry->addr = addr;
     entry->addrKnown = true;
+    indexAdd(addr, entry->size);
 }
 
 void
@@ -60,7 +120,24 @@ LoadQueryResult
 StoreQueue::queryLoad(InstSeq seq, const CtxTag &tag, Addr addr,
                       unsigned size, const SparseMemory &mem) const
 {
+    PP_PROF_SCOPE(SqQuery);
     panic_if(size == 0 || size > 8, "load of size %u", size);
+
+    // O(1) common case: no entry has an unpublished address (so
+    // MustWait is impossible) and no known-address entry overlaps any
+    // chunk the load touches (so forwarding is impossible). The full
+    // walk below would return exactly the committed-memory bytes.
+    if (fastPathEnabled && unknownAddrCount == 0) {
+        u64 first = addr >> chunkShift;
+        u64 last = (addr + size - 1) >> chunkShift;
+        u16 overlap = chunkCounts[chunkSlot(first)];
+        if (first != last)
+            overlap = static_cast<u16>(overlap +
+                                       chunkCounts[chunkSlot(last)]);
+        if (overlap == 0)
+            return {LoadQueryStatus::Ready, mem.read(addr, size),
+                    false};
+    }
 
     // Per-byte resolution: needed[i] says byte i still lacks a source;
     // value accumulates forwarded bytes.
@@ -137,6 +214,7 @@ StoreQueue::commit(InstSeq seq, SparseMemory &mem)
              "committing store %llu with unresolved operands",
              static_cast<unsigned long long>(seq));
     mem.write(front.addr, front.data, front.size);
+    onEntryRemoved(front);
     entries.pop_front();
 }
 
@@ -146,27 +224,26 @@ StoreQueue::kill(InstSeq seq)
     auto it = std::lower_bound(
         entries.begin(), entries.end(), seq,
         [](const StoreQueueEntry &e, InstSeq s) { return e.seq < s; });
-    if (it != entries.end() && it->seq == seq)
+    if (it != entries.end() && it->seq == seq) {
+        onEntryRemoved(*it);
         entries.erase(it);
+    }
 }
 
 unsigned
 StoreQueue::killWrongPath(unsigned pos, bool actual_taken)
 {
+    PP_PROF_SCOPE(SqKill);
     unsigned killed = 0;
-    auto keep = [&](const StoreQueueEntry &entry) {
-        if (entry.tag.onWrongSide(pos, actual_taken)) {
-            ++killed;
+    // In-place removal (std::erase_if applies the predicate exactly
+    // once per entry, so the summary upkeep runs exactly per victim).
+    std::erase_if(entries, [&](const StoreQueueEntry &entry) {
+        if (!entry.tag.onWrongSide(pos, actual_taken))
             return false;
-        }
+        onEntryRemoved(entry);
+        ++killed;
         return true;
-    };
-    std::deque<StoreQueueEntry> kept;
-    for (const StoreQueueEntry &entry : entries) {
-        if (keep(entry))
-            kept.push_back(entry);
-    }
-    entries.swap(kept);
+    });
     return killed;
 }
 
@@ -185,6 +262,36 @@ StoreQueue::commitPosition(unsigned pos)
 {
     for (StoreQueueEntry &entry : entries)
         entry.tag.clearPosition(pos);
+}
+
+void
+StoreQueue::checkIndexInvariants() const
+{
+    unsigned unknown = 0;
+    std::array<u16, numChunkSlots> counts{};
+    for (const StoreQueueEntry &entry : entries) {
+        if (!entry.addrKnown) {
+            ++unknown;
+            continue;
+        }
+        u64 first = entry.addr >> chunkShift;
+        u64 last = (entry.addr + entry.size - 1) >> chunkShift;
+        for (u64 chunk = first;; ++chunk) {
+            ++counts[chunkSlot(chunk)];
+            if (chunk == last)
+                break;
+        }
+    }
+    panic_if(unknown != unknownAddrCount,
+             "store-queue unknown-address count drifted: %u cached, "
+             "%u actual",
+             unknownAddrCount, unknown);
+    for (size_t slot = 0; slot < numChunkSlots; ++slot) {
+        panic_if(counts[slot] != chunkCounts[slot],
+                 "store-queue chunk count drifted at slot %zu: "
+                 "%u cached, %u actual",
+                 slot, chunkCounts[slot], counts[slot]);
+    }
 }
 
 } // namespace polypath

@@ -13,11 +13,36 @@
  * as the address operand is data-ready (independent of FU scheduling), so
  * a load waits only on older same-path stores that genuinely conflict or
  * whose address is not yet computable from dataflow.
+ *
+ * Load resolution fast path: the reference semantics are a
+ * youngest-first walk with per-byte overlap checks — O(queue) per load.
+ * Because the overwhelmingly common query finds nothing to forward and
+ * nothing to wait on, the queue incrementally maintains two summaries
+ * that prove that outcome in O(1):
+ *
+ *   - `unknownAddrCount`: the number of entries whose address has not
+ *     been published. When zero, no load can be blocked by perfect
+ *     disambiguation (the walk's MustWait-on-unknown case is
+ *     impossible for *any* seq/tag).
+ *   - a direct-mapped chunk-count table: memory is viewed in aligned
+ *     64-byte chunks, and `chunkCounts[hash(chunk)]` counts the
+ *     known-address entries overlapping that chunk. A load whose
+ *     spanned chunks all count zero provably overlaps no store.
+ *
+ * When both summaries clear the load, its bytes come straight from
+ * committed memory — the exact result of the full walk. Any nonzero
+ * summary (including direct-mapped aliasing and hits from younger or
+ * sibling-path stores) simply falls back to the walk, so the fast path
+ * is conservative: it can only ever skip work, never change an answer.
+ * `tests/memsys/test_store_queue.cc` pins both paths to a brute-force
+ * reference under randomized interleavings; `PP_NO_SQ_FASTPATH=1` (or
+ * setFastPathEnabled(false)) forces every query down the walk.
  */
 
 #ifndef POLYPATH_MEMSYS_STORE_QUEUE_HH
 #define POLYPATH_MEMSYS_STORE_QUEUE_HH
 
+#include <array>
 #include <deque>
 #include <vector>
 
@@ -59,6 +84,9 @@ struct StoreQueueEntry
 class StoreQueue
 {
   public:
+    /** Fast path defaults on; PP_NO_SQ_FASTPATH=1 force-disables it. */
+    StoreQueue();
+
     /** Insert a store at dispatch (entries arrive in fetch order). */
     void insert(InstSeq seq, const CtxTag &tag, u8 size);
 
@@ -107,11 +135,55 @@ class StoreQueue
     /** Sequence numbers of all entries (invariant checking). */
     std::vector<InstSeq> seqs() const;
 
+    // --- fast-path control / introspection (tests, benches) ----------
+
+    /** Gate the O(1) no-conflict query path (index maintenance always
+     *  runs; only the shortcut is switched). */
+    void setFastPathEnabled(bool on) { fastPathEnabled = on; }
+    bool fastPathIsEnabled() const { return fastPathEnabled; }
+
+    /** Entries whose address is not yet published. */
+    unsigned unknownAddresses() const { return unknownAddrCount; }
+
+    /**
+     * Validate the incremental summaries against the entries
+     * (tests/self-checks): unknownAddrCount and every chunk count must
+     * equal a from-scratch recount. Panics on violation.
+     */
+    void checkIndexInvariants() const;
+
   private:
     StoreQueueEntry *findMutable(InstSeq seq);
 
+    // --- coarse address index -----------------------------------------
+    // Aligned 2^chunkShift-byte chunks hashed direct-mapped into a
+    // fixed count table. Aliasing between chunks only ever inflates a
+    // count, which is conservative (spurious slow path), never unsafe.
+    static constexpr unsigned chunkShift = 6;
+    static constexpr size_t numChunkSlots = 1024;
+
+    static size_t
+    chunkSlot(u64 chunk)
+    {
+        return static_cast<size_t>(chunk & (numChunkSlots - 1));
+    }
+
+    void indexAdd(Addr addr, unsigned size);
+    void indexRemove(Addr addr, unsigned size);
+
+    /** Counter upkeep when @p entry leaves the queue for any reason. */
+    void onEntryRemoved(const StoreQueueEntry &entry);
+
     /** Sorted by seq (insertion is in fetch order). */
     std::deque<StoreQueueEntry> entries;
+
+    /** Known-address entries overlapping each (hashed) chunk. */
+    std::array<u16, numChunkSlots> chunkCounts{};
+
+    /** Entries with !addrKnown (MustWait is impossible when zero). */
+    unsigned unknownAddrCount = 0;
+
+    bool fastPathEnabled;
 };
 
 } // namespace polypath

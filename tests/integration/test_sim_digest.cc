@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/prof.hh"
 #include "sim/machine.hh"
 #include "sim/result_cache.hh"
 #include "workloads/workloads.hh"
@@ -147,6 +148,66 @@ TEST(PredecodeEquivalence, EnvKnobIsInvisible)
               serializeSimResult(without));
     EXPECT_EQ(with_tables.stats.committedInstrs, 9193ull);
     EXPECT_EQ(with_tables.stats.cycles, 4469ull);
+}
+
+// The pp_prof stage profiler reads clocks and bumps thread-local
+// counters but must never feed back into simulation state: the full
+// stats digest with collection on must be byte-identical to collection
+// off, and both must match the pinned compress/see row.
+TEST(ProfilerEquivalence, CollectionIsInvisible)
+{
+    WorkloadParams params;
+    params.scale = 0.02;
+    Program program = buildWorkload("compress", params);
+    InterpResult golden = runGolden(program);
+    SimConfig cfg = SimConfig::seeJrs();
+
+    ASSERT_FALSE(prof::enabled());
+    SimResult off = simulate(program, cfg, golden);
+
+    prof::setEnabled(true);
+    prof::reset();
+    SimResult on = simulate(program, cfg, golden);
+    auto costs = prof::snapshot();
+    prof::setEnabled(false);
+
+    ASSERT_TRUE(off.verified);
+    ASSERT_TRUE(on.verified);
+    EXPECT_EQ(serializeSimResult(off), serializeSimResult(on));
+    EXPECT_EQ(off.stats.committedInstrs, 9193ull);
+    EXPECT_EQ(off.stats.cycles, 4469ull);
+
+    // Collection did actually happen: every pipeline phase ran once per
+    // cycle (commit every cycle; the rest stop once HALT commits).
+    for (size_t i = 0; i < prof::numPipelineStages; ++i) {
+        EXPECT_GE(costs[i].calls, on.stats.cycles - 1)
+            << prof::stageName(static_cast<prof::Stage>(i));
+    }
+}
+
+// The store-queue fast-path knob switches only the query shortcut, not
+// the answers: PP_NO_SQ_FASTPATH=1 must reproduce the pinned digest
+// byte for byte.
+TEST(StoreQueueFastPathEquivalence, EnvKnobIsInvisible)
+{
+    WorkloadParams params;
+    params.scale = 0.02;
+    Program program = buildWorkload("compress", params);
+    InterpResult golden = runGolden(program);
+    SimConfig cfg = SimConfig::seeJrs();
+
+    SimResult with_index = simulate(program, cfg, golden);
+
+    ::setenv("PP_NO_SQ_FASTPATH", "1", 1);
+    SimResult without = simulate(program, cfg, golden);
+    ::unsetenv("PP_NO_SQ_FASTPATH");
+
+    ASSERT_TRUE(with_index.verified);
+    ASSERT_TRUE(without.verified);
+    EXPECT_EQ(serializeSimResult(with_index),
+              serializeSimResult(without));
+    EXPECT_EQ(with_index.stats.committedInstrs, 9193ull);
+    EXPECT_EQ(with_index.stats.cycles, 4469ull);
 }
 
 } // anonymous namespace

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <vector>
+
+#include "common/prng.hh"
 #include "ctx/ctx_tag.hh"
 #include "memsys/store_queue.hh"
 
@@ -199,6 +205,350 @@ TEST_F(StoreQueueTest, DeathOnOutOfOrderCommit)
     addStore(10, root, 0x100, 1);
     addStore(11, root, 0x108, 2);
     EXPECT_DEATH(sq.commit(11, mem), "out of order");
+}
+
+// --- fast-path knobs -------------------------------------------------
+
+TEST(StoreQueueFastPath, EnvKnobDisablesFastPath)
+{
+    {
+        StoreQueue q;
+        EXPECT_TRUE(q.fastPathIsEnabled());
+    }
+    setenv("PP_NO_SQ_FASTPATH", "1", 1);
+    {
+        StoreQueue q;
+        EXPECT_FALSE(q.fastPathIsEnabled());
+    }
+    unsetenv("PP_NO_SQ_FASTPATH");
+    StoreQueue q;
+    EXPECT_TRUE(q.fastPathIsEnabled());
+    q.setFastPathEnabled(false);
+    EXPECT_FALSE(q.fastPathIsEnabled());
+}
+
+TEST(StoreQueueFastPath, SummariesTrackLifecycle)
+{
+    StoreQueue q;
+    SparseMemory mem;
+    CtxTag root;
+    q.insert(1, root, 8);
+    EXPECT_EQ(q.unknownAddresses(), 1u);
+    q.insert(2, root, 4);
+    EXPECT_EQ(q.unknownAddresses(), 2u);
+    q.setAddress(1, 0x100);
+    EXPECT_EQ(q.unknownAddresses(), 1u);
+    q.setAddress(1, 0x100);     // republication must not drift counts
+    EXPECT_EQ(q.unknownAddresses(), 1u);
+    q.setAddress(2, 0x200);
+    EXPECT_EQ(q.unknownAddresses(), 0u);
+    q.checkIndexInvariants();
+    q.setData(1, 7);
+    q.commit(1, mem);
+    q.kill(2);
+    EXPECT_EQ(q.unknownAddresses(), 0u);
+    q.checkIndexInvariants();
+}
+
+// --- randomized differential property test ---------------------------
+//
+// Drives a StoreQueue and a deliberately naive reference model through
+// the same random interleaving of inserts, address/data publications,
+// loads, commits, kills and wrong-path sweeps, over a small CTX path
+// tree and an address pattern chosen to hit partial overlaps, multi-
+// store byte composition, direct-mapped chunk aliasing and unknown-
+// address stalls. Every load answer and the post-drain memory image
+// must match; run with the indexed fast path both on and off.
+
+/** Brute-force mirror of the documented queryLoad walk semantics. */
+struct RefStoreQueue
+{
+    struct Entry
+    {
+        InstSeq seq;
+        CtxTag tag;
+        Addr addr = 0;
+        u64 data = 0;
+        u8 size = 0;
+        bool addrKnown = false;
+        bool dataKnown = false;
+    };
+
+    std::deque<Entry> entries;      // fetch (= seq) order
+
+    Entry *
+    find(InstSeq seq)
+    {
+        for (Entry &e : entries) {
+            if (e.seq == seq)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    LoadQueryResult
+    queryLoad(InstSeq seq, const CtxTag &tag, Addr addr, unsigned size,
+              const SparseMemory &mem) const
+    {
+        unsigned needed_mask = (1u << size) - 1;
+        u64 value = 0;
+        bool forwarded = false;
+        for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+            const Entry &store = *it;
+            if (store.seq >= seq || !store.tag.isAncestorOrSelf(tag))
+                continue;
+            if (!store.addrKnown)
+                return {LoadQueryStatus::MustWait};
+            bool overlaps = false;
+            for (unsigned i = 0; i < size; ++i) {
+                if (((needed_mask >> i) & 1) && addr + i >= store.addr &&
+                    addr + i < store.addr + store.size) {
+                    overlaps = true;
+                }
+            }
+            if (!overlaps)
+                continue;
+            if (!store.dataKnown)
+                return {LoadQueryStatus::MustWait};
+            for (unsigned i = 0; i < size; ++i) {
+                Addr byte_addr = addr + i;
+                if (((needed_mask >> i) & 1) && byte_addr >= store.addr &&
+                    byte_addr < store.addr + store.size) {
+                    value |= ((store.data >>
+                               (8 * (byte_addr - store.addr))) &
+                              0xff)
+                             << (8 * i);
+                    needed_mask &= ~(1u << i);
+                    forwarded = true;
+                }
+            }
+            if (needed_mask == 0)
+                break;
+        }
+        for (unsigned i = 0; i < size; ++i) {
+            if ((needed_mask >> i) & 1)
+                value |= static_cast<u64>(mem.readByte(addr + i))
+                         << (8 * i);
+        }
+        return {LoadQueryStatus::Ready, value, forwarded};
+    }
+
+    void
+    commitFront(SparseMemory &mem)
+    {
+        Entry &e = entries.front();
+        mem.write(e.addr, e.data, e.size);
+        entries.pop_front();
+    }
+
+    unsigned
+    killWrongPath(unsigned pos, bool actual_taken)
+    {
+        unsigned killed = 0;
+        std::erase_if(entries, [&](const Entry &e) {
+            if (!e.tag.onWrongSide(pos, actual_taken))
+                return false;
+            ++killed;
+            return true;
+        });
+        return killed;
+    }
+};
+
+void
+runRandomScenario(u64 seed, bool fast_path)
+{
+    Prng rng(seed);
+    StoreQueue sq;
+    sq.setFastPathEnabled(fast_path);
+    RefStoreQueue ref;
+    SparseMemory mem_impl;
+    SparseMemory mem_ref;
+
+    // A small path tree over positions 0..3: root plus both sides of a
+    // few divergences, so loads see ancestor, self, sibling and
+    // descendant stores.
+    std::vector<CtxTag> tags;
+    CtxTag root;
+    tags.push_back(root);
+    tags.push_back(root.child(0, true));
+    tags.push_back(root.child(0, false));
+    tags.push_back(tags[1].child(1, true));
+    tags.push_back(tags[1].child(1, false));
+    tags.push_back(tags[3].child(2, true));
+
+    auto random_tag = [&]() { return tags[rng.nextBelow(tags.size())]; };
+
+    // Address pattern: a dense 256-byte region (overlaps, partial
+    // forwarding) plus sparse strides of 64 KiB (distinct chunks that
+    // alias in the 1024-slot direct-mapped index: 0x10000 >> 6 = 1024).
+    auto random_addr = [&]() -> Addr {
+        Addr base = 0x1000 + rng.nextBelow(256);
+        if (rng.chance(1, 4))
+            base += (1 + rng.nextBelow(4)) * 0x10000;
+        return base;
+    };
+    auto random_size = [&]() -> u8 {
+        static const u8 sizes[4] = {1, 2, 4, 8};
+        return sizes[rng.nextBelow(4)];
+    };
+
+    // Pre-fill committed memory identically on both sides.
+    for (unsigned i = 0; i < 64; ++i) {
+        Addr a = random_addr();
+        u64 v = rng.next();
+        mem_impl.write(a, v, 8);
+        mem_ref.write(a, v, 8);
+    }
+
+    InstSeq next_seq = 1;
+    std::vector<InstSeq> pending_addr;      // inserted, address unknown
+    std::vector<InstSeq> pending_data;      // inserted, data unknown
+
+    auto take_random = [&](std::vector<InstSeq> &v) -> InstSeq {
+        size_t i = rng.nextBelow(v.size());
+        InstSeq seq = v[i];
+        v[i] = v.back();
+        v.pop_back();
+        return seq;
+    };
+    // Entries can disappear under a pending publication (kill /
+    // wrong-path sweep): drop the stale seqs.
+    auto prune = [&](std::vector<InstSeq> &v) {
+        std::erase_if(v, [&](InstSeq s) { return sq.find(s) == nullptr; });
+    };
+
+    for (unsigned step = 0; step < 2000; ++step) {
+        unsigned op = static_cast<unsigned>(rng.nextBelow(100));
+        if (op < 30) {                              // insert a store
+            if (sq.size() >= 48)
+                continue;
+            InstSeq seq = next_seq++;
+            CtxTag tag = random_tag();
+            u8 size = random_size();
+            sq.insert(seq, tag, size);
+            ref.entries.push_back({seq, tag, 0, 0, size, false, false});
+            pending_addr.push_back(seq);
+            pending_data.push_back(seq);
+        } else if (op < 45) {                       // publish an address
+            prune(pending_addr);
+            if (pending_addr.empty())
+                continue;
+            InstSeq seq = take_random(pending_addr);
+            Addr addr = random_addr();
+            sq.setAddress(seq, addr);
+            RefStoreQueue::Entry *e = ref.find(seq);
+            ASSERT_NE(e, nullptr);
+            e->addr = addr;
+            e->addrKnown = true;
+        } else if (op < 60) {                       // publish data
+            prune(pending_data);
+            if (pending_data.empty())
+                continue;
+            InstSeq seq = take_random(pending_data);
+            u64 data = rng.next();
+            sq.setData(seq, data);
+            RefStoreQueue::Entry *e = ref.find(seq);
+            ASSERT_NE(e, nullptr);
+            e->data = data;
+            e->dataKnown = true;
+        } else if (op < 85) {                       // load query
+            InstSeq seq = 1 + rng.nextBelow(next_seq + 4);
+            CtxTag tag = random_tag();
+            Addr addr = random_addr();
+            u8 size = random_size();
+            LoadQueryResult got =
+                sq.queryLoad(seq, tag, addr, size, mem_impl);
+            LoadQueryResult want =
+                ref.queryLoad(seq, tag, addr, size, mem_ref);
+            ASSERT_EQ(got.status, want.status)
+                << "seed " << seed << " step " << step;
+            if (got.status == LoadQueryStatus::Ready) {
+                ASSERT_EQ(got.value, want.value)
+                    << "seed " << seed << " step " << step;
+                ASSERT_EQ(got.forwarded, want.forwarded)
+                    << "seed " << seed << " step " << step;
+            }
+        } else if (op < 90) {                       // commit the front
+            if (ref.entries.empty())
+                continue;
+            const RefStoreQueue::Entry &front = ref.entries.front();
+            if (!front.addrKnown || !front.dataKnown)
+                continue;
+            sq.commit(front.seq, mem_impl);
+            ref.commitFront(mem_ref);
+        } else if (op < 95) {                       // kill one entry
+            if (ref.entries.empty())
+                continue;
+            InstSeq seq =
+                ref.entries[rng.nextBelow(ref.entries.size())].seq;
+            sq.kill(seq);
+            RefStoreQueue::Entry *e = ref.find(seq);
+            ASSERT_NE(e, nullptr);
+            std::erase_if(ref.entries, [seq](const auto &entry) {
+                return entry.seq == seq;
+            });
+        } else if (op < 98) {                       // wrong-path sweep
+            unsigned pos = static_cast<unsigned>(rng.nextBelow(4));
+            bool taken = rng.chance(1, 2);
+            unsigned got = sq.killWrongPath(pos, taken);
+            unsigned want = ref.killWrongPath(pos, taken);
+            ASSERT_EQ(got, want) << "seed " << seed << " step " << step;
+        } else {                                    // commit broadcast
+            unsigned pos = static_cast<unsigned>(rng.nextBelow(4));
+            sq.commitPosition(pos);
+            for (RefStoreQueue::Entry &e : ref.entries)
+                e.tag.clearPosition(pos);
+        }
+
+        ASSERT_EQ(sq.size(), ref.entries.size())
+            << "seed " << seed << " step " << step;
+        if (step % 64 == 0)
+            sq.checkIndexInvariants();
+    }
+
+    // Post-run drain: publish everything outstanding, commit in order,
+    // and require identical committed memory images.
+    prune(pending_addr);
+    prune(pending_data);
+    for (InstSeq seq : pending_addr) {
+        Addr addr = random_addr();
+        sq.setAddress(seq, addr);
+        RefStoreQueue::Entry *e = ref.find(seq);
+        ASSERT_NE(e, nullptr);
+        e->addr = addr;
+        e->addrKnown = true;
+    }
+    for (InstSeq seq : pending_data) {
+        u64 data = rng.next();
+        sq.setData(seq, data);
+        RefStoreQueue::Entry *e = ref.find(seq);
+        ASSERT_NE(e, nullptr);
+        e->data = data;
+        e->dataKnown = true;
+    }
+    sq.checkIndexInvariants();
+    while (!ref.entries.empty()) {
+        sq.commit(ref.entries.front().seq, mem_impl);
+        ref.commitFront(mem_ref);
+    }
+    EXPECT_TRUE(sq.empty());
+    EXPECT_EQ(sq.unknownAddresses(), 0u);
+    sq.checkIndexInvariants();
+    EXPECT_TRUE(mem_impl.contentsEqual(mem_ref))
+        << "post-drain memory mismatch, seed " << seed;
+}
+
+TEST(StoreQueueProperty, RandomInterleavingsMatchReferenceFastPath)
+{
+    for (u64 seed = 1; seed <= 8; ++seed)
+        runRandomScenario(seed, /*fast_path=*/true);
+}
+
+TEST(StoreQueueProperty, RandomInterleavingsMatchReferenceLegacyWalk)
+{
+    for (u64 seed = 1; seed <= 8; ++seed)
+        runRandomScenario(seed, /*fast_path=*/false);
 }
 
 } // anonymous namespace

@@ -26,6 +26,10 @@
  *     --verify            statically analyze the program before running
  *                         it; refuse to simulate on any error finding
  *     --trace             print every pipeline event
+ *     --profile           per-PC branch profile plus the pp_prof
+ *                         per-stage host-time breakdown (see
+ *                         common/prof.hh; PP_PROF=1 adds the breakdown
+ *                         to any run mode)
  *     --compare           run all six paper categories and summarise
  *     --kips              also time the run and report simulated KIPS
  *                         (committed kilo-instructions per host second)
@@ -45,6 +49,7 @@
 #include "analysis/analyzer.hh"
 #include "asmkit/parser.hh"
 #include "common/logging.hh"
+#include "common/prof.hh"
 #include "common/stats_util.hh"
 #include "sim/machine.hh"
 #include "workloads/workloads.hh"
@@ -282,12 +287,23 @@ main(int argc, char **argv)
 
     if (cfg.profileBranches) {
         // Profiling wants direct core access for the per-PC table.
+        // --profile also turns on the in-simulator stage profiler.
+        prof::setEnabled(true);
+        prof::reset();
         PolyPathCore core(cfg, program, golden);
+        auto start = std::chrono::steady_clock::now();
         while (!core.halted())
             core.tick();
+        auto stop = std::chrono::steady_clock::now();
         std::printf("configuration: %s\n%s\n",
                     cfg.categoryName().c_str(),
                     core.stats().toString().c_str());
+        u64 total_ns = static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                stop - start)
+                .count());
+        std::fputs(prof::report(total_ns).c_str(), stdout);
+        std::printf("\n");
 
         std::vector<std::pair<Addr, BranchProfile>> rows(
             core.branchProfiles().begin(), core.branchProfiles().end());
@@ -317,6 +333,8 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (prof::enabled())
+        prof::reset();
     auto start = std::chrono::steady_clock::now();
     SimResult r = simulate(program, cfg, golden);
     auto stop = std::chrono::steady_clock::now();
@@ -324,6 +342,13 @@ main(int argc, char **argv)
                 r.stats.toString().c_str());
     std::printf("verified: %s\n", r.verified ? "yes" : "NO");
     write_stats_json(r.stats, r.category, r.verified ? 1 : 0);
+    if (prof::enabled()) {
+        u64 total_ns = static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                stop - start)
+                .count());
+        std::fputs(prof::report(total_ns).c_str(), stdout);
+    }
     if (kips) {
         double secs =
             std::chrono::duration<double>(stop - start).count();
